@@ -1,0 +1,85 @@
+// Ablation: Algorithm 1's knobs — the growth pace alpha and the
+// pseudo-drop threshold — against synthetic DIP physics with a known
+// capacity. Reports iterations-to-converge and the error of the
+// discovered wmax vs the true capacity weight, averaged over seeds and
+// capacities.
+//
+// The paper fixes alpha=1 and threshold=5 (their testbed's saturation
+// ratio); this sweep shows the trade-off our calibrated default (3.5)
+// sits on: lower thresholds converge faster but underestimate capacity,
+// higher ones overshoot into the drop region more often.
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "testbed/report.hpp"
+#include "util/rng.hpp"
+
+using namespace klb;
+
+namespace {
+
+/// Closed-loop-flavoured synthetic DIP: latency rises to ~4x l0 at
+/// capacity and saturates shortly after (like the DES under fixed client
+/// concurrency); real drops above 1.1x capacity.
+struct SyntheticDip {
+  double wcap;
+  double l0 = 3.4;
+  double latency(double w, util::Rng& rng) const {
+    const double rho = w / wcap;
+    double base;
+    if (rho < 1.0)
+      base = l0 * (1.0 + 3.0 * rho * rho);
+    else
+      base = l0 * (4.0 + std::min(3.0, (rho - 1.0) * 8.0));
+    return base * (1.0 + rng.normal(0.0, 0.04));
+  }
+  bool drops(double w) const { return w > wcap * 1.1; }
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation: explorer alpha x pseudo-drop threshold.\n"
+               "(true capacity weights 0.02..0.4; error = |wmax - wcap| / "
+               "wcap averaged)\n";
+
+  testbed::Table table({"alpha", "drop threshold", "avg iterations",
+                        "avg wmax error", "overshoot runs"});
+
+  for (const double alpha : {0.5, 1.0, 2.0}) {
+    for (const double threshold : {2.0, 2.5, 3.0, 3.5, 4.5}) {
+      double iters_total = 0.0;
+      double err_total = 0.0;
+      int overshoot = 0;
+      int runs = 0;
+      for (const double wcap : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+        for (int seed = 0; seed < 8; ++seed) {
+          util::Rng rng(static_cast<std::uint64_t>(seed) * 977 + 13);
+          SyntheticDip dip{wcap};
+          core::ExplorerConfig cfg;
+          cfg.alpha = alpha;
+          cfg.pseudo_drop_factor = threshold;
+          core::WeightExplorer ex(cfg);
+          ex.set_l0(dip.l0);
+          ex.begin(0.033);
+          while (!ex.done())
+            ex.observe(dip.latency(ex.next_weight(), rng),
+                       dip.drops(ex.next_weight()));
+          iters_total += ex.iterations();
+          err_total += std::fabs(ex.wmax() - wcap) / wcap;
+          if (ex.wmax() > wcap * 1.1) ++overshoot;
+          ++runs;
+        }
+      }
+      table.row({testbed::fmt(alpha, 1), testbed::fmt(threshold, 1),
+                 testbed::fmt(iters_total / runs, 1),
+                 testbed::fmt_pct(err_total / runs),
+                 std::to_string(overshoot) + "/" + std::to_string(runs)});
+    }
+  }
+  table.print();
+  std::cout << "Defaults: alpha=1.0 (paper), threshold=3.5 (calibrated to "
+               "this substrate's\nsaturation ratio; the paper's 5x assumes "
+               "a smaller l0 floor).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the §4.4 zoom radius (delta = zoom_fraction * wmax) of the
+// multi-step ILP. Small radii refine too little; large ones re-introduce
+// the coarse step-1 grid. Paper uses 10%.
+#include <chrono>
+#include <iostream>
+
+#include "core/ilp_weights.hpp"
+#include "testbed/report.hpp"
+#include "testbed/synthetic.hpp"
+
+using namespace klb;
+
+int main() {
+  std::cout << "Ablation: multi-step ILP zoom radius (100 DIPs, 10 points "
+               "per step).\n";
+
+  const int dips = 100;
+  std::vector<fit::WeightLatencyCurve> curves;
+  for (int d = 0; d < dips; ++d)
+    curves.push_back(testbed::synthetic_curve(
+        1.25 / dips * (1.0 + 0.02 * ((d * 7) % 5))));
+  std::vector<const fit::WeightLatencyCurve*> ptrs;
+  for (const auto& c : curves) ptrs.push_back(&c);
+
+  // Reference: a one-shot solve with a very fine grid.
+  core::IlpWeightsConfig ref_cfg;
+  ref_cfg.points_per_dip = 100;
+  ref_cfg.force_multi_step = false;
+  ref_cfg.backend = core::IlpBackend::kMckpDp;
+  const auto reference = core::IlpWeights(ref_cfg).compute(ptrs);
+
+  testbed::Table table({"zoom radius", "objective (ms)", "vs fine-grid",
+                        "time (ms)"});
+  for (const double zoom : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    core::IlpWeightsConfig cfg;
+    cfg.points_per_dip = 10;
+    cfg.force_multi_step = true;
+    cfg.zoom_fraction = zoom;
+    cfg.backend = core::IlpBackend::kMckpDp;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::IlpWeights(cfg).compute(ptrs);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    table.row({testbed::fmt_pct(zoom, 0),
+               testbed::fmt(result.estimated_total_latency_ms, 3),
+               testbed::fmt_pct(reference.estimated_total_latency_ms /
+                                    std::max(1e-9, result.estimated_total_latency_ms),
+                                2),
+               std::to_string(ms)});
+  }
+  table.print();
+  std::cout << "reference fine-grid objective: "
+            << testbed::fmt(reference.estimated_total_latency_ms, 3)
+            << " ms\nThe paper's 10% radius recovers ~the fine-grid optimum "
+               "at a fraction of the cost.\n";
+  return 0;
+}

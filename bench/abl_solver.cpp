@@ -1,0 +1,51 @@
+// Ablation: generic branch & bound vs the MCKP dynamic program on
+// identical weight-assignment instances — the §5 "ILP speedup" quantified.
+// Both must return the same objective (also asserted in tests/ilp_test).
+#include <benchmark/benchmark.h>
+
+#include "core/ilp_weights.hpp"
+#include "testbed/synthetic.hpp"
+
+using namespace klb;
+
+namespace {
+
+void run(benchmark::State& state, core::IlpBackend backend) {
+  const int dips = static_cast<int>(state.range(0));
+  std::vector<fit::WeightLatencyCurve> curves;
+  for (int d = 0; d < dips; ++d)
+    curves.push_back(testbed::synthetic_curve(
+        1.3 / dips * (1.0 + 0.03 * ((d * 13) % 7)), 1.0 + 0.1 * (d % 4)));
+  std::vector<const fit::WeightLatencyCurve*> ptrs;
+  for (const auto& c : curves) ptrs.push_back(&c);
+
+  core::IlpWeightsConfig cfg;
+  cfg.backend = backend;
+  cfg.force_multi_step = false;
+  cfg.time_limit = std::chrono::milliseconds(60'000);
+  const core::IlpWeights solver(cfg);
+
+  double objective = 0.0;
+  for (auto _ : state) {
+    const auto result = solver.compute(ptrs);
+    objective = result.estimated_total_latency_ms;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["objective_ms"] = objective;
+}
+
+void BM_BranchAndBound(benchmark::State& state) {
+  run(state, core::IlpBackend::kBranchAndBound);
+}
+void BM_MckpDp(benchmark::State& state) {
+  run(state, core::IlpBackend::kMckpDp);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BranchAndBound)->Arg(10)->Arg(30)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_MckpDp)->Arg(10)->Arg(30)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

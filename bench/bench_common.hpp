@@ -1,0 +1,241 @@
+// Shared harness for the figure/table reproduction benches: run one LB
+// policy (or KnapsackLB) on a DIP pool, collect per-DIP and per-VM-type
+// metrics over a measurement window, and compute the latency-gain numbers
+// the paper reports.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testbed/report.hpp"
+#include "testbed/testbed.hpp"
+
+namespace klb::bench {
+
+using namespace util::literals;
+
+struct PolicyRunResult {
+  std::string policy;
+  std::vector<testbed::DipMetrics> dips;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  std::vector<double> raw_latencies_ms;  // per request, for CDF comparisons
+  bool converged = true;                 // KnapsackLB exploration finished
+  util::SimTime convergence_time = util::SimTime::zero();
+};
+
+struct PolicyRunOptions {
+  std::uint64_t seed = 1;
+  double load_fraction = 0.70;
+  util::SimTime warmup = util::SimTime::seconds(20);
+  util::SimTime window = util::SimTime::seconds(30);
+  util::SimTime klb_limit = util::SimTime::minutes(20);
+  /// Extra settle time after exploration finishes, before the warmup:
+  /// lets §4.5's capacity rescales correct any under-discovered wmax
+  /// (visible as an initial infeasible-ILP fallback) before measuring.
+  util::SimTime klb_settle = util::SimTime::minutes(3);
+  /// Static weights for weighted baselines (normalized internally); empty
+  /// keeps the MUX's equal split.
+  std::vector<double> static_weights;
+  /// Cluster profile (the KLB comparison benches): one-request sessions, a
+  /// large client-concurrency budget, and a small accept backlog. Multiple
+  /// DIPs probe over-capacity weights at once during exploration; small
+  /// backlogs shed overload via 503s instead of letting a few saturated
+  /// DIPs hoard every client-concurrency slot and starve the others'
+  /// measurements. All policies within a bench run the same profile, so
+  /// comparisons stay apples-to-apples.
+  bool cluster_profile = false;
+};
+
+/// Run `policy` ("rr", "lc", "wrr", "wlc", "random", "wrandom", "p2",
+/// "hash", or "klb") on the pool and measure a steady window.
+inline PolicyRunResult run_policy(const std::vector<testbed::DipSpec>& specs,
+                                  const std::string& policy,
+                                  const PolicyRunOptions& opt) {
+  PolicyRunResult result;
+  result.policy = policy;
+
+  testbed::TestbedConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.load_fraction = opt.load_fraction;
+  cfg.use_knapsacklb = (policy == "klb");
+  cfg.policy = cfg.use_knapsacklb ? "wrr" : policy;
+  if (opt.cluster_profile) {
+    cfg.requests_per_session = 1.0;
+    cfg.closed_loop_factor = 20.0;
+    cfg.dip.backlog_per_core = 24;
+    // Steady-state comparison windows measure the converged assignment;
+    // periodic curve refreshes (validated separately by the dynamics
+    // benches and tests) would churn the window.
+    cfg.controller.refresh_interval = util::SimTime::zero();
+  }
+
+  testbed::Testbed bed(specs, cfg);
+
+  if (!opt.static_weights.empty()) bed.set_static_weights(opt.static_weights);
+
+  if (cfg.use_knapsacklb) {
+    result.converged = bed.run_until_ready(opt.klb_limit);
+    result.convergence_time = bed.sim().now();
+    bed.run_for(opt.klb_settle);
+    bed.run_for(opt.warmup);
+  } else {
+    bed.run_for(opt.warmup);
+  }
+
+  bed.reset_stats();
+  bed.run_for(opt.window);
+
+  result.dips = bed.metrics();
+  result.mean_latency_ms = bed.overall_latency_ms();
+  result.p99_latency_ms = bed.overall_p99_ms();
+  result.raw_latencies_ms = bed.clients().recorder().raw_latencies_ms();
+  return result;
+}
+
+/// Aggregate per-DIP metrics by VM type, preserving first-seen order.
+struct TypeAgg {
+  std::string type;
+  double cpu = 0.0;
+  double latency_ms = 0.0;
+  double weight = 0.0;
+  std::uint64_t requests = 0;
+  int count = 0;
+};
+
+inline std::vector<TypeAgg> by_type(const PolicyRunResult& r) {
+  std::vector<TypeAgg> out;
+  auto find = [&](const std::string& t) -> TypeAgg& {
+    for (auto& a : out)
+      if (a.type == t) return a;
+    out.push_back(TypeAgg{t, 0, 0, 0, 0, 0});
+    return out.back();
+  };
+  for (const auto& d : r.dips) {
+    auto& agg = find(d.vm_type);
+    agg.cpu += d.cpu_utilization;
+    agg.latency_ms += d.client_latency_ms * static_cast<double>(d.client_requests);
+    agg.weight += d.weight;
+    agg.requests += d.client_requests;
+    agg.count += 1;
+  }
+  for (auto& a : out) {
+    a.cpu /= std::max(1, a.count);
+    a.latency_ms =
+        a.requests > 0 ? a.latency_ms / static_cast<double>(a.requests) : 0.0;
+  }
+  return out;
+}
+
+/// The paper's "cuts latency by up to X% for Y% of requests": compare the
+/// two latency CDFs; X = max relative improvement across matching
+/// percentiles, Y = fraction of percentiles where KLB is at least 2% better.
+struct GainSummary {
+  double max_gain = 0.0;       // at some percentile
+  double request_share = 0.0;  // fraction of requests seeing >=2% gain
+  double mean_gain = 0.0;      // gain on the mean
+};
+
+inline GainSummary compare_gains(const PolicyRunResult& baseline,
+                                 const PolicyRunResult& klb) {
+  GainSummary g;
+  if (baseline.raw_latencies_ms.empty() || klb.raw_latencies_ms.empty())
+    return g;
+  auto base = baseline.raw_latencies_ms;
+  auto ours = klb.raw_latencies_ms;
+  std::sort(base.begin(), base.end());
+  std::sort(ours.begin(), ours.end());
+
+  int improved = 0;
+  const int kSteps = 1000;
+  for (int i = 0; i < kSteps; ++i) {
+    const double q = (i + 0.5) / kSteps;
+    const double b = base[static_cast<std::size_t>(q * static_cast<double>(base.size()))];
+    const double o = ours[static_cast<std::size_t>(q * static_cast<double>(ours.size()))];
+    if (b <= 0.0) continue;
+    const double gain = (b - o) / b;
+    g.max_gain = std::max(g.max_gain, gain);
+    if (gain >= 0.02) ++improved;
+  }
+  g.request_share = static_cast<double>(improved) / kSteps;
+  if (baseline.mean_latency_ms > 0.0)
+    g.mean_gain = (baseline.mean_latency_ms - klb.mean_latency_ms) /
+                  baseline.mean_latency_ms;
+  return g;
+}
+
+/// Print the standard per-type CPU/latency table for a set of runs.
+inline void print_by_type(const std::vector<PolicyRunResult>& runs) {
+  std::vector<std::string> headers{"DIP type"};
+  for (const auto& r : runs) headers.push_back(r.policy + " CPU");
+  for (const auto& r : runs) headers.push_back(r.policy + " lat(ms)");
+  testbed::Table table(headers);
+
+  const auto first = by_type(runs.front());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    std::vector<std::string> row{first[t].type};
+    for (const auto& r : runs) {
+      const auto agg = by_type(r);
+      row.push_back(testbed::fmt_pct(agg[t].cpu));
+    }
+    for (const auto& r : runs) {
+      const auto agg = by_type(r);
+      row.push_back(testbed::fmt(agg[t].latency_ms));
+    }
+    table.row(row);
+  }
+  table.print();
+  for (const auto& r : runs) {
+    std::cout << r.policy << ": mean " << testbed::fmt(r.mean_latency_ms)
+              << " ms, P99 " << testbed::fmt(r.p99_latency_ms) << " ms";
+    if (r.policy == "klb")
+      std::cout << (r.converged ? "" : "  [WARN: exploration did not finish]");
+    std::cout << "\n";
+  }
+}
+
+/// Weights proportional to core count (the paper's WRR/WLC baselines).
+inline std::vector<double> core_weights(const std::vector<testbed::DipSpec>& specs) {
+  std::vector<double> w;
+  for (const auto& s : specs) w.push_back(static_cast<double>(s.vm.cores));
+  return w;
+}
+
+
+/// The Fig. 3/4 capacity-ratio sweep: 2x DIP-HC + 1x DIP-LC, DIP-LC
+/// degraded to `ratio`, fixed traffic at 80% of healthy capacity.
+inline void run_capacity_sweep(const std::string& policy) {
+  testbed::banner("capacity-ratio sweep, policy = " + policy);
+  testbed::Table table({"capacity ratio", "DIP-LC CPU", "DIP-HC CPU",
+                        "DIP-LC lat(ms)", "DIP-HC lat(ms)", "LC/HC latency"});
+
+  for (const double ratio : {1.0, 0.9, 0.75, 0.6}) {
+    PolicyRunOptions opt;
+    opt.seed = 42;
+    opt.load_fraction = 0.80;  // paper: ~80% CPU at ratio 100%
+    const auto r =
+        run_policy(testbed::three_dip_specs(1.0, 1.0, ratio), policy, opt);
+
+    const auto& hc1 = r.dips[0];
+    const auto& hc2 = r.dips[1];
+    const auto& lc = r.dips[2];
+    const double hc_cpu = (hc1.cpu_utilization + hc2.cpu_utilization) / 2.0;
+    const double hc_lat =
+        (hc1.client_latency_ms * static_cast<double>(hc1.client_requests) +
+         hc2.client_latency_ms * static_cast<double>(hc2.client_requests)) /
+        std::max<double>(1.0, static_cast<double>(hc1.client_requests +
+                                                  hc2.client_requests));
+    table.row({testbed::fmt_pct(ratio, 0), testbed::fmt_pct(lc.cpu_utilization),
+               testbed::fmt_pct(hc_cpu), testbed::fmt(lc.client_latency_ms),
+               testbed::fmt(hc_lat),
+               testbed::fmt(hc_lat > 0 ? lc.client_latency_ms / hc_lat : 0.0) +
+                   "x"});
+  }
+  table.print();
+}
+
+}  // namespace klb::bench
+

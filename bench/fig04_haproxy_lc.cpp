@@ -1,0 +1,16 @@
+// Fig. 4: HAProxy least-connection under dynamic capacity changes.
+//
+// Same sweep as Fig. 3 with the least-connection policy. The paper's
+// finding: LC equalizes *concurrent connections*, not load — the slow DIP
+// holds its connections longer, still saturates (slightly less than RR),
+// and its latency stays well above the healthy DIPs'.
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "Fig. 4 reproduction: least-connection also fails to adapt.\n"
+               "Paper shape: like RR but with slightly smaller CPU "
+               "imbalance; DIP-LC still\nsaturates and suffers the latency "
+               "penalty.\n";
+  klb::bench::run_capacity_sweep("lc");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 9: weights used for latency measurements, per Algorithm 1
+// iteration, for one DIP of each VM type in the 30-DIP Table 3 pool.
+//
+// Paper: 8-10 iterations per DIP; the per-iteration weights diverge by
+// type (bigger VMs probe higher weights); wmax comes out ordered
+// DS1 < DS2 < DS3 < F8 (0.02 / 0.04 / 0.085 / 0.165 on their testbed).
+#include "bench_common.hpp"
+
+using namespace klb;
+
+int main() {
+  std::cout << "Fig. 9 reproduction: Algorithm 1 measurement weights per "
+               "iteration.\nPaper: 8-10 iterations; wmax ordered by VM size "
+               "(DS1 < DS2 < DS3 < F8).\n";
+
+  testbed::TestbedConfig cfg;
+  cfg.requests_per_session = 1.0;
+  cfg.closed_loop_factor = 20.0;
+  cfg.dip.backlog_per_core = 24;
+  cfg.seed = 9;
+  cfg.policy = "wrr";
+  cfg.use_knapsacklb = true;
+  testbed::Testbed bed(testbed::table3_specs(), cfg);
+  const bool ready = bed.run_until_ready(util::SimTime::minutes(30));
+  std::cout << "exploration " << (ready ? "finished" : "DID NOT FINISH")
+            << " at t=" << bed.sim().now().str() << "\n";
+
+  // One representative DIP per type: DIP-1, DIP-17, DIP-25, DIP-29
+  // (indices 0, 16, 24, 28), exactly the paper's selection.
+  const std::vector<std::size_t> picks{0, 16, 24, 28};
+
+  std::size_t max_iters = 0;
+  for (const auto i : picks)
+    max_iters = std::max(max_iters,
+                         bed.controller()->explorer(i).weight_trace().size());
+
+  std::vector<std::string> headers{"iteration"};
+  for (const auto i : picks)
+    headers.push_back("DIP-" + std::to_string(i + 1) + " (" +
+                      bed.dip(i).config().vm.name + ")");
+  testbed::Table table(headers);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<std::string> row{std::to_string(it + 1)};
+    for (const auto i : picks) {
+      const auto& trace = bed.controller()->explorer(i).weight_trace();
+      row.push_back(it < trace.size() ? testbed::fmt(trace[it], 4) : "-");
+    }
+    table.row(row);
+  }
+  table.print();
+
+  std::cout << "\nwmax per type:";
+  for (const auto i : picks)
+    std::cout << "  " << bed.dip(i).config().vm.name << "="
+              << testbed::fmt(bed.controller()->explorer(i).wmax(), 4);
+  std::cout << "\n(paper: DS1 0.02, DS2 0.04, DS3 0.085, F8 0.165 -- "
+               "ordering is the target)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 11: weights calculated by the ILP for 15 DIPs (50% of each Table 3
+// type: 8x DS1v2, 4x DS2v2, 2x DS3v2, 1x F8sv2).
+//
+// Paper: per-type weights come out in ratio 1 : 2 : 3.9 : 9.7; the ILP is
+// latency-informed, not capacity-proportional — DIP-29 (12.5% of total
+// capacity) got weight 0.135, DIP-1..16 (25% of capacity together) got a
+// combined 0.225.
+#include "bench_common.hpp"
+
+using namespace klb;
+
+int main() {
+  std::cout << "Fig. 11 reproduction: ILP weight assignment for 15 DIPs.\n"
+               "Paper: type weight ratios ~1 : 2 : 3.9 : 9.7; "
+               "latency-informed, not proportional.\n";
+
+  std::vector<testbed::DipSpec> specs;
+  for (int i = 0; i < 8; ++i) specs.push_back({server::kDs1v2, 1.0, 0.0});
+  for (int i = 0; i < 4; ++i) specs.push_back({server::kDs2v2, 1.0, 0.0});
+  for (int i = 0; i < 2; ++i) specs.push_back({server::kDs3v2, 1.0, 0.0});
+  specs.push_back({server::kF8sv2, 1.0, 0.0});
+
+  testbed::TestbedConfig cfg;
+  cfg.requests_per_session = 1.0;
+  cfg.closed_loop_factor = 20.0;
+  cfg.dip.backlog_per_core = 24;
+  cfg.seed = 11;
+  cfg.policy = "wrr";
+  cfg.use_knapsacklb = true;
+  testbed::Testbed bed(specs, cfg);
+  const bool ready = bed.run_until_ready(util::SimTime::minutes(30));
+  if (!ready) std::cout << "[warn] exploration did not finish in time\n";
+  bed.run_for(util::SimTime::seconds(30));
+
+  const auto& w = bed.controller()->current_weights();
+  testbed::Table table({"DIP", "type", "weight"});
+  std::map<std::string, std::pair<double, int>> per_type;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    table.row({std::to_string(i + 1), specs[i].vm.name, testbed::fmt(w[i], 4)});
+    per_type[specs[i].vm.name].first += w[i];
+    per_type[specs[i].vm.name].second += 1;
+  }
+  table.print();
+
+  const double ds1_avg = per_type["DS1v2"].first / per_type["DS1v2"].second;
+  std::cout << "\nper-type average weight (ratio vs DS1v2):\n";
+  for (const auto& [type, acc] : per_type) {
+    const double avg = acc.first / acc.second;
+    std::cout << "  " << type << ": " << testbed::fmt(avg, 4) << "  (x"
+              << testbed::fmt(ds1_avg > 0 ? avg / ds1_avg : 0.0, 1) << ")\n";
+  }
+  std::cout << "(paper ratios: DS1 x1, DS2 x2, DS3 x3.9, F8 x9.7)\n";
+  return 0;
+}

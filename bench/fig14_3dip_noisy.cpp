@@ -1,0 +1,53 @@
+// Fig. 14: three 1-core DIPs at capacities 1x / 0.8x / 0.6x (noisy
+// neighbors), weighted RR and LC with weights 1:1:1 vs KnapsackLB.
+//
+// Paper: RR/LC over-utilize DIP-0.6 (high CPU + latency) while capacity
+// sits idle on DIP-1; KLB equalizes CPU across all three and cuts latency
+// by up to 37% (vs RR) and 29% (vs LC).
+#include "bench_common.hpp"
+
+using namespace klb;
+using namespace klb::bench;
+
+int main() {
+  std::cout << "Fig. 14 reproduction: 3-DIP pool at 1x/0.8x/0.6x capacity.\n";
+
+  const auto specs = testbed::three_dip_specs(1.0, 0.8, 0.6);
+  PolicyRunOptions opt;
+  opt.seed = 14;
+  opt.cluster_profile = true;
+  // The paper's Fig. 14 pool runs at ~70-80% CPU under KLB: offered load
+  // is 70% of *healthy* capacity = 87.5% of the degraded pool; we keep a
+  // little more headroom so the latency scale stays in the paper's range.
+  opt.load_fraction = 0.62;
+
+  std::vector<PolicyRunResult> runs;
+  for (const std::string policy : {"rr", "lc", "klb"}) {
+    std::cout << "running " << policy << "..." << std::flush;
+    runs.push_back(run_policy(specs, policy, opt));
+    std::cout << " done\n";
+  }
+
+  testbed::Table table({"DIP", "RR CPU", "LC CPU", "KLB CPU", "RR lat(ms)",
+                        "LC lat(ms)", "KLB lat(ms)"});
+  const std::vector<std::string> names{"DIP-1", "DIP-0.8", "DIP-0.6"};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    table.row({names[i], testbed::fmt_pct(runs[0].dips[i].cpu_utilization),
+               testbed::fmt_pct(runs[1].dips[i].cpu_utilization),
+               testbed::fmt_pct(runs[2].dips[i].cpu_utilization),
+               testbed::fmt(runs[0].dips[i].client_latency_ms),
+               testbed::fmt(runs[1].dips[i].client_latency_ms),
+               testbed::fmt(runs[2].dips[i].client_latency_ms)});
+  }
+  table.print();
+
+  const auto vs_rr = compare_gains(runs[0], runs[2]);
+  const auto vs_lc = compare_gains(runs[1], runs[2]);
+  std::cout << "\nKLB vs RR: up to " << testbed::fmt_pct(vs_rr.max_gain)
+            << " latency cut (paper: 37%)\nKLB vs LC: up to "
+            << testbed::fmt_pct(vs_lc.max_gain) << " (paper: 29%)\n"
+            << "KLB weights: ";
+  for (const auto& d : runs[2].dips) std::cout << testbed::fmt(d.weight, 3) << " ";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §6.4: comparison against the agent-based CPU-feedback method.
+//
+// Four same-type DIPs, one degraded to 75%. The agent-based baseline
+// (weight-update rule of [18] §4.1, requiring a CPU agent on every DIP)
+// iterates towards uniform CPU; KnapsackLB reaches its assignment with a
+// single ILP shot once curves exist. Paper: 4 iterations vs 1.
+#include "bench_common.hpp"
+#include "core/agent_baseline.hpp"
+
+using namespace klb;
+using namespace klb::util::literals;
+
+int main() {
+  std::cout << "§6.4 reproduction: agent-based CPU balancing vs "
+               "KnapsackLB.\n";
+
+  const auto specs = testbed::three_dip_specs(1.0, 1.0, 0.75);
+  std::vector<testbed::DipSpec> four = specs;
+  four.insert(four.begin(), testbed::DipSpec{server::kDs1v2, 1.0, 0.0});
+
+  // --- agent-based: iterate weight ~ CPU feedback ---------------------------
+  int agent_iterations = 0;
+  {
+    testbed::TestbedConfig cfg;
+    cfg.seed = 64;
+    cfg.policy = "wrr";
+    testbed::Testbed bed(four, cfg);
+    core::AgentCpuBalancer agent;
+
+    std::vector<double> weights(four.size(), 1.0 / four.size());
+    bed.set_static_weights(weights);
+    bed.run_for(15_s);
+
+    testbed::Table table({"iteration", "DIP-1 CPU", "DIP-2 CPU", "DIP-3 CPU",
+                          "DIP-4 (0.75x) CPU", "spread"});
+    for (agent_iterations = 0; agent_iterations < 16; ++agent_iterations) {
+      std::vector<double> utils;
+      for (std::size_t i = 0; i < bed.dip_count(); ++i)
+        utils.push_back(bed.dip(i).cpu_utilization());
+      const auto [lo, hi] = std::minmax_element(utils.begin(), utils.end());
+      table.row({std::to_string(agent_iterations),
+                 testbed::fmt_pct(utils[0]), testbed::fmt_pct(utils[1]),
+                 testbed::fmt_pct(utils[2]), testbed::fmt_pct(utils[3]),
+                 testbed::fmt_pct(*hi - *lo)});
+      if (agent.converged(utils)) break;
+      weights = agent.step(weights, utils);
+      bed.set_static_weights(weights);
+      for (std::size_t i = 0; i < bed.dip_count(); ++i) bed.dip(i).reset_stats();
+      bed.run_for(10_s);
+    }
+    table.print();
+  }
+
+  // --- KnapsackLB: one ILP shot after curve building -------------------------
+  std::uint64_t klb_ilp_runs = 0;
+  {
+    testbed::TestbedConfig cfg;
+    cfg.seed = 64;
+    cfg.policy = "wrr";
+    cfg.use_knapsacklb = true;
+    cfg.requests_per_session = 1.0;
+    cfg.closed_loop_factor = 20.0;
+    cfg.dip.backlog_per_core = 24;
+    testbed::Testbed bed(four, cfg);
+    bed.run_until_ready(util::SimTime::minutes(20));
+    bed.run_for(30_s);
+    klb_ilp_runs = bed.controller()->ilp_runs();
+    std::cout << "\nKnapsackLB: weights after ";
+    for (const auto w : bed.controller()->current_weights())
+      std::cout << testbed::fmt(w, 3) << " ";
+    std::cout << "(" << klb_ilp_runs << " ILP run(s) since curves built)\n";
+  }
+
+  std::cout << "\nagent-based iterations to uniform CPU: " << agent_iterations
+            << " (paper: 4)\nKnapsackLB: single ILP shot per §6.4 (paper: "
+               "1), and no DIP agents or CPU\ncounters involved.\n";
+  return 0;
+}

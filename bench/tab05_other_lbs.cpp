@@ -1,0 +1,85 @@
+// Table 5: KnapsackLB works with other LBs — Nginx (native weight
+// interface, smooth WRR) and Azure Traffic Manager (DNS-based weights).
+//
+// Weights 0.2 / 0.3 / 0.5 over three DIPs, 10K requests. Paper: Nginx
+// lands 20/30/50%; the DNS path lands roughly there (18/34/48%) with lag
+// from client-side DNS caching.
+#include "lb/dns_lb.hpp"
+#include "testbed/report.hpp"
+#include "testbed/testbed.hpp"
+#include "workload/client.hpp"
+
+using namespace klb;
+using namespace klb::util::literals;
+
+int main() {
+  std::cout << "Table 5 reproduction: weight adherence via Nginx-style WRR "
+               "and DNS traffic manager.\nTarget weights: DIP-1 0.2, DIP-2 "
+               "0.3, DIP-3 0.5.\n";
+
+  testbed::Table table({"LB", "DIP-1", "DIP-2", "DIP-3", "requests"});
+
+  // --- Nginx: MUX with smooth WRR and a native weight interface -------------
+  {
+    testbed::TestbedConfig cfg;
+    cfg.seed = 5;
+    cfg.policy = "wrr";
+    cfg.load_fraction = 0.40;
+    testbed::Testbed bed(testbed::three_dip_specs(1.0, 1.0, 1.0), cfg);
+    bed.set_static_weights({0.2, 0.3, 0.5});
+    bed.run_for(5_s);
+    bed.reset_stats();
+    // ~10K requests at this load.
+    bed.run_for(util::SimTime::seconds(25));
+    const auto m = bed.metrics();
+    const double total = static_cast<double>(
+        m[0].client_requests + m[1].client_requests + m[2].client_requests);
+    table.row({"Nginx (WRR)",
+               testbed::fmt_pct(m[0].client_requests / total, 0),
+               testbed::fmt_pct(m[1].client_requests / total, 0),
+               testbed::fmt_pct(m[2].client_requests / total, 0),
+               std::to_string(static_cast<int>(total))});
+  }
+
+  // --- Azure Traffic Manager: DNS resolution with client caches -------------
+  {
+    sim::Simulation sim(6);
+    net::Network net(sim);
+    std::vector<std::unique_ptr<server::DipServer>> dips;
+    std::vector<net::IpAddr> addrs;
+    for (int i = 0; i < 3; ++i) {
+      auto d = std::make_unique<server::DipServer>(
+          net, net::IpAddr{10, 1, 0, static_cast<std::uint8_t>(i + 1)},
+          server::DipConfig{});
+      addrs.push_back(d->address());
+      dips.push_back(std::move(d));
+    }
+    lb::DnsTrafficManager dns(sim, addrs, util::SimTime::seconds(20));
+    dns.program_weights({2000, 3000, 5000});
+
+    workload::ClientConfig ccfg;
+    ccfg.requests_per_session = 1.0;
+    workload::ClientPool clients(net, net::IpAddr{10, 2, 0, 1}, dns,
+                                 workload::TrafficPattern(400.0), ccfg);
+    clients.start();
+    sim.run_until(util::SimTime::seconds(25));
+    clients.stop();
+
+    const auto& per_dip = clients.recorder().per_dip();
+    const double total =
+        static_cast<double>(clients.recorder().overall().count());
+    auto share = [&](int i) {
+      const auto it = per_dip.find(addrs[static_cast<std::size_t>(i)]);
+      return it == per_dip.end() ? 0.0
+                                 : static_cast<double>(it->second.count()) / total;
+    };
+    table.row({"Azure TM (DNS)", testbed::fmt_pct(share(0), 0),
+               testbed::fmt_pct(share(1), 0), testbed::fmt_pct(share(2), 0),
+               std::to_string(static_cast<int>(total))});
+  }
+
+  table.print();
+  std::cout << "Paper: Nginx 20/30/50; Azure TM 18/34/48 (DNS caching adds "
+               "slack).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 6: ILP running time vs number of DIPs (10 candidate weights per
+// DIP in [0, wmax], F-series-shaped curves, traffic at 80% of capacity).
+//
+// Paper (CBC): 10 DIPs 20 ms, 50 -> 194 ms, 100 -> 645 ms, 500 -> 5.8 s,
+// 1000 -> 21.1 s. Absolute numbers differ by solver; the growth shape is
+// the target. Both our backends are timed: the generic B&B (CBC stand-in)
+// and the MCKP DP fast path the controller uses.
+#include <benchmark/benchmark.h>
+
+#include "core/ilp_weights.hpp"
+#include "testbed/synthetic.hpp"
+
+using namespace klb;
+
+namespace {
+
+std::vector<fit::WeightLatencyCurve> make_curves(int dips) {
+  // Equal-performance DIPs at 80% load: capacity weight 1.25/dips.
+  std::vector<fit::WeightLatencyCurve> curves;
+  curves.reserve(static_cast<std::size_t>(dips));
+  for (int d = 0; d < dips; ++d) {
+    // Tiny deterministic capacity jitter breaks symmetry like real
+    // measurements do (identical curves are a B&B worst case the real
+    // system never sees).
+    const double wmax = 1.25 / dips * (1.0 + 0.02 * ((d * 7) % 5));
+    curves.push_back(testbed::synthetic_curve(wmax));
+  }
+  return curves;
+}
+
+void run_backend(benchmark::State& state, core::IlpBackend backend) {
+  const int dips = static_cast<int>(state.range(0));
+  const auto curves = make_curves(dips);
+  std::vector<const fit::WeightLatencyCurve*> ptrs;
+  for (const auto& c : curves) ptrs.push_back(&c);
+
+  core::IlpWeightsConfig cfg;
+  cfg.backend = backend;
+  cfg.force_multi_step = false;
+  cfg.time_limit = std::chrono::milliseconds(60'000);
+  const core::IlpWeights solver(cfg);
+
+  bool feasible = true;
+  for (auto _ : state) {
+    const auto result = solver.compute(ptrs);
+    feasible = feasible && result.feasible;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["feasible"] = feasible ? 1 : 0;
+}
+
+void BM_IlpBnB(benchmark::State& state) {
+  run_backend(state, core::IlpBackend::kBranchAndBound);
+}
+void BM_IlpMckpDp(benchmark::State& state) {
+  run_backend(state, core::IlpBackend::kMckpDp);
+}
+
+}  // namespace
+
+BENCHMARK(BM_IlpBnB)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_IlpMckpDp)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 8 + §6.7: deployment overheads for a 60K-DIP datacenter.
+//
+// Closed-form model with the paper's constants (KLM 4500 probes/s on a
+// DS1, D8a DIPs at $280/mo, DS1 KLM at $41/mo, Redis $6/day, controller
+// regression 1 ms/DIP, ILP workload 851 s per 5 s period).
+// Paper: 3410 KLM cores -> 0.71% core / 0.83% cost overhead; controller
+// 193 VMs -> 0.32%; Redis negligible.
+#include <iostream>
+
+#include "core/overhead.hpp"
+#include "testbed/report.hpp"
+
+using namespace klb;
+
+int main() {
+  std::cout << "Table 8 + §6.7 reproduction: overheads at 60K DIPs.\n";
+
+  const auto workload = core::table8_workload();
+  testbed::Table wl({"#DIPs/VIP", "#VIPs"});
+  for (const auto& c : workload)
+    wl.row({std::to_string(c.dips_per_vip), std::to_string(c.vips)});
+  wl.print();
+
+  const auto r = core::compute_overheads(workload);
+
+  testbed::Table table({"quantity", "value", "paper"});
+  table.row({"total DIPs", std::to_string(r.total_dips), "60000"});
+  table.row({"total VIPs", std::to_string(r.total_vips), "3330"});
+  table.row({"KLM instances (1 core)", std::to_string(r.klm_instances), "3410"});
+  table.row({"KLM core overhead", testbed::fmt_pct(r.klm_core_overhead, 2),
+             "0.71%"});
+  table.row({"KLM cost overhead", testbed::fmt_pct(r.klm_cost_overhead, 2),
+             "0.83%"});
+  table.row({"KLM cost (spot VMs)",
+             testbed::fmt_pct(r.klm_cost_overhead_spot, 2), "/2.6"});
+  table.row({"regression cores", std::to_string(r.regression_cores), "60"});
+  table.row({"regression core overhead",
+             testbed::fmt_pct(r.regression_core_overhead, 3), "0.01%"});
+  table.row({"controller VMs (8 core)", std::to_string(r.controller_vms),
+             "193"});
+  table.row({"controller core overhead",
+             testbed::fmt_pct(r.controller_core_overhead, 2), "0.32%"});
+  table.row({"Redis monthly cost",
+             "$" + testbed::fmt(r.redis_monthly_usd, 0), "$180"});
+  table.row({"Redis cost overhead",
+             testbed::fmt_pct(r.redis_cost_overhead, 4), "~0%"});
+  table.print();
+  return 0;
+}

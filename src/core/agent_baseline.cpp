@@ -1,0 +1,37 @@
+#include "core/agent_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/weight.hpp"
+
+namespace klb::core {
+
+std::vector<double> AgentCpuBalancer::step(
+    const std::vector<double>& weights,
+    const std::vector<double>& utils) const {
+  const std::size_t n = std::min(weights.size(), utils.size());
+  std::vector<double> next(weights.begin(), weights.begin() + static_cast<std::ptrdiff_t>(n));
+  if (n == 0) return next;
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += utils[i];
+  mean /= static_cast<double>(n);
+  if (mean <= 1e-9) return next;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double util = std::max(utils[i], 1e-3);  // avoid div-by-zero blowup
+    const double factor = mean / util;
+    next[i] = weights[i] * (1.0 + cfg_.damping * (factor - 1.0));
+    next[i] = std::max(next[i], 0.0);
+  }
+  return util::normalize_weights(next);
+}
+
+bool AgentCpuBalancer::converged(const std::vector<double>& utils) const {
+  if (utils.empty()) return true;
+  const auto [lo, hi] = std::minmax_element(utils.begin(), utils.end());
+  return (*hi - *lo) <= cfg_.tolerance;
+}
+
+}  // namespace klb::core

@@ -1,0 +1,45 @@
+// Agent-based CPU-feedback baseline (§6.4).
+//
+// The comparison point KnapsackLB argues against: an agent on every DIP
+// reports CPU utilization, and weights are adjusted iteratively until CPU
+// evens out (the weight-update rule of Barbette et al., NSDI'20 §4.1 —
+// reference [18] in the paper). One iteration:
+//
+//     w_d <- w_d * (cluster_mean_util / util_d)    (then renormalize)
+//
+// Convergence = max pairwise CPU spread below a tolerance. The bench
+// counts iterations to convergence and contrasts it with KnapsackLB's
+// single ILP shot; it also documents the privacy/agent dependency the
+// paper's design goals exclude.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace klb::core {
+
+struct AgentBaselineConfig {
+  double tolerance = 0.05;     // max |util - mean| considered converged
+  int max_iterations = 64;
+  double damping = 1.0;        // 1.0 = full step (as in [18])
+};
+
+class AgentCpuBalancer {
+ public:
+  explicit AgentCpuBalancer(AgentBaselineConfig cfg = {}) : cfg_(cfg) {}
+
+  /// One update step from measured per-DIP CPU utilizations (0..1) to new
+  /// weights. `weights` must sum to ~1; the result does exactly.
+  std::vector<double> step(const std::vector<double>& weights,
+                           const std::vector<double>& utils) const;
+
+  bool converged(const std::vector<double>& utils) const;
+
+  const AgentBaselineConfig& config() const { return cfg_; }
+
+ private:
+  AgentBaselineConfig cfg_;
+};
+
+}  // namespace klb::core

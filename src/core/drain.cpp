@@ -1,0 +1,97 @@
+#include "core/drain.hpp"
+
+#include "util/logging.hpp"
+#include "util/weight.hpp"
+
+namespace klb::core {
+
+void DrainEstimator::run(net::IpAddr dip, std::size_t dip_index, double l0_ms,
+                         DoneFn done) {
+  if (running_) {
+    done(std::nullopt);
+    return;
+  }
+  running_ = true;
+  dip_ = dip;
+  dip_index_ = dip_index;
+  l0_ms_ = l0_ms;
+  done_ = std::move(done);
+  phase_started_ = sim_.now();
+  last_seen_sample_ = sim_.now();
+
+  set_target_weight(cfg_.high_weight);
+  sim_.schedule_in(cfg_.poll_interval, [this] { poll_loading(); });
+}
+
+void DrainEstimator::set_target_weight(double w) {
+  // Target DIP gets w; everyone else splits the rest equally. (The
+  // estimator is an offline calibration tool; the paper runs it against
+  // production pools the same way, accepting the brief skew.)
+  const auto n = lb_.backend_count();
+  std::vector<std::int64_t> units(n, 0);
+  const double rest =
+      n > 1 ? (1.0 - w) / static_cast<double>(n - 1) : (1.0 - w);
+  for (std::size_t i = 0; i < n; ++i)
+    units[i] = util::weight_to_units(i == dip_index_ ? w : rest);
+  lb_.program_weights(units);
+}
+
+std::optional<double> DrainEstimator::fresh_latency() const {
+  const auto sample = store_.latest(vip_, dip_);
+  if (!sample) return std::nullopt;
+  if (sample->at <= last_seen_sample_) return std::nullopt;
+  return sample->avg_latency_ms;
+}
+
+void DrainEstimator::poll_loading() {
+  if (!running_) return;
+  const auto latency = fresh_latency();
+  if (latency) {
+    const auto sample = store_.latest(vip_, dip_);
+    last_seen_sample_ = sample->at;
+    if (*latency >= cfg_.elevated_factor * l0_ms_) {
+      // Elevated: cut the weight to 0 and time the recovery.
+      t1_ = sim_.now();
+      set_target_weight(0.0);
+      sim_.schedule_in(cfg_.poll_interval, [this] { poll_draining(); });
+      return;
+    }
+  }
+  if (sim_.now() - phase_started_ > cfg_.max_load_time) {
+    util::log_warn("klb-drain") << "could not elevate latency on "
+                                << dip_.str() << "; aborting";
+    finish(std::nullopt);
+    return;
+  }
+  sim_.schedule_in(cfg_.poll_interval, [this] { poll_loading(); });
+}
+
+void DrainEstimator::poll_draining() {
+  if (!running_) return;
+  const auto latency = fresh_latency();
+  if (latency) {
+    const auto sample = store_.latest(vip_, dip_);
+    last_seen_sample_ = sample->at;
+    if (*latency <= cfg_.recovered_factor * l0_ms_) {
+      finish(sim_.now() - t1_);
+      return;
+    }
+  }
+  if (sim_.now() - t1_ > cfg_.max_drain_time) {
+    finish(std::nullopt);
+    return;
+  }
+  sim_.schedule_in(cfg_.poll_interval, [this] { poll_draining(); });
+}
+
+void DrainEstimator::finish(std::optional<util::SimTime> result) {
+  running_ = false;
+  // Restore an equal split before reporting.
+  const auto n = lb_.backend_count();
+  std::vector<std::int64_t> units(
+      n, util::kWeightScale / static_cast<std::int64_t>(n == 0 ? 1 : n));
+  lb_.program_weights(units);
+  if (done_) done_(result);
+}
+
+}  // namespace klb::core

@@ -1,0 +1,85 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klb::core {
+
+double DynamicsDetector::delta_for(const fit::WeightLatencyCurve& curve,
+                                   double weight,
+                                   double observed_latency_ms) const {
+  // w2: the weight at which the *old* curve would have produced the
+  // observed latency. Higher-than-expected latency => w2 > w1 => delta < 1
+  // (curve shifts left: capacity effectively shrank).
+  const double w2 = curve.weight_for(observed_latency_ms);
+  if (w2 <= 1e-9 || weight <= 1e-9)
+    return observed_latency_ms > curve.latency_at(weight) ? cfg_.min_delta
+                                                          : cfg_.max_delta;
+  return std::clamp(weight / w2, cfg_.min_delta, cfg_.max_delta);
+}
+
+DynamicsAssessment DynamicsDetector::assess(
+    const std::vector<const fit::WeightLatencyCurve*>& curves,
+    const std::vector<DipObservation>& observations) const {
+  DynamicsAssessment out;
+  if (observations.empty()) return out;
+
+  struct Deviation {
+    std::size_t dip;
+    double delta;
+    int direction;       // vs the capacity threshold
+    int soft_direction;  // vs the (lower) traffic threshold
+  };
+  std::vector<Deviation> deviations;
+
+  for (const auto& obs : observations) {
+    const auto* curve = curves[obs.dip];
+    if (curve == nullptr || !curve->fitted()) continue;
+    const double est = curve->latency_at(obs.weight);
+    if (est <= 1e-9) continue;
+    const double rel = (obs.latency_ms - est) / est;
+    int dir = 0;
+    if (rel > cfg_.capacity_deviation) dir = 1;
+    else if (rel < -cfg_.capacity_deviation) dir = -1;
+    int soft = 0;
+    if (rel > cfg_.traffic_deviation) soft = 1;
+    else if (rel < -cfg_.traffic_deviation) soft = -1;
+    deviations.push_back(Deviation{
+        obs.dip, delta_for(*curve, obs.weight, obs.latency_ms), dir, soft});
+  }
+  if (deviations.empty()) return out;
+
+  // Cluster-wide shift? Count same-direction soft deviations (the lower
+  // traffic bar): a traffic change moves every DIP a little.
+  std::size_t up = 0;
+  std::size_t down = 0;
+  for (const auto& d : deviations) {
+    if (d.soft_direction > 0) ++up;
+    if (d.soft_direction < 0) ++down;
+  }
+  const auto total = deviations.size();
+  const auto threshold = static_cast<std::size_t>(
+      std::ceil(cfg_.traffic_fraction * static_cast<double>(total)));
+
+  if (total >= 2 && (up >= threshold || down >= threshold)) {
+    out.traffic_change = true;
+    // Median delta over the deviating DIPs (robust against one outlier).
+    std::vector<double> deltas;
+    const int want_dir = up >= threshold ? 1 : -1;
+    for (const auto& d : deviations)
+      if (d.soft_direction == want_dir) deltas.push_back(d.delta);
+    std::nth_element(deltas.begin(), deltas.begin() + deltas.size() / 2,
+                     deltas.end());
+    out.traffic_delta = deltas[deltas.size() / 2];
+    return out;
+  }
+
+  for (const auto& d : deviations) {
+    if (d.direction == 0) continue;
+    out.capacity_changed.push_back(d.dip);
+    out.capacity_delta.push_back(d.delta);
+  }
+  return out;
+}
+
+}  // namespace klb::core

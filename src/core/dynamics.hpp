@@ -1,0 +1,83 @@
+// Service-dynamics detection (§4.5).
+//
+// A weight-latency curve learned at one aggregate load goes stale when
+// traffic, DIP capacity, or membership changes. Rather than re-exploring,
+// KnapsackLB rescales curves:
+//
+//   per-DIP check     observed latency deviates from the curve's estimate
+//                     by more than +-20% -> capacity change for that DIP;
+//                     delta = w1 / w2 where w1 is the current weight and
+//                     w2 the weight at which the old curve produced the
+//                     observed latency; curve.rescale(delta).
+//   cluster-wide      when >= traffic_fraction of DIPs deviate in the same
+//                     direction simultaneously, it is a traffic change:
+//                     all curves rescale by the median delta.
+//
+// Failures are detected upstream (KLM probes all failing) and handled by
+// the controller; this class only classifies latency deviations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fit/wl_curve.hpp"
+
+namespace klb::core {
+
+struct DynamicsConfig {
+  double capacity_deviation = 0.20;  // +-20% of the estimated latency
+  /// Collective bar: a cluster-wide traffic shift moves every DIP a
+  /// little, so the per-DIP deviation that counts toward the traffic vote
+  /// is lower than the per-DIP capacity threshold.
+  double traffic_deviation = 0.10;
+  double traffic_fraction = 0.80;    // DIPs deviating together => traffic
+  /// Per-event rescale clamps. Kept tight (the paper's own example is
+  /// delta = 0.8): curves drift by repeated small corrections, not jumps,
+  /// which keeps measurement noise near saturation from compounding. The
+  /// upward clamp is tighter still: inflating a curve's capacity estimate
+  /// on a noisy low sample immediately over-weights that DIP, while an
+  /// unnecessary shrink only costs a little headroom.
+  double min_delta = 0.5;
+  double max_delta = 1.25;
+  /// Rescale only after this many consecutive deviating assessments —
+  /// debounces measurement noise near saturation, where a single KLM
+  /// sample can swing past the +-20% band.
+  int consecutive_samples = 2;
+};
+
+struct DipObservation {
+  std::size_t dip = 0;
+  double weight = 0.0;       // weight the DIP currently runs at
+  double latency_ms = 0.0;   // latest measured latency at that weight
+};
+
+struct DynamicsAssessment {
+  bool traffic_change = false;
+  double traffic_delta = 1.0;  // median per-DIP delta when traffic_change
+  /// DIPs whose individual deviation exceeds the threshold (only
+  /// meaningful when !traffic_change).
+  std::vector<std::size_t> capacity_changed;
+  std::vector<double> capacity_delta;  // parallel to capacity_changed
+};
+
+class DynamicsDetector {
+ public:
+  explicit DynamicsDetector(DynamicsConfig cfg = {}) : cfg_(cfg) {}
+
+  /// `curves[obs.dip]` must be fitted for every observation.
+  DynamicsAssessment assess(
+      const std::vector<const fit::WeightLatencyCurve*>& curves,
+      const std::vector<DipObservation>& observations) const;
+
+  /// The §4.5 delta for one DIP: w1/w2 with w2 = curve.weight_for(observed).
+  /// Clamped to [min_delta, max_delta].
+  double delta_for(const fit::WeightLatencyCurve& curve, double weight,
+                   double observed_latency_ms) const;
+
+  const DynamicsConfig& config() const { return cfg_; }
+
+ private:
+  DynamicsConfig cfg_;
+};
+
+}  // namespace klb::core

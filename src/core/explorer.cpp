@@ -1,0 +1,66 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klb::core {
+
+void WeightExplorer::begin(double initial_weight) {
+  wnow_ = std::clamp(initial_weight, 0.0, 1.0);
+  wprev_ = 0.0;
+  wmax_ = 0.0;
+  started_ = true;
+  done_ = false;
+  iteration_ = 0;
+  history_.clear();
+  trace_.clear();
+  trace_.push_back(wnow_);
+}
+
+void WeightExplorer::restart() {
+  const double l0 = l0_ms_;
+  *this = WeightExplorer(cfg_);
+  l0_ms_ = l0;
+}
+
+bool WeightExplorer::observe(double latency_ms, bool packet_drop) {
+  if (!started_ || done_) return false;
+  ++iteration_;
+
+  // The paper treats latency >= 5*l0 as a drop even without loss (§4.3):
+  // latencies in that regime mean ~100% CPU, and probing higher weights
+  // would only shed real traffic.
+  const bool drop =
+      packet_drop ||
+      (has_l0() && latency_ms >= cfg_.pseudo_drop_factor * l0_ms_);
+  history_.push_back(fit::CurvePoint{wnow_, latency_ms, drop});
+
+  double wnext;
+  if (!drop) {
+    wmax_ = std::max(wmax_, wnow_);
+    // Run phase. The l0/lw ratio throttles growth near capacity; cap at 1
+    // so a noisy lw < l0 cannot produce more than a doubling.
+    const double ratio =
+        has_l0() ? std::min(1.0, l0_ms_ / std::max(latency_ms, 1e-9)) : 1.0;
+    wnext = wnow_ + wnow_ * cfg_.alpha * ratio;
+    wnext = std::min(wnext, 1.0);
+  } else {
+    // Backtrack toward the highest weight seen without drops. (The paper
+    // writes (wnow + wprev)/2; anchoring on wmax keeps the bisection
+    // moving down even after consecutive drops.)
+    wnext = (wnow_ + wmax_) / 2.0;
+  }
+
+  const double d = cfg_.done_fraction * std::max(wnow_, 1e-6);
+  if (std::fabs(wnext - wnow_) <= d || iteration_ >= cfg_.max_iterations) {
+    done_ = true;
+    return true;
+  }
+
+  wprev_ = wnow_;
+  wnow_ = wnext;
+  trace_.push_back(wnow_);
+  return false;
+}
+
+}  // namespace klb::core

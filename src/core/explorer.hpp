@@ -1,0 +1,85 @@
+// Algorithm 1: adaptive weight selection for latency measurement (§4.3).
+//
+// A TCP-congestion-control-style search over the weight axis, one instance
+// per DIP. Inputs per iteration: the latency measured at the current
+// weight and whether packet drops occurred. Behaviour:
+//
+//   run phase      no drop: wmax = max(wmax, wnow);
+//                  wnext = wnow + wnow * alpha * (l0 / lw)
+//                  (far from capacity -> lw ~ l0 -> near-doubling;
+//                   near capacity    -> lw >> l0 -> small steps)
+//   backtrack      drop (real, or pseudo-drop lw >= 5*l0):
+//                  wnext = (wnow + wprev) / 2
+//   termination    |wnow - wprev| <= D (5% of wnow) -> exploration done
+//
+// The explorer also owns the per-DIP measurement history that the curve
+// fitter consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fit/wl_curve.hpp"
+
+namespace klb::core {
+
+struct ExplorerConfig {
+  double alpha = 1.0;           // pace of increase (paper: 1)
+  double done_fraction = 0.05;  // D = 5% of wnow
+  /// lw >= factor * l0 counts as a drop. The paper uses 5 because on its
+  /// testbed ~100% CPU produced >= 5x the unloaded latency; our DIP model
+  /// has a higher service-time floor inside l0 (saturation lands near
+  /// 3-4x l0 under fixed-concurrency clients), so the calibrated default
+  /// is lower. bench/abl_explorer sweeps this.
+  double pseudo_drop_factor = 3.5;
+  int max_iterations = 24;      // hard stop against pathological curves
+  double initial_weight = 0.0;  // set by the controller (equal share)
+};
+
+class WeightExplorer {
+ public:
+  explicit WeightExplorer(ExplorerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Provide the unloaded latency (measured at weight 0) before exploring.
+  void set_l0(double l0_ms) { l0_ms_ = l0_ms; }
+  bool has_l0() const { return l0_ms_ > 0.0; }
+  double l0_ms() const { return l0_ms_; }
+
+  /// First weight to measure (the controller passes the equal share).
+  void begin(double initial_weight);
+  bool started() const { return started_; }
+
+  /// The weight the next measurement should use.
+  double next_weight() const { return wnow_; }
+
+  /// Record the measurement taken at next_weight(). Advances the search.
+  /// Returns true when exploration just finished.
+  bool observe(double latency_ms, bool packet_drop);
+
+  bool done() const { return done_; }
+  double wmax() const { return wmax_; }
+  int iterations() const { return iteration_; }
+
+  /// Full measurement history (weight actually measured, latency, drop).
+  const std::vector<fit::CurvePoint>& history() const { return history_; }
+
+  /// Per-iteration weights chosen by the algorithm (Fig. 9's series).
+  const std::vector<double>& weight_trace() const { return trace_; }
+
+  /// Reset for a refresh (§4.5): keeps l0, clears the search state.
+  void restart();
+
+ private:
+  ExplorerConfig cfg_;
+  double l0_ms_ = 0.0;
+  double wnow_ = 0.0;
+  double wprev_ = 0.0;
+  double wmax_ = 0.0;
+  bool started_ = false;
+  bool done_ = false;
+  int iteration_ = 0;
+  std::vector<fit::CurvePoint> history_;
+  std::vector<double> trace_;
+};
+
+}  // namespace klb::core

@@ -1,0 +1,101 @@
+// Multi-VIP coordination (Fig. 6, §5).
+//
+// One KnapsackLB deployment serves many VIPs: a distinct ILP per VIP, all
+// sharing one controller machine. §5: "For multiple VIPs, we prioritize
+// ILP for VIPs with a change in the weight-latency curve for some DIP.
+// The controller by default runs ILP for each VIP every 5 seconds."
+//
+// The coordinator owns one Controller per VIP and drives their rounds on
+// a shared timer. Every round each controller processes samples and
+// measurement scheduling (cheap); steady-state ILP recomputation — the
+// expensive part — is granted to at most `max_ilp_per_round` VIPs,
+// dirty-curves first (FIFO among equally dirty, so no VIP starves).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace klb::core {
+
+struct MultiVipConfig {
+  util::SimTime round_interval = util::SimTime::seconds(10);
+  /// ILP solve slots per round across all VIPs (the solver budget of one
+  /// controller VM). 0 = unlimited.
+  int max_ilp_per_round = 4;
+  ControllerConfig controller;  // template for every per-VIP controller
+};
+
+class MultiVipCoordinator {
+ public:
+  MultiVipCoordinator(sim::Simulation& sim, MultiVipConfig cfg = {})
+      : sim_(sim), cfg_(cfg),
+        timer_(sim, cfg.round_interval, [this] { tick(); }) {}
+
+  /// Register a VIP with its DIPs, store, and weight interface. Returns
+  /// the VIP's index. Must be called before start().
+  std::size_t add_vip(net::IpAddr vip, std::vector<net::IpAddr> dips,
+                      store::LatencyStore& store, lb::WeightInterface& lb) {
+    auto cc = cfg_.controller;
+    cc.round_interval = cfg_.round_interval;
+    vips_.push_back(std::make_unique<Controller>(sim_, vip, std::move(dips),
+                                                 store, lb, cc));
+    last_ilp_grant_.push_back(0);
+    return vips_.size() - 1;
+  }
+
+  void start() {
+    for (auto& v : vips_) v->start_managed();
+    timer_.start();
+  }
+  void stop() { timer_.stop(); }
+
+  /// One coordinated round (also callable directly from benches).
+  void tick() {
+    ++rounds_;
+    // Grant ILP slots: dirty VIPs first, least-recently-granted first.
+    std::vector<std::size_t> order(vips_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const bool da = vips_[a]->ilp_dirty();
+                       const bool db = vips_[b]->ilp_dirty();
+                       if (da != db) return da > db;
+                       return last_ilp_grant_[a] < last_ilp_grant_[b];
+                     });
+    int slots = cfg_.max_ilp_per_round > 0 ? cfg_.max_ilp_per_round
+                                           : static_cast<int>(vips_.size());
+    std::vector<bool> allow(vips_.size(), false);
+    for (const auto i : order) {
+      if (slots <= 0) break;
+      allow[i] = true;
+      last_ilp_grant_[i] = rounds_;
+      --slots;
+    }
+    for (std::size_t i = 0; i < vips_.size(); ++i)
+      vips_[i]->tick(allow[i]);
+  }
+
+  std::size_t vip_count() const { return vips_.size(); }
+  Controller& controller(std::size_t i) { return *vips_[i]; }
+  const Controller& controller(std::size_t i) const { return *vips_[i]; }
+  std::uint64_t rounds_run() const { return rounds_; }
+
+  bool all_ready() const {
+    for (const auto& v : vips_)
+      if (!v->all_ready()) return false;
+    return !vips_.empty();
+  }
+
+ private:
+  sim::Simulation& sim_;
+  MultiVipConfig cfg_;
+  std::vector<std::unique_ptr<Controller>> vips_;
+  std::vector<std::uint64_t> last_ilp_grant_;
+  sim::PeriodicTimer timer_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace klb::core

@@ -1,0 +1,61 @@
+#include "core/overhead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klb::core {
+
+std::vector<VipClass> table8_workload() {
+  return {
+      {5, 2000}, {10, 1000}, {50, 200}, {100, 100}, {500, 20}, {1000, 10},
+  };
+}
+
+OverheadReport compute_overheads(const std::vector<VipClass>& workload,
+                                 const OverheadParams& p) {
+  OverheadReport r;
+
+  for (const auto& c : workload) {
+    r.total_vips += c.vips;
+    r.total_dips += static_cast<std::int64_t>(c.vips) * c.dips_per_vip;
+
+    // One KLM per VNET minimum (VNET boundaries, §6.7); large VIPs need
+    // ceil(dips / cap) instances.
+    const int per_vip = std::max(
+        1, static_cast<int>(std::ceil(static_cast<double>(c.dips_per_vip) /
+                                      p.dips_per_klm_cap)));
+    r.klm_instances += static_cast<std::int64_t>(c.vips) * per_vip;
+  }
+
+  r.klm_cores = r.klm_instances * p.klm_cores;
+  const double dip_cores =
+      static_cast<double>(r.total_dips) * static_cast<double>(p.dip_cores);
+  r.klm_core_overhead = static_cast<double>(r.klm_cores) / dip_cores;
+
+  const double dip_spend =
+      static_cast<double>(r.total_dips) * p.dip_vm_monthly_usd;
+  const double klm_spend =
+      static_cast<double>(r.klm_instances) * p.klm_vm_monthly_usd;
+  r.klm_cost_overhead = klm_spend / dip_spend;
+  r.klm_cost_overhead_spot = klm_spend / p.spot_discount / dip_spend;
+
+  // Controller: regression cores to keep up with one pass per round.
+  const double regression_core_seconds =
+      static_cast<double>(r.total_dips) * p.regression_ms_per_dip / 1e3;
+  r.regression_cores = static_cast<std::int64_t>(
+      std::ceil(regression_core_seconds / p.round_seconds));
+  r.regression_core_overhead =
+      static_cast<double>(r.regression_cores) / dip_cores;
+
+  // Controller VMs so each VIP's ILP reruns every ilp_period seconds.
+  r.controller_vms = static_cast<std::int64_t>(
+      std::ceil(p.ilp_seconds_for_workload / p.ilp_period_seconds));
+  r.controller_core_overhead =
+      static_cast<double>(r.controller_vms * p.controller_cores) / dip_cores;
+
+  r.redis_monthly_usd = p.redis_daily_usd * 30.0;
+  r.redis_cost_overhead = r.redis_monthly_usd / dip_spend;
+  return r;
+}
+
+}  // namespace klb::core

@@ -1,0 +1,96 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/weight.hpp"
+
+namespace klb::core {
+
+ScheduleResult MeasurementScheduler::schedule(
+    const std::vector<MeasurementRequest>& requests,
+    const std::vector<const fit::WeightLatencyCurve*>& curves,
+    const std::vector<bool>& alive) const {
+  const std::size_t n = curves.size();
+  ScheduleResult out;
+  out.weights.assign(n, 0.0);
+  out.measured.assign(n, false);
+
+  // Priority order: class, then FIFO sequence.
+  std::vector<MeasurementRequest> ordered;
+  for (const auto& r : requests)
+    if (r.dip < n && alive[r.dip]) ordered.push_back(r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const MeasurementRequest& a, const MeasurementRequest& b) {
+                     if (a.priority != b.priority) return a.priority < b.priority;
+                     return a.seq < b.seq;
+                   });
+
+  // Greedy admission: hop over requests that do not fit, keep scanning.
+  std::int64_t budget = util::kWeightScale;
+  std::vector<std::size_t> admitted;
+  for (const auto& r : ordered) {
+    if (out.measured[r.dip]) continue;  // one measurement per DIP per round
+    const auto units = util::weight_to_units(r.weight);
+    if (units > budget) continue;
+    out.weights[r.dip] = r.weight;
+    out.measured[r.dip] = true;
+    admitted.push_back(r.dip);
+    budget -= units;
+  }
+  out.scheduled_weight = util::units_to_weight(util::kWeightScale - budget);
+
+  if (budget <= 0) return out;
+  const double residual = util::units_to_weight(budget);
+
+  // Residual via the ILP over Ready DIPs that are not being measured.
+  std::vector<std::size_t> ilp_dips;
+  std::vector<const fit::WeightLatencyCurve*> ilp_curves;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (!alive[d] || out.measured[d]) continue;
+    if (curves[d] != nullptr && curves[d]->fitted()) {
+      ilp_dips.push_back(d);
+      ilp_curves.push_back(curves[d]);
+    }
+  }
+  if (!ilp_curves.empty()) {
+    const auto ilp = solver_.compute(ilp_curves, residual);
+    if (ilp.feasible) {
+      out.residual_ilp_used = true;
+      for (std::size_t k = 0; k < ilp_dips.size(); ++k)
+        out.weights[ilp_dips[k]] = ilp.weights[k];
+      return out;
+    }
+  }
+
+  // Equal split over the remaining (unmeasured, alive) DIPs.
+  std::vector<std::size_t> leftover;
+  for (std::size_t d = 0; d < n; ++d)
+    if (alive[d] && !out.measured[d]) leftover.push_back(d);
+  if (!leftover.empty()) {
+    out.residual_equal_split = true;
+    const double share = residual / static_cast<double>(leftover.size());
+    for (const auto d : leftover) out.weights[d] = share;
+    return out;
+  }
+
+  // Everyone is being measured and the requests undershoot 1: bump the
+  // admitted requests proportionally (their measurements no longer match
+  // the requested weight, so clear the flags — the explorers will re-ask).
+  if (!admitted.empty() && out.scheduled_weight > 0.0) {
+    out.residual_bumped = true;
+    // Keep the highest-priority admitted requests exact: absorb the
+    // residual into the lowest-priority admitted DIPs first.
+    double needed = residual;
+    for (auto it = admitted.rbegin(); it != admitted.rend() && needed > 1e-9;
+         ++it) {
+      const double grow = std::min(needed, 1.0 - out.weights[*it]);
+      if (grow <= 0.0) continue;
+      out.weights[*it] += grow;
+      out.measured[*it] = false;  // no longer at the requested weight
+      needed -= grow;
+    }
+  }
+  return out;
+}
+
+}  // namespace klb::core

@@ -1,0 +1,63 @@
+// Measurement scheduling (§4.6).
+//
+// Explorers ask for specific weights, but per-VIP weights must sum to 1,
+// so measurement requests are packed into rounds. Requests carry one of
+// three priority classes — (0) overloaded DIPs, (1) everything else,
+// (2) refresh traffic — FIFO within a class. A greedy pass admits requests
+// in priority order while the running sum fits; the residual budget
+// 1 - ws is then assigned by the Fig. 7 ILP over the already-explored
+// (Ready) DIPs (constraint (b) modified to 1 - ws), falling back to an
+// equal split over the leftover DIPs when the ILP is unsatisfiable, and
+// finally to a proportional bump of the admitted requests when no DIP is
+// left to absorb the residual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ilp_weights.hpp"
+
+namespace klb::core {
+
+enum class MeasurePriority : int {
+  kOverloaded = 0,
+  kNormal = 1,
+  kRefresh = 2,
+};
+
+struct MeasurementRequest {
+  std::size_t dip = 0;
+  double weight = 0.0;  // the weight the explorer wants measured
+  MeasurePriority priority = MeasurePriority::kNormal;
+  std::uint64_t seq = 0;  // FIFO order within the class
+};
+
+struct ScheduleResult {
+  /// Final per-DIP weights, summing to 1 over alive DIPs (grid-exact).
+  std::vector<double> weights;
+  /// True where the request was honoured at its exact weight (that DIP's
+  /// next sample counts as its exploration measurement).
+  std::vector<bool> measured;
+  double scheduled_weight = 0.0;  // ws: weight consumed by measurements
+  bool residual_ilp_used = false;
+  bool residual_equal_split = false;
+  bool residual_bumped = false;  // no free DIPs: admitted requests scaled up
+};
+
+class MeasurementScheduler {
+ public:
+  explicit MeasurementScheduler(IlpWeights solver) : solver_(std::move(solver)) {}
+
+  /// `curves[i]` non-null marks DIP i as Ready (usable by the residual
+  /// ILP); `alive[i]` false excludes the DIP entirely (weight 0).
+  /// Requests for dead DIPs are ignored.
+  ScheduleResult schedule(
+      const std::vector<MeasurementRequest>& requests,
+      const std::vector<const fit::WeightLatencyCurve*>& curves,
+      const std::vector<bool>& alive) const;
+
+ private:
+  IlpWeights solver_;
+};
+
+}  // namespace klb::core

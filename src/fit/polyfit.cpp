@@ -1,0 +1,106 @@
+#include "fit/polyfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace klb::fit {
+
+std::optional<std::vector<double>> solve_linear(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t n = a.size();
+  if (n == 0 || b.size() != n) return std::nullopt;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-12) return std::nullopt;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * x[c];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+std::optional<Polynomial> polyfit(const std::vector<double>& xs,
+                                  const std::vector<double>& ys, int degree) {
+  if (xs.size() != ys.size() || xs.empty() || degree < 0) return std::nullopt;
+
+  // Clamp the degree to the number of distinct x-values minus one.
+  const std::set<double> distinct(xs.begin(), xs.end());
+  degree = std::min<int>(degree, static_cast<int>(distinct.size()) - 1);
+  if (degree < 0) return std::nullopt;
+
+  // Scale x to [0,1] for conditioning; unscale coefficients afterwards.
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  const double xmin = *std::min_element(xs.begin(), xs.end());
+  const double span = (xmax - xmin) > 1e-12 ? (xmax - xmin) : 1.0;
+
+  const auto m = static_cast<std::size_t>(degree) + 1;
+  std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+  std::vector<double> atb(m, 0.0);
+
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double t = (xs[k] - xmin) / span;
+    std::vector<double> row(m, 1.0);
+    for (std::size_t j = 1; j < m; ++j) row[j] = row[j - 1] * t;
+    for (std::size_t i = 0; i < m; ++i) {
+      atb[i] += row[i] * ys[k];
+      for (std::size_t j = 0; j < m; ++j) ata[i][j] += row[i] * row[j];
+    }
+  }
+
+  auto scaled = solve_linear(std::move(ata), std::move(atb));
+  if (!scaled) return std::nullopt;
+
+  // Convert from the scaled basis t = (x - xmin)/span back to powers of x
+  // via binomial expansion of ((x - xmin)/span)^j.
+  std::vector<double> coeffs(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    // Expand t^j = sum_k C(j,k) x^k (-xmin)^(j-k) / span^j.
+    double cjk = 1.0;  // C(j, 0)
+    for (std::size_t k = 0; k <= j; ++k) {
+      const double term = cjk * std::pow(-xmin, static_cast<double>(j - k)) /
+                          std::pow(span, static_cast<double>(j));
+      coeffs[k] += (*scaled)[j] * term;
+      cjk = cjk * static_cast<double>(j - k) / static_cast<double>(k + 1);
+    }
+  }
+
+  return Polynomial{std::move(coeffs)};
+}
+
+double r_squared(const Polynomial& p, const std::vector<double>& xs,
+                 const std::vector<double>& ys) {
+  if (xs.empty() || xs.size() != ys.size()) return 0.0;
+  double mean = 0.0;
+  for (const double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - p.eval(xs[i]);
+    ss_res += e * e;
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  if (ss_tot < 1e-15) return ss_res < 1e-15 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace klb::fit

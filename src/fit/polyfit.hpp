@@ -1,0 +1,44 @@
+// Least-squares polynomial regression (§4.2).
+//
+// KnapsackLB fits latency = f(weight) with a degree-2 polynomial from a
+// handful of measurements. Normal equations solved by Gaussian elimination
+// with partial pivoting; for the tiny systems here (degree <= 4) that is
+// both fast and numerically adequate, and x-values are pre-scaled to [0,1]
+// to keep the Vandermonde system well-conditioned.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace klb::fit {
+
+/// Polynomial with coefficients in ascending order: c[0] + c[1]x + c[2]x^2...
+struct Polynomial {
+  std::vector<double> coeffs;
+
+  double eval(double x) const {
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+    return acc;
+  }
+
+  int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/// Fit a polynomial of the given degree to (x, y) samples.
+/// Requires xs.size() == ys.size() and at least degree+1 samples; the
+/// degree is clamped down when there are fewer distinct points. Returns
+/// nullopt when the system is singular (e.g. all x identical).
+std::optional<Polynomial> polyfit(const std::vector<double>& xs,
+                                  const std::vector<double>& ys, int degree);
+
+/// Solve the dense linear system A x = b in place (partial pivoting).
+/// Exposed for reuse (and direct testing); returns nullopt when singular.
+std::optional<std::vector<double>> solve_linear(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+/// Coefficient of determination (R^2) of a fit on the given samples.
+double r_squared(const Polynomial& p, const std::vector<double>& xs,
+                 const std::vector<double>& ys);
+
+}  // namespace klb::fit

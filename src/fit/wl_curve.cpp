@@ -1,0 +1,105 @@
+#include "fit/wl_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace klb::fit {
+
+void WeightLatencyCurve::add_point(double weight, double latency_ms,
+                                   bool dropped) {
+  points_.push_back(CurvePoint{weight / scale_, latency_ms, dropped});
+  if (!dropped) wmax_raw_ = std::max(wmax_raw_, weight / scale_);
+}
+
+void WeightLatencyCurve::clear() {
+  points_.clear();
+  poly_.reset();
+  envelope_.clear();
+  wmax_raw_ = 0.0;
+  scale_ = 1.0;
+  r2_ = 0.0;
+}
+
+bool WeightLatencyCurve::fit(int degree) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : points_) {
+    if (p.dropped) continue;  // paper: only fit points without drops
+    xs.push_back(p.weight);
+    ys.push_back(p.latency_ms);
+  }
+  if (xs.size() < 2) return false;
+
+  auto poly = polyfit(xs, ys, degree);
+  if (!poly) return false;
+  poly_ = std::move(*poly);
+  r2_ = r_squared(*poly_, xs, ys);
+
+  // Envelope spans [0, 1.25 * max measured weight] so the ILP can ask a
+  // bit beyond the exploration range without falling off the curve.
+  const double xmax = *std::max_element(xs.begin(), xs.end());
+  envelope_limit_ = std::max(step_, xmax * 1.25);
+  const auto n = static_cast<std::size_t>(envelope_limit_ / step_) + 1;
+  envelope_.assign(n, 0.0);
+  double running = -1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(i) * step_;
+    running = std::max(running, poly_->eval(w));
+    // Latency is also physically non-negative.
+    envelope_[i] = std::max(running, 0.0);
+  }
+  end_slope_ = n >= 2 ? (envelope_[n - 1] - envelope_[n - 2]) / step_ : 0.0;
+  return true;
+}
+
+double WeightLatencyCurve::envelope_at_raw(double raw_weight) const {
+  if (envelope_.empty()) return 0.0;
+  if (raw_weight <= 0.0) return envelope_.front();
+  const double idx_f = raw_weight / step_;
+  const auto idx = static_cast<std::size_t>(idx_f);
+  if (idx + 1 >= envelope_.size()) {
+    // Beyond the measured range: extrapolate with the envelope's end slope
+    // so more-overloaded weights keep looking worse to the ILP.
+    const double beyond =
+        raw_weight - static_cast<double>(envelope_.size() - 1) * step_;
+    return envelope_.back() + end_slope_ * beyond;
+  }
+  const double frac = idx_f - static_cast<double>(idx);
+  return envelope_[idx] * (1.0 - frac) + envelope_[idx + 1] * frac;
+}
+
+double WeightLatencyCurve::latency_at(double weight) const {
+  return envelope_at_raw(weight / scale_);
+}
+
+double WeightLatencyCurve::weight_for(double latency_ms) const {
+  if (envelope_.empty()) return 0.0;
+  if (envelope_.front() > latency_ms) return 0.0;
+  if (latency_ms >= envelope_.back()) {
+    // Invert the linear extrapolation beyond the envelope.
+    const double base = static_cast<double>(envelope_.size() - 1) * step_;
+    if (end_slope_ <= 1e-12) return base * scale_;
+    return (base + (latency_ms - envelope_.back()) / end_slope_) * scale_;
+  }
+  // The envelope is monotone: binary search the last index <= latency.
+  std::size_t lo = 0;
+  std::size_t hi = envelope_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (envelope_[mid] <= latency_ms)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return static_cast<double>(lo) * step_ * scale_;
+}
+
+void WeightLatencyCurve::rescale(double delta) {
+  if (delta <= 0.0) return;
+  // Bound the cumulative drift from the originally fitted curve: repeated
+  // noise-driven corrections must not compound into a runaway scale (a
+  // genuinely larger change shows up in the next refresh instead).
+  scale_ = std::clamp(scale_ * delta, 0.2, 5.0);
+}
+
+}  // namespace klb::fit

@@ -1,0 +1,87 @@
+// The per-DIP weight->latency curve (§4.2, §4.5).
+//
+// Built from the explorer's few (weight, latency, dropped?) measurements:
+// a degree-2 polynomial is fitted to the non-dropped points, then forced
+// monotone non-decreasing by a running-max envelope (the paper's fix for
+// regression dips). The curve answers three queries the controller needs:
+//
+//   latency_at(w)   - estimated response latency if this DIP ran at w
+//   weight_for(l)   - inverse lookup: largest weight keeping latency <= l
+//   rescale(delta)  - §4.5 dynamics: traffic/capacity changed, so the same
+//                     latencies now occur at delta-times-smaller weights
+//                     (curve_new(w) = curve_old(w / delta))
+//
+// The rescale factor accumulates across events; raw fitted data is kept so
+// refreshes can rebuild from scratch.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fit/polyfit.hpp"
+
+namespace klb::fit {
+
+struct CurvePoint {
+  double weight = 0.0;
+  double latency_ms = 0.0;
+  bool dropped = false;  // packet drops observed at this weight
+};
+
+class WeightLatencyCurve {
+ public:
+  /// `envelope_step`: grid resolution for the monotone envelope.
+  explicit WeightLatencyCurve(double envelope_step = 1e-3)
+      : step_(envelope_step) {}
+
+  void add_point(double weight, double latency_ms, bool dropped);
+  void clear();
+
+  const std::vector<CurvePoint>& points() const { return points_; }
+
+  /// Max weight measured without packet drop — Algorithm 1's wmax, in the
+  /// *current* (rescaled) coordinate system.
+  double wmax() const { return wmax_raw_ * scale_; }
+  void set_wmax(double w) { wmax_raw_ = w / scale_; }
+
+  /// Fit the polynomial (degree 2 per the paper) to non-dropped points and
+  /// build the monotone envelope. Returns false with fewer than 2 usable
+  /// points or a singular system.
+  bool fit(int degree = 2);
+  bool fitted() const { return !envelope_.empty(); }
+
+  /// Estimated latency at a weight (monotone envelope; clamps beyond the
+  /// envelope's domain to its boundary values).
+  double latency_at(double weight) const;
+
+  /// Largest weight whose estimated latency stays <= `latency_ms`;
+  /// 0 when even weight 0 exceeds it.
+  double weight_for(double latency_ms) const;
+
+  /// §4.5: multiply all weights by delta (delta < 1 shifts the curve left:
+  /// same latency at smaller weight). Accumulates.
+  void rescale(double delta);
+  double scale() const { return scale_; }
+
+  /// Fit quality over the non-dropped points (1.0 = perfect).
+  double fit_r_squared() const { return r2_; }
+
+  /// The fitted polynomial in raw (pre-rescale) coordinates, if any.
+  const std::optional<Polynomial>& raw_polynomial() const { return poly_; }
+
+ private:
+  double envelope_at_raw(double raw_weight) const;
+
+  std::vector<CurvePoint> points_;
+  double wmax_raw_ = 0.0;
+  double scale_ = 1.0;
+  double step_;
+
+  std::optional<Polynomial> poly_;
+  std::vector<double> envelope_;  // monotone latency at i*step_, raw coords
+  double envelope_limit_ = 0.0;   // raw-weight upper end of the envelope
+  double end_slope_ = 0.0;        // envelope slope used beyond the limit
+  double r2_ = 0.0;
+};
+
+}  // namespace klb::fit

@@ -1,0 +1,74 @@
+#include "ilp/mckp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace klb::ilp {
+
+MckpResult solve_mckp(const std::vector<MckpGroup>& groups,
+                      std::int64_t total_units, std::int64_t slack_units) {
+  MckpResult result;
+  if (groups.empty() || total_units < 0) return result;
+  for (const auto& g : groups) {
+    if (g.items.empty()) return result;           // no pickable item
+    if (g.items.size() > 65'535) return result;   // choice id is uint16
+  }
+
+  const auto capacity = static_cast<std::size_t>(total_units) + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> prev(capacity, kInf);
+  std::vector<double> cur(capacity, kInf);
+  // parent[g][u]: item chosen for group g to reach sum u.
+  std::vector<std::vector<std::uint16_t>> parent(
+      groups.size(), std::vector<std::uint16_t>(capacity, 0xffff));
+
+  prev[0] = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    auto& par = parent[g];
+    for (std::size_t item = 0; item < groups[g].items.size(); ++item) {
+      const auto& it = groups[g].items[item];
+      if (it.weight_units < 0 || it.weight_units > total_units) continue;
+      const auto w = static_cast<std::size_t>(it.weight_units);
+      for (std::size_t u = w; u < capacity; ++u) {
+        const double base = prev[u - w];
+        if (base == kInf) continue;
+        const double cost = base + it.cost;
+        if (cost < cur[u]) {
+          cur[u] = cost;
+          par[u] = static_cast<std::uint16_t>(item);
+        }
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  // Pick the best landing spot inside [total - slack, total]; prefer the
+  // larger sum on (near-)ties so the schedule uses the full budget.
+  const std::int64_t lo = std::max<std::int64_t>(0, total_units - slack_units);
+  std::size_t best_u = capacity;  // sentinel
+  double best_cost = kInf;
+  for (std::int64_t u = total_units; u >= lo; --u) {
+    const auto uu = static_cast<std::size_t>(u);
+    if (prev[uu] < best_cost - 1e-12) {
+      best_cost = prev[uu];
+      best_u = uu;
+    }
+  }
+  if (best_u == capacity) return result;  // infeasible in the window
+
+  result.feasible = true;
+  result.cost = best_cost;
+  result.total_units = static_cast<std::int64_t>(best_u);
+  result.choice.assign(groups.size(), -1);
+  std::size_t u = best_u;
+  for (std::size_t g = groups.size(); g-- > 0;) {
+    const std::uint16_t item = parent[g][u];
+    result.choice[g] = static_cast<int>(item);
+    u -= static_cast<std::size_t>(groups[g].items[item].weight_units);
+  }
+  return result;
+}
+
+}  // namespace klb::ilp

@@ -1,0 +1,90 @@
+// DNS-based weighted load balancing (Azure Traffic Manager in §6.5).
+//
+// For LBs with no weight interface, KnapsackLB falls back to DNS: the
+// authority resolves the service name to a DIP IP drawn proportionally to
+// the programmed weights. Clients cache resolutions for a TTL, so weight
+// changes are adhered to only as caches expire — the lag the paper calls
+// out in Table 5's discussion.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/lb_controller.hpp"
+#include "net/address.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/weight.hpp"
+
+namespace klb::lb {
+
+class DnsTrafficManager : public WeightInterface {
+ public:
+  DnsTrafficManager(sim::Simulation& sim, std::vector<net::IpAddr> dips,
+                    util::SimTime ttl = util::SimTime::seconds(30))
+      : sim_(sim), rng_(sim.rng().fork()), dips_(std::move(dips)), ttl_(ttl) {
+    weights_.assign(dips_.size(), util::kWeightScale /
+                                      static_cast<std::int64_t>(dips_.size()));
+    enabled_.assign(dips_.size(), true);
+  }
+
+  // --- WeightInterface ------------------------------------------------------
+  std::size_t backend_count() const override { return dips_.size(); }
+
+  void program_weights(const std::vector<std::int64_t>& units) override {
+    for (std::size_t i = 0; i < weights_.size() && i < units.size(); ++i)
+      weights_[i] = units[i] < 0 ? 0 : units[i];
+  }
+
+  void set_backend_enabled(std::size_t i, bool enabled) override {
+    if (i < enabled_.size()) enabled_[i] = enabled;
+  }
+
+  // --- resolver -------------------------------------------------------------
+  /// Authoritative resolution: weighted random over enabled DIPs.
+  net::IpAddr resolve_authoritative() {
+    std::vector<double> w(dips_.size(), 0.0);
+    for (std::size_t i = 0; i < dips_.size(); ++i)
+      if (enabled_[i]) w[i] = static_cast<double>(weights_[i]);
+    auto i = rng_.weighted_index(w);
+    if (i >= dips_.size()) i = 0;
+    ++resolutions_;
+    return dips_[i];
+  }
+
+  /// Resolution through a per-client cache: `client_id` keys the cache
+  /// entry; re-resolves only after the TTL expires.
+  net::IpAddr resolve_cached(std::uint64_t client_id) {
+    auto& entry = cache_[client_id];
+    if (entry.expires <= sim_.now() || entry.addr == net::IpAddr{}) {
+      entry.addr = resolve_authoritative();
+      entry.expires = sim_.now() + ttl_;
+    } else {
+      ++cache_hits_;
+    }
+    return entry.addr;
+  }
+
+  util::SimTime ttl() const { return ttl_; }
+  std::uint64_t authoritative_resolutions() const { return resolutions_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CacheEntry {
+    net::IpAddr addr;
+    util::SimTime expires = util::SimTime::zero();
+  };
+
+  sim::Simulation& sim_;
+  util::Rng rng_;
+  std::vector<net::IpAddr> dips_;
+  util::SimTime ttl_;
+  std::vector<std::int64_t> weights_;
+  std::vector<bool> enabled_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::uint64_t resolutions_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace klb::lb

@@ -1,0 +1,64 @@
+// The existing LB's control plane (HAProxy runtime API / Ananta controller
+// in Fig. 6). KnapsackLB talks to this interface only — it never touches
+// the MUXes. Programming is asynchronous: new weights reach the dataplane
+// after `programming_delay`, which is one of the two delays §4.7's
+// drain-time logic has to absorb (the other is connection draining).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/mux.hpp"
+#include "util/weight.hpp"
+
+namespace klb::lb {
+
+/// Abstract weight-programming interface: anything that can apply per-DIP
+/// weights (a MUX pool, a DNS traffic manager, ...). This is the "LB
+/// controller" box of Fig. 6.
+class WeightInterface {
+ public:
+  virtual ~WeightInterface() = default;
+  virtual std::size_t backend_count() const = 0;
+  /// Apply weights (grid units summing to util::kWeightScale). Takes
+  /// effect after an implementation-specific delay.
+  virtual void program_weights(const std::vector<std::int64_t>& units) = 0;
+  /// Remove/readmit a backend from rotation (used on failure detection).
+  virtual void set_backend_enabled(std::size_t i, bool enabled) = 0;
+};
+
+class LbController : public WeightInterface {
+ public:
+  LbController(sim::Simulation& sim, Mux& mux,
+               util::SimTime programming_delay = util::SimTime::millis(200))
+      : sim_(sim), mux_(mux), delay_(programming_delay) {}
+
+  std::size_t backend_count() const override { return mux_.backend_count(); }
+
+  void program_weights(const std::vector<std::int64_t>& units) override {
+    const std::uint64_t gen = ++generation_;
+    sim_.schedule_in(delay_, [this, gen, units] {
+      // Later programmings supersede earlier in-flight ones.
+      if (gen <= latest_applied_) return;
+      latest_applied_ = gen;
+      mux_.set_weight_units(units);
+    });
+  }
+
+  void set_backend_enabled(std::size_t i, bool enabled) override {
+    sim_.schedule_in(delay_, [this, i, enabled] {
+      mux_.set_backend_enabled(i, enabled);
+    });
+  }
+
+  util::SimTime programming_delay() const { return delay_; }
+
+ private:
+  sim::Simulation& sim_;
+  Mux& mux_;
+  util::SimTime delay_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t latest_applied_ = 0;
+};
+
+}  // namespace klb::lb

@@ -1,0 +1,106 @@
+#include "lb/mux.hpp"
+
+#include "util/logging.hpp"
+#include "util/weight.hpp"
+
+namespace klb::lb {
+
+Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy)
+    : net_(net), vip_(vip), policy_(std::move(policy)),
+      rng_(net.sim().rng().fork()) {
+  net_.attach(vip_, this);
+}
+
+Mux::~Mux() { net_.attach(vip_, nullptr); }
+
+void Mux::set_policy(std::unique_ptr<Policy> policy) {
+  policy_ = std::move(policy);
+}
+
+void Mux::add_backend(net::IpAddr dip, const server::DipServer* server) {
+  Backend b;
+  b.addr = dip;
+  b.server = server;
+  // New backends start at an equal share so an unweighted pool works out
+  // of the box; weighted policies get reprogrammed by the LB controller.
+  backends_.push_back(b);
+  const auto equal = util::kWeightScale /
+                     static_cast<std::int64_t>(backends_.size());
+  for (auto& be : backends_) be.weight_units = equal;
+}
+
+void Mux::set_weight_units(const std::vector<std::int64_t>& units) {
+  for (std::size_t i = 0; i < backends_.size() && i < units.size(); ++i)
+    backends_[i].weight_units = units[i] < 0 ? 0 : units[i];
+}
+
+std::vector<std::int64_t> Mux::weight_units() const {
+  std::vector<std::int64_t> out(backends_.size());
+  for (std::size_t i = 0; i < backends_.size(); ++i)
+    out[i] = backends_[i].weight_units;
+  return out;
+}
+
+void Mux::set_backend_enabled(std::size_t i, bool enabled) {
+  if (i < backends_.size()) backends_[i].enabled = enabled;
+}
+
+void Mux::reset_counters() {
+  for (auto& b : backends_) {
+    b.connections = 0;
+    b.forwarded = 0;
+  }
+  total_forwarded_ = 0;
+  no_backend_drops_ = 0;
+}
+
+std::vector<BackendView> Mux::views() const {
+  std::vector<BackendView> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b.view());
+  return out;
+}
+
+void Mux::on_message(const net::Message& msg) {
+  switch (msg.type) {
+    case net::MsgType::kHttpRequest:
+      handle_request(msg);
+      break;
+    case net::MsgType::kFin:
+      handle_fin(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void Mux::handle_request(const net::Message& msg) {
+  std::size_t dip;
+  const auto it = affinity_.find(msg.tuple);
+  if (it != affinity_.end()) {
+    dip = it->second;  // connection affinity: pinned regardless of weights
+  } else {
+    dip = policy_->pick(msg.tuple, views(), rng_);
+    if (dip == kNoBackend) {
+      ++no_backend_drops_;
+      return;  // connection refused; client times out
+    }
+    affinity_[msg.tuple] = dip;
+    ++backends_[dip].active;
+    ++backends_[dip].connections;
+  }
+  ++backends_[dip].forwarded;
+  ++total_forwarded_;
+  net_.send(backends_[dip].addr, msg);  // original tuple preserved (encap)
+}
+
+void Mux::handle_fin(const net::Message& msg) {
+  const auto it = affinity_.find(msg.tuple);
+  if (it == affinity_.end()) return;
+  auto& b = backends_[it->second];
+  if (b.active > 0) --b.active;
+  net_.send(b.addr, msg);  // let the server close out the connection too
+  affinity_.erase(it);
+}
+
+}  // namespace klb::lb

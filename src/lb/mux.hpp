@@ -1,0 +1,97 @@
+// The MUX: the L4 LB dataplane instance.
+//
+// A Mux owns a VIP, keeps the connection-affinity table (5-tuple -> DIP),
+// applies the configured policy to new connections, and forwards requests
+// to DIPs with the original tuple preserved (encap + direct server return,
+// per Fig. 1). FINs flow through the MUX so it can maintain per-DIP active
+// connection counts for (W)LC — the proxy-visible signal HAProxy uses.
+//
+// Weight changes only affect *new* connections: pinned connections drain
+// naturally, which is precisely the effect §4.7's drain-time estimation has
+// to wait out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/policy.hpp"
+#include "net/fabric.hpp"
+
+namespace klb::lb {
+
+class Mux : public net::Node {
+ public:
+  Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy);
+  ~Mux() override;
+
+  net::IpAddr vip() const { return vip_; }
+  const Policy& policy() const { return *policy_; }
+
+  /// Replace the policy (connection table survives, like a HAProxy reload).
+  void set_policy(std::unique_ptr<Policy> policy);
+
+  /// Register a backend. `server` is optional and only consulted by the
+  /// power-of-two policy.
+  void add_backend(net::IpAddr dip, const server::DipServer* server = nullptr);
+
+  std::size_t backend_count() const { return backends_.size(); }
+  net::IpAddr backend_addr(std::size_t i) const { return backends_[i].addr; }
+
+  /// Program weights (grid units, util::kWeightScale = 1.0), one entry per
+  /// backend in registration order. This is the interface the LB controller
+  /// programs; KnapsackLB never calls it directly.
+  void set_weight_units(const std::vector<std::int64_t>& units);
+  std::vector<std::int64_t> weight_units() const;
+
+  /// Administratively drain a backend (no new connections).
+  void set_backend_enabled(std::size_t i, bool enabled);
+
+  // --- dataplane counters ---------------------------------------------------
+  std::uint64_t forwarded_requests(std::size_t i) const {
+    return backends_[i].forwarded;
+  }
+  std::uint64_t new_connections(std::size_t i) const {
+    return backends_[i].connections;
+  }
+  std::uint64_t active_connections(std::size_t i) const {
+    return backends_[i].view().active_conns;
+  }
+  std::uint64_t total_forwarded() const { return total_forwarded_; }
+  void reset_counters();
+
+  // --- net::Node -------------------------------------------------------------
+  void on_message(const net::Message& msg) override;
+
+ private:
+  struct Backend {
+    net::IpAddr addr;
+    const server::DipServer* server = nullptr;
+    std::int64_t weight_units = 0;
+    bool enabled = true;
+    std::uint64_t active = 0;
+    std::uint64_t connections = 0;  // cumulative new connections
+    std::uint64_t forwarded = 0;    // cumulative forwarded requests
+
+    BackendView view() const {
+      return BackendView{addr, weight_units, enabled, active, server};
+    }
+  };
+
+  void handle_request(const net::Message& msg);
+  void handle_fin(const net::Message& msg);
+  std::vector<BackendView> views() const;
+
+  net::Network& net_;
+  net::IpAddr vip_;
+  std::unique_ptr<Policy> policy_;
+  util::Rng rng_;
+  std::vector<Backend> backends_;
+  std::unordered_map<net::FiveTuple, std::size_t> affinity_;
+  std::uint64_t total_forwarded_ = 0;
+  std::uint64_t no_backend_drops_ = 0;
+};
+
+}  // namespace klb::lb

@@ -1,0 +1,152 @@
+#include "lb/policy.hpp"
+
+#include <stdexcept>
+
+#include "server/dip_server.hpp"
+#include "util/weight.hpp"
+
+namespace klb::lb {
+
+namespace {
+
+/// Indices of enabled backends (weighted policies additionally require a
+/// positive weight).
+std::vector<std::size_t> usable(const std::vector<BackendView>& backends,
+                                bool need_weight) {
+  std::vector<std::size_t> out;
+  out.reserve(backends.size());
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (!backends[i].enabled) continue;
+    if (need_weight && backends[i].weight_units <= 0) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t RoundRobin::pick(const net::FiveTuple&,
+                             const std::vector<BackendView>& backends,
+                             util::Rng&) {
+  const auto idx = usable(backends, /*need_weight=*/false);
+  if (idx.empty()) return kNoBackend;
+  return idx[counter_++ % idx.size()];
+}
+
+std::size_t SmoothWeightedRoundRobin::pick(
+    const net::FiveTuple&, const std::vector<BackendView>& backends,
+    util::Rng&) {
+  if (current_.size() != backends.size()) current_.assign(backends.size(), 0);
+
+  std::int64_t total = 0;
+  std::size_t best = kNoBackend;
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    if (!backends[i].enabled || backends[i].weight_units <= 0) continue;
+    current_[i] += backends[i].weight_units;
+    total += backends[i].weight_units;
+    if (best == kNoBackend || current_[i] > current_[best]) best = i;
+  }
+  if (best == kNoBackend) return kNoBackend;
+  current_[best] -= total;
+  return best;
+}
+
+std::size_t LeastConnection::pick(const net::FiveTuple&,
+                                  const std::vector<BackendView>& backends,
+                                  util::Rng& rng) {
+  const auto idx = usable(backends, /*need_weight=*/false);
+  if (idx.empty()) return kNoBackend;
+  std::uint64_t best_conns = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::size_t> ties;
+  for (const auto i : idx) {
+    if (backends[i].active_conns < best_conns) {
+      best_conns = backends[i].active_conns;
+      ties.clear();
+      ties.push_back(i);
+    } else if (backends[i].active_conns == best_conns) {
+      ties.push_back(i);
+    }
+  }
+  return ties[rng.uniform_int(static_cast<std::uint64_t>(ties.size()))];
+}
+
+std::size_t WeightedLeastConnection::pick(
+    const net::FiveTuple&, const std::vector<BackendView>& backends,
+    util::Rng& rng) {
+  const auto idx = usable(backends, /*need_weight=*/true);
+  if (idx.empty()) return kNoBackend;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> ties;
+  for (const auto i : idx) {
+    // +1 so empty backends still differentiate by weight.
+    const double score =
+        (static_cast<double>(backends[i].active_conns) + 1.0) /
+        static_cast<double>(backends[i].weight_units);
+    if (score < best_score - 1e-12) {
+      best_score = score;
+      ties.clear();
+      ties.push_back(i);
+    } else if (score <= best_score + 1e-12) {
+      ties.push_back(i);
+    }
+  }
+  return ties[rng.uniform_int(static_cast<std::uint64_t>(ties.size()))];
+}
+
+std::size_t RandomPolicy::pick(const net::FiveTuple&,
+                               const std::vector<BackendView>& backends,
+                               util::Rng& rng) {
+  const auto idx = usable(backends, /*need_weight=*/false);
+  if (idx.empty()) return kNoBackend;
+  return idx[rng.uniform_int(static_cast<std::uint64_t>(idx.size()))];
+}
+
+std::size_t WeightedRandom::pick(const net::FiveTuple&,
+                                 const std::vector<BackendView>& backends,
+                                 util::Rng& rng) {
+  const auto idx = usable(backends, /*need_weight=*/true);
+  if (idx.empty()) return kNoBackend;
+  std::vector<double> weights(idx.size());
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    weights[k] = static_cast<double>(backends[idx[k]].weight_units);
+  const auto k = rng.weighted_index(weights);
+  return k < idx.size() ? idx[k] : kNoBackend;
+}
+
+std::size_t PowerOfTwoCpu::pick(const net::FiveTuple&,
+                                const std::vector<BackendView>& backends,
+                                util::Rng& rng) {
+  const auto idx = usable(backends, /*need_weight=*/false);
+  if (idx.empty()) return kNoBackend;
+  if (idx.size() == 1) return idx[0];
+  const auto a = idx[rng.uniform_int(static_cast<std::uint64_t>(idx.size()))];
+  std::size_t b = a;
+  while (b == a)
+    b = idx[rng.uniform_int(static_cast<std::uint64_t>(idx.size()))];
+  auto cpu = [](const BackendView& v) {
+    return v.server ? v.server->cpu_utilization_now() : 0.0;
+  };
+  return cpu(backends[a]) <= cpu(backends[b]) ? a : b;
+}
+
+std::size_t HashTuple::pick(const net::FiveTuple& tuple,
+                            const std::vector<BackendView>& backends,
+                            util::Rng&) {
+  const auto idx = usable(backends, /*need_weight=*/false);
+  if (idx.empty()) return kNoBackend;
+  return idx[net::hash_tuple(tuple) % idx.size()];
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  if (name == "rr") return std::make_unique<RoundRobin>();
+  if (name == "wrr") return std::make_unique<SmoothWeightedRoundRobin>();
+  if (name == "lc") return std::make_unique<LeastConnection>();
+  if (name == "wlc") return std::make_unique<WeightedLeastConnection>();
+  if (name == "random") return std::make_unique<RandomPolicy>();
+  if (name == "wrandom") return std::make_unique<WeightedRandom>();
+  if (name == "p2") return std::make_unique<PowerOfTwoCpu>();
+  if (name == "hash") return std::make_unique<HashTuple>();
+  throw std::invalid_argument("unknown LB policy: " + name);
+}
+
+}  // namespace klb::lb

@@ -1,0 +1,133 @@
+// DIP-selection policies for the MUX dataplane.
+//
+// These are the algorithms the paper evaluates against (§2.1, §6.2): round
+// robin, least connection, random, power-of-two, 5-tuple hash — each in
+// unweighted and (where supported) weighted flavours. A policy picks a
+// backend for each *new* connection; existing connections stay pinned by
+// the MUX's affinity table.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "util/rng.hpp"
+
+namespace klb::server {
+class DipServer;
+}
+
+namespace klb::lb {
+
+/// The dataplane's per-backend view handed to a policy on every pick.
+struct BackendView {
+  net::IpAddr addr;
+  std::int64_t weight_units = 0;  // programmed weight, util::kWeightScale = 1.0
+  bool enabled = true;
+  std::uint64_t active_conns = 0;  // tracked by the MUX (proxy-visible FINs)
+  /// Non-owning; only the power-of-two policy reads CPU from it. Real P2
+  /// deployments get this signal from an agent — exactly the dependency
+  /// KnapsackLB avoids (§6.4) — so it lives here, not in the controller.
+  const server::DipServer* server = nullptr;
+};
+
+inline constexpr std::size_t kNoBackend = std::numeric_limits<std::size_t>::max();
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  /// true when the policy honours programmed weights.
+  virtual bool weighted() const { return false; }
+  /// Choose a backend index for a new connection, or kNoBackend.
+  virtual std::size_t pick(const net::FiveTuple& tuple,
+                           const std::vector<BackendView>& backends,
+                           util::Rng& rng) = 0;
+};
+
+/// Factory by policy name: "rr", "wrr", "lc", "wlc", "random", "wrandom",
+/// "p2", "hash". Throws std::invalid_argument for unknown names.
+std::unique_ptr<Policy> make_policy(const std::string& name);
+
+// --- concrete policies (exposed for direct construction in tests) ---------
+
+/// Plain round robin: rotate over enabled backends.
+class RoundRobin : public Policy {
+ public:
+  std::string name() const override { return "rr"; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+/// Nginx-style smooth weighted round robin. With equal weights this
+/// degenerates to plain RR; weight updates take effect on the next pick.
+class SmoothWeightedRoundRobin : public Policy {
+ public:
+  std::string name() const override { return "wrr"; }
+  bool weighted() const override { return true; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+
+ private:
+  std::vector<std::int64_t> current_;
+};
+
+/// Least connection: fewest MUX-tracked active connections wins; random
+/// tie-break so equal backends share evenly.
+class LeastConnection : public Policy {
+ public:
+  std::string name() const override { return "lc"; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+};
+
+/// Weighted least connection (HAProxy semantics): fewest conns/weight.
+class WeightedLeastConnection : public Policy {
+ public:
+  std::string name() const override { return "wlc"; }
+  bool weighted() const override { return true; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+};
+
+/// Uniform random over enabled backends.
+class RandomPolicy : public Policy {
+ public:
+  std::string name() const override { return "random"; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+};
+
+/// Weighted random: probability proportional to programmed weight.
+class WeightedRandom : public Policy {
+ public:
+  std::string name() const override { return "wrandom"; }
+  bool weighted() const override { return true; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+};
+
+/// Power-of-two-choices on CPU utilization (§6.2's P2): sample two distinct
+/// backends, route to the one with lower instantaneous CPU.
+class PowerOfTwoCpu : public Policy {
+ public:
+  std::string name() const override { return "p2"; }
+  std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
+                   util::Rng&) override;
+};
+
+/// Azure-LB-style 5-tuple hash: unweighted, affinity comes for free.
+class HashTuple : public Policy {
+ public:
+  std::string name() const override { return "hash"; }
+  std::size_t pick(const net::FiveTuple& tuple,
+                   const std::vector<BackendView>&, util::Rng&) override;
+};
+
+}  // namespace klb::lb

@@ -1,0 +1,277 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace klb::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense tableau with rows [0..m): constraint rows, plus a cost row.
+/// Column layout: [0, n) structural, [n, n+s) slack/surplus,
+/// [n+s, n+s+a) artificial, last column = rhs.
+class Tableau {
+ public:
+  Tableau(const Problem& p, const SolveOptions& opt) : problem_(p), opt_(opt) {}
+
+  Status build() {
+    const auto m = problem_.rows.size();
+    n_ = static_cast<std::size_t>(problem_.num_vars);
+
+    // Count slack and artificial columns.
+    slacks_ = 0;
+    artificials_ = 0;
+    for (const auto& row : problem_.rows) {
+      if (row.rel != Relation::kEq) ++slacks_;
+      // >= and = rows need artificials; <= rows with negative rhs do too,
+      // but we normalize rhs >= 0 first (flipping the relation).
+    }
+
+    cols_ = n_ + slacks_;  // artificials appended after normalization pass
+    rows_count_ = m;
+
+    // Normalize rows to rhs >= 0 and decide artificials.
+    norm_rel_.resize(m);
+    std::vector<double> rhs(m);
+    std::size_t next_slack = 0;
+    slack_col_.assign(m, SIZE_MAX);
+    sign_.assign(m, 1.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      Relation rel = problem_.rows[i].rel;
+      double b = problem_.rows[i].rhs;
+      double sign = 1.0;
+      if (b < 0) {
+        sign = -1.0;
+        b = -b;
+        if (rel == Relation::kLe)
+          rel = Relation::kGe;
+        else if (rel == Relation::kGe)
+          rel = Relation::kLe;
+      }
+      sign_[i] = sign;
+      norm_rel_[i] = rel;
+      rhs[i] = b;
+      if (problem_.rows[i].rel != Relation::kEq)
+        slack_col_[i] = n_ + next_slack++;
+      if (rel != Relation::kLe) ++artificials_;
+    }
+
+    total_cols_ = n_ + slacks_ + artificials_ + 1;  // +1 rhs
+    const std::size_t bytes = (m + 1) * total_cols_ * sizeof(double);
+    if (bytes > opt_.max_tableau_bytes) return Status::kMemLimit;
+
+    t_.assign((m + 1) * total_cols_, 0.0);
+    basis_.assign(m, SIZE_MAX);
+
+    std::size_t next_art = n_ + slacks_;
+    for (std::size_t i = 0; i < m; ++i) {
+      double* row = row_ptr(i);
+      for (const auto& [var, coeff] : problem_.rows[i].terms) {
+        if (var >= 0 && static_cast<std::size_t>(var) < n_)
+          row[static_cast<std::size_t>(var)] += sign_[i] * coeff;
+      }
+      row[total_cols_ - 1] = rhs[i];
+      if (slack_col_[i] != SIZE_MAX) {
+        // After normalization: <= gets +1 slack (basic), >= gets -1 surplus.
+        row[slack_col_[i]] = (norm_rel_[i] == Relation::kLe) ? 1.0 : -1.0;
+      }
+      if (norm_rel_[i] == Relation::kLe) {
+        basis_[i] = slack_col_[i];
+      } else {
+        row[next_art] = 1.0;
+        basis_[i] = next_art;
+        ++next_art;
+      }
+    }
+    art_begin_ = n_ + slacks_;
+    art_end_ = next_art;
+    return Status::kOptimal;
+  }
+
+  /// Phase 1: minimize the sum of artificials.
+  Status phase1(std::int64_t& iters) {
+    if (art_begin_ == art_end_) return Status::kOptimal;  // all-slack basis
+    double* cost = row_ptr(rows_count_);
+    std::fill(cost, cost + total_cols_, 0.0);
+    for (std::size_t c = art_begin_; c < art_end_; ++c) cost[c] = 1.0;
+    // Price out the basic artificials.
+    for (std::size_t i = 0; i < rows_count_; ++i) {
+      if (basis_[i] >= art_begin_ && basis_[i] < art_end_) {
+        const double* row = row_ptr(i);
+        for (std::size_t c = 0; c < total_cols_; ++c) cost[c] -= row[c];
+      }
+    }
+    const Status st = iterate(iters, /*restrict_cols=*/art_end_);
+    if (st != Status::kOptimal) return st;
+    if (cost[total_cols_ - 1] < -1e-7) return Status::kInfeasible;
+
+    // Pivot any remaining basic artificials out (degenerate rows).
+    for (std::size_t i = 0; i < rows_count_; ++i) {
+      if (basis_[i] < art_begin_ || basis_[i] >= art_end_) continue;
+      const double* row = row_ptr(i);
+      std::size_t enter = SIZE_MAX;
+      for (std::size_t c = 0; c < art_begin_; ++c) {
+        if (std::fabs(row[c]) > kEps) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == SIZE_MAX) continue;  // redundant row; artificial stays 0
+      pivot(i, enter);
+    }
+    return Status::kOptimal;
+  }
+
+  /// Phase 2: minimize the true objective (artificial columns frozen).
+  Status phase2(std::int64_t& iters) {
+    double* cost = row_ptr(rows_count_);
+    std::fill(cost, cost + total_cols_, 0.0);
+    for (std::size_t c = 0; c < n_ && c < problem_.objective.size(); ++c)
+      cost[c] = problem_.objective[c];
+    // Price out basic variables.
+    for (std::size_t i = 0; i < rows_count_; ++i) {
+      const std::size_t b = basis_[i];
+      if (b < n_ && b < problem_.objective.size() &&
+          std::fabs(problem_.objective[b]) > 0.0) {
+        const double f = problem_.objective[b];
+        const double* row = row_ptr(i);
+        for (std::size_t c = 0; c < total_cols_; ++c) cost[c] -= f * row[c];
+      }
+    }
+    return iterate(iters, /*restrict_cols=*/art_begin_);
+  }
+
+  std::vector<double> extract() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t i = 0; i < rows_count_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = row_cptr(i)[total_cols_ - 1];
+    }
+    return x;
+  }
+
+  double objective_value() const {
+    double v = 0.0;
+    const auto x = extract();
+    for (std::size_t c = 0; c < n_ && c < problem_.objective.size(); ++c)
+      v += problem_.objective[c] * x[c];
+    return v;
+  }
+
+ private:
+  double* row_ptr(std::size_t r) { return &t_[r * total_cols_]; }
+  const double* row_cptr(std::size_t r) const { return &t_[r * total_cols_]; }
+
+  bool deadline_passed() const {
+    return opt_.deadline &&
+           std::chrono::steady_clock::now() > *opt_.deadline;
+  }
+
+  void pivot(std::size_t prow, std::size_t pcol) {
+    double* pr = row_ptr(prow);
+    const double pv = pr[pcol];
+    for (std::size_t c = 0; c < total_cols_; ++c) pr[c] /= pv;
+    for (std::size_t r = 0; r <= rows_count_; ++r) {
+      if (r == prow) continue;
+      double* row = row_ptr(r);
+      const double f = row[pcol];
+      if (std::fabs(f) < 1e-13) continue;
+      for (std::size_t c = 0; c < total_cols_; ++c) row[c] -= f * pr[c];
+      row[pcol] = 0.0;  // cancel residual rounding
+    }
+    basis_[prow] = pcol;
+  }
+
+  /// Simplex iterations on columns [0, restrict_cols).
+  Status iterate(std::int64_t& iters, std::size_t restrict_cols) {
+    const double* cost = row_cptr(rows_count_);
+    int degenerate_streak = 0;
+    while (true) {
+      if (iters >= opt_.max_iterations) return Status::kIterLimit;
+      if ((iters & 63) == 0 && deadline_passed()) return Status::kIterLimit;
+      ++iters;
+
+      // Entering column: Dantzig (most negative reduced cost); Bland
+      // (first negative) after a degeneracy streak to break cycles.
+      const bool bland = degenerate_streak > 64;
+      std::size_t enter = SIZE_MAX;
+      double best = -kEps;
+      for (std::size_t c = 0; c < restrict_cols; ++c) {
+        const double rc = cost[c];
+        if (rc < best) {
+          enter = c;
+          if (bland) break;
+          best = rc;
+        }
+      }
+      if (enter == SIZE_MAX) return Status::kOptimal;
+
+      // Ratio test (Bland tie-break on basis index for determinism).
+      std::size_t leave = SIZE_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < rows_count_; ++r) {
+        const double* row = row_cptr(r);
+        const double a = row[enter];
+        if (a <= kEps) continue;
+        const double ratio = row[total_cols_ - 1] / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == SIZE_MAX || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+      if (leave == SIZE_MAX) return Status::kUnbounded;
+
+      degenerate_streak = (best_ratio < kEps) ? degenerate_streak + 1 : 0;
+      pivot(leave, enter);
+    }
+  }
+
+  const Problem& problem_;
+  const SolveOptions& opt_;
+
+  std::size_t n_ = 0;
+  std::size_t slacks_ = 0;
+  std::size_t artificials_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t total_cols_ = 0;
+  std::size_t rows_count_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t art_end_ = 0;
+
+  std::vector<double> t_;
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> slack_col_;
+  std::vector<Relation> norm_rel_;
+  std::vector<double> sign_;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SolveOptions& options) {
+  Solution sol;
+  Tableau tab(problem, options);
+
+  const Status build_status = tab.build();
+  if (build_status != Status::kOptimal) {
+    sol.status = build_status;
+    return sol;
+  }
+
+  std::int64_t iters = 0;
+  Status st = tab.phase1(iters);
+  if (st == Status::kOptimal) st = tab.phase2(iters);
+
+  sol.status = st;
+  sol.iterations = iters;
+  if (st == Status::kOptimal) {
+    sol.x = tab.extract();
+    sol.objective = tab.objective_value();
+  }
+  return sol;
+}
+
+}  // namespace klb::lp

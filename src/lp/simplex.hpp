@@ -1,0 +1,72 @@
+// Dense two-phase primal simplex.
+//
+// The substrate under the ILP branch-and-bound (the paper used COIN-OR
+// CBC, which is itself B&B over an LP solver). Standard computational
+// form: minimize c^T x subject to sparse rows { <=, >=, = } b, x >= 0.
+// Phase 1 drives artificials out; Dantzig pricing with a Bland's-rule
+// fallback after a degeneracy streak guards against cycling. A deadline
+// and an iteration cap make long solves abort cleanly — that is what
+// turns Fig. 8's oversized instances into TO cells instead of hangs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace klb::lp {
+
+enum class Relation { kLe, kGe, kEq };
+
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,   // iteration cap or deadline hit
+  kMemLimit,    // tableau would exceed the memory budget
+};
+
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;  // (variable, coefficient)
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+struct Problem {
+  int num_vars = 0;
+  std::vector<double> objective;  // size num_vars; minimized
+  std::vector<Constraint> rows;
+
+  /// NOTE: the returned reference is invalidated by the next add_row call
+  /// (vector growth); fill `terms` before adding further rows, or use the
+  /// overload below.
+  Constraint& add_row(Relation rel, double rhs) {
+    rows.push_back(Constraint{{}, rel, rhs});
+    return rows.back();
+  }
+
+  void add_row(Relation rel, double rhs,
+               std::vector<std::pair<int, double>> terms) {
+    rows.push_back(Constraint{std::move(terms), rel, rhs});
+  }
+};
+
+struct SolveOptions {
+  std::int64_t max_iterations = 200'000;
+  /// Absolute deadline; unset = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Refuse to build a tableau larger than this many bytes.
+  std::size_t max_tableau_bytes = std::size_t{768} * 1024 * 1024;
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Solve the LP. `x` is populated for kOptimal only.
+Solution solve(const Problem& problem, const SolveOptions& options = {});
+
+}  // namespace klb::lp

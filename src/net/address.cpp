@@ -1,0 +1,39 @@
+#include "net/address.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace klb::net {
+
+std::optional<IpAddr> IpAddr::parse(const std::string& s) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= s.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    const char* begin = s.data() + pos;
+    const char* end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || v > 255 || ptr == begin) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = v;
+    pos = static_cast<std::size_t>(ptr - s.data());
+    if (i < 3) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  return IpAddr(static_cast<std::uint8_t>(octets[0]),
+                static_cast<std::uint8_t>(octets[1]),
+                static_cast<std::uint8_t>(octets[2]),
+                static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string IpAddr::str() const {
+  return std::to_string((addr_ >> 24) & 0xff) + "." +
+         std::to_string((addr_ >> 16) & 0xff) + "." +
+         std::to_string((addr_ >> 8) & 0xff) + "." +
+         std::to_string(addr_ & 0xff);
+}
+
+}  // namespace klb::net

@@ -1,0 +1,108 @@
+// The simulated datacenter network.
+//
+// Nodes (clients, MUXes, DIP servers, the KLM prober, the latency store)
+// register an address and a message handler. send() delivers a Message
+// after a one-way latency drawn as base + exponential jitter — the
+// intra-datacenter RTT model; there is no loss in the fabric itself (the
+// paper's "packet drops" happen at overloaded DIPs, which we model at the
+// server's accept backlog).
+//
+// Messages carry the original client 5-tuple end-to-end even when a MUX
+// forwards them (IP-in-IP encap in Ananta/Maglev terms): the delivery
+// address is separate from the tuple, which is what enables direct server
+// return (DIP responds straight to the client).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/five_tuple.hpp"
+#include "sim/simulation.hpp"
+
+namespace klb::net {
+
+enum class MsgType : std::uint8_t {
+  kHttpRequest,
+  kHttpResponse,
+  kFin,        // client closes the connection (seen by MUX for LC counting)
+  kPing,       // ICMP/TCP-SYN style probe: answered in kernel, load-blind
+  kPingReply,
+  kRespCommand,  // RESP bytes to the latency store
+  kRespReply,
+};
+
+struct Message {
+  MsgType type = MsgType::kHttpRequest;
+  FiveTuple tuple;            // original client <-> VIP tuple
+  std::uint64_t conn_id = 0;  // connection this message belongs to
+  std::uint64_t req_id = 0;   // request within the connection
+  std::string payload;        // HTTP or RESP wire bytes
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void on_message(const Message& msg) = 0;
+};
+
+struct FabricConfig {
+  util::SimTime base_latency = util::SimTime::micros(150);  // one-way
+  util::SimTime jitter_mean = util::SimTime::micros(30);
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, FabricConfig cfg = {})
+      : sim_(sim), cfg_(cfg), rng_(sim.rng().fork()) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Bind `node` to `addr`. Re-binding replaces the previous owner (used
+  /// when a failed DIP is replaced). Unbind with nullptr.
+  void attach(IpAddr addr, Node* node) {
+    if (node == nullptr) {
+      nodes_.erase(addr);
+    } else {
+      nodes_[addr] = node;
+    }
+  }
+
+  bool attached(IpAddr addr) const { return nodes_.count(addr) > 0; }
+
+  /// Deliver `msg` to the node bound to `to` after the fabric latency.
+  /// Messages to unbound addresses vanish (host unreachable) — callers
+  /// discover this via their own timeouts, like real probes do.
+  void send(IpAddr to, Message msg) {
+    ++sent_;
+    const auto delay =
+        cfg_.base_latency +
+        util::SimTime::micros(static_cast<std::int64_t>(
+            rng_.exponential(static_cast<double>(cfg_.jitter_mean.us()))));
+    sim_.schedule_in(delay, [this, to, m = std::move(msg)]() {
+      const auto it = nodes_.find(to);
+      if (it == nodes_.end()) {
+        ++dropped_unreachable_;
+        return;
+      }
+      it->second->on_message(m);
+    });
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_unreachable() const { return dropped_unreachable_; }
+
+ private:
+  sim::Simulation& sim_;
+  FabricConfig cfg_;
+  util::Rng rng_;
+  std::unordered_map<IpAddr, Node*> nodes_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_unreachable_ = 0;
+};
+
+}  // namespace klb::net

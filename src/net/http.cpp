@@ -1,0 +1,151 @@
+#include "net/http.hpp"
+
+#include <charconv>
+
+namespace klb::net {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+void serialize_headers(const std::map<std::string, std::string>& headers,
+                       const std::string& body, std::string& out) {
+  bool have_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += kCrlf;
+    if (k == "Content-Length") have_length = true;
+  }
+  if (!have_length) {
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += body;
+}
+
+struct HeaderBlock {
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+// Parses headers starting after the first line; `pos` points past the
+// first CRLF. Returns nullopt on malformed headers or truncated body.
+std::optional<HeaderBlock> parse_headers(const std::string& wire,
+                                         std::size_t pos) {
+  HeaderBlock out;
+  while (true) {
+    const auto eol = wire.find(kCrlf, pos);
+    if (eol == std::string::npos) return std::nullopt;
+    if (eol == pos) {  // blank line: end of headers
+      pos += 2;
+      break;
+    }
+    const auto colon = wire.find(':', pos);
+    if (colon == std::string::npos || colon > eol) return std::nullopt;
+    std::string key = wire.substr(pos, colon - pos);
+    std::size_t vbegin = colon + 1;
+    while (vbegin < eol && wire[vbegin] == ' ') ++vbegin;
+    out.headers[key] = wire.substr(vbegin, eol - vbegin);
+    pos = eol + 2;
+  }
+  std::size_t length = wire.size() - pos;
+  if (const auto it = out.headers.find("Content-Length");
+      it != out.headers.end()) {
+    std::size_t want = 0;
+    const auto [p, ec] =
+        std::from_chars(it->second.data(), it->second.data() + it->second.size(), want);
+    if (ec != std::errc{} || p != it->second.data() + it->second.size())
+      return std::nullopt;
+    if (want > length) return std::nullopt;  // truncated body
+    length = want;
+  }
+  out.body = wire.substr(pos, length);
+  return out;
+}
+
+}  // namespace
+
+std::string default_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1";
+  out += kCrlf;
+  serialize_headers(headers, body, out);
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::parse(const std::string& wire) {
+  const auto eol = wire.find(kCrlf);
+  if (eol == std::string::npos) return std::nullopt;
+  const std::string line = wire.substr(0, eol);
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return std::nullopt;
+  if (line.substr(sp2 + 1) != "HTTP/1.1" && line.substr(sp2 + 1) != "HTTP/1.0")
+    return std::nullopt;
+
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.method.empty() || req.target.empty()) return std::nullopt;
+
+  auto block = parse_headers(wire, eol + 2);
+  if (!block) return std::nullopt;
+  req.headers = std::move(block->headers);
+  req.body = std::move(block->body);
+  return req;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    (reason.empty() ? default_reason(status) : reason);
+  out += kCrlf;
+  serialize_headers(headers, body, out);
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::parse(const std::string& wire) {
+  const auto eol = wire.find(kCrlf);
+  if (eol == std::string::npos) return std::nullopt;
+  const std::string line = wire.substr(0, eol);
+  if (line.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  const auto sp2 = line.find(' ', sp1 + 1);
+
+  HttpResponse resp;
+  const std::string code = line.substr(
+      sp1 + 1, (sp2 == std::string::npos ? line.size() : sp2) - sp1 - 1);
+  const auto [p, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), resp.status);
+  if (ec != std::errc{} || p != code.data() + code.size()) return std::nullopt;
+  resp.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+
+  auto block = parse_headers(wire, eol + 2);
+  if (!block) return std::nullopt;
+  resp.headers = std::move(block->headers);
+  resp.body = std::move(block->body);
+  return resp;
+}
+
+}  // namespace klb::net

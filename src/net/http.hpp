@@ -1,0 +1,45 @@
+// Minimal HTTP/1.1 message model and wire codec.
+//
+// The simulated web servers, the KLM prober, and the clients exchange
+// HttpRequest/HttpResponse values; the codec serializes them to real
+// HTTP/1.1 byte strings. Serializing is not strictly necessary for the
+// simulation, but keeping a real wire format (a) sizes messages for the
+// fabric's bandwidth model and (b) keeps the codec testable against
+// hand-written HTTP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace klb::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string serialize() const;
+  /// Parse a complete request from `wire`. Returns nullopt on malformed
+  /// input or when the Content-Length promises more body than provided.
+  static std::optional<HttpRequest> parse(const std::string& wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  std::string serialize() const;
+  static std::optional<HttpResponse> parse(const std::string& wire);
+};
+
+/// Canonical reason phrase for the status codes the simulator emits.
+std::string default_reason(int status);
+
+}  // namespace klb::net

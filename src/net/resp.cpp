@@ -1,0 +1,141 @@
+#include "net/resp.hpp"
+
+#include <charconv>
+
+namespace klb::net {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+void encode_into(const RespValue& v, std::string& out) {
+  switch (v.type) {
+    case RespValue::Type::kSimpleString:
+      out += '+';
+      out += v.str;
+      out += kCrlf;
+      break;
+    case RespValue::Type::kError:
+      out += '-';
+      out += v.str;
+      out += kCrlf;
+      break;
+    case RespValue::Type::kInteger:
+      out += ':';
+      out += std::to_string(v.integer);
+      out += kCrlf;
+      break;
+    case RespValue::Type::kBulkString:
+      out += '$';
+      out += std::to_string(v.str.size());
+      out += kCrlf;
+      out += v.str;
+      out += kCrlf;
+      break;
+    case RespValue::Type::kNull:
+      out += "$-1";
+      out += kCrlf;
+      break;
+    case RespValue::Type::kArray:
+      out += '*';
+      out += std::to_string(v.array.size());
+      out += kCrlf;
+      for (const auto& item : v.array) encode_into(item, out);
+      break;
+  }
+}
+
+// Reads "<int>\r\n" starting at pos; advances pos past the CRLF.
+std::optional<std::int64_t> read_int_line(const std::string& wire,
+                                          std::size_t& pos) {
+  const auto eol = wire.find(kCrlf, pos);
+  if (eol == std::string::npos) return std::nullopt;
+  std::int64_t v = 0;
+  const char* begin = wire.data() + pos;
+  const char* end = wire.data() + eol;
+  const auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || p != end) return std::nullopt;
+  pos = eol + 2;
+  return v;
+}
+
+std::optional<RespValue> decode_at(const std::string& wire, std::size_t& pos);
+
+std::optional<RespValue> decode_line_payload(const std::string& wire,
+                                             std::size_t& pos,
+                                             RespValue::Type type) {
+  const auto eol = wire.find(kCrlf, pos);
+  if (eol == std::string::npos) return std::nullopt;
+  RespValue v;
+  v.type = type;
+  v.str = wire.substr(pos, eol - pos);
+  pos = eol + 2;
+  return v;
+}
+
+std::optional<RespValue> decode_at(const std::string& wire, std::size_t& pos) {
+  if (pos >= wire.size()) return std::nullopt;
+  const char tag = wire[pos++];
+  switch (tag) {
+    case '+':
+      return decode_line_payload(wire, pos, RespValue::Type::kSimpleString);
+    case '-':
+      return decode_line_payload(wire, pos, RespValue::Type::kError);
+    case ':': {
+      const auto v = read_int_line(wire, pos);
+      if (!v) return std::nullopt;
+      return RespValue::integer_of(*v);
+    }
+    case '$': {
+      const auto len = read_int_line(wire, pos);
+      if (!len) return std::nullopt;
+      if (*len < 0) return RespValue::null();
+      const auto n = static_cast<std::size_t>(*len);
+      if (pos + n + 2 > wire.size()) return std::nullopt;
+      if (wire[pos + n] != '\r' || wire[pos + n + 1] != '\n')
+        return std::nullopt;
+      RespValue v = RespValue::bulk(wire.substr(pos, n));
+      pos += n + 2;
+      return v;
+    }
+    case '*': {
+      const auto count = read_int_line(wire, pos);
+      if (!count) return std::nullopt;
+      if (*count < 0) return RespValue::null();
+      RespArray items;
+      items.reserve(static_cast<std::size_t>(*count));
+      for (std::int64_t i = 0; i < *count; ++i) {
+        auto item = decode_at(wire, pos);
+        if (!item) return std::nullopt;
+        items.push_back(std::move(*item));
+      }
+      return RespValue::array_of(std::move(items));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string resp_encode(const RespValue& v) {
+  std::string out;
+  encode_into(v, out);
+  return out;
+}
+
+std::string resp_encode_command(const std::vector<std::string>& parts) {
+  RespArray items;
+  items.reserve(parts.size());
+  for (const auto& p : parts) items.push_back(RespValue::bulk(p));
+  return resp_encode(RespValue::array_of(std::move(items)));
+}
+
+std::optional<RespDecodeResult> resp_decode(const std::string& wire) {
+  std::size_t pos = 0;
+  auto v = decode_at(wire, pos);
+  if (!v) return std::nullopt;
+  return RespDecodeResult{std::move(*v), pos};
+}
+
+}  // namespace klb::net

@@ -1,0 +1,72 @@
+// RESP2 (REdis Serialization Protocol) codec.
+//
+// The latency store speaks RESP so the controller<->store interaction has a
+// realistic wire format (the paper uses Azure Redis). Values model the five
+// RESP2 types; encode/decode round-trip exactly, including nested arrays.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace klb::net {
+
+struct RespValue;
+using RespArray = std::vector<RespValue>;
+
+struct RespValue {
+  enum class Type {
+    kSimpleString,  // +OK\r\n
+    kError,         // -ERR msg\r\n
+    kInteger,       // :42\r\n
+    kBulkString,    // $3\r\nfoo\r\n
+    kNull,          // $-1\r\n
+    kArray,         // *2\r\n...
+  };
+
+  Type type = Type::kNull;
+  std::string str;        // simple string / error / bulk string payload
+  std::int64_t integer = 0;
+  RespArray array;
+
+  static RespValue simple(std::string s) {
+    return {Type::kSimpleString, std::move(s), 0, {}};
+  }
+  static RespValue error(std::string s) {
+    return {Type::kError, std::move(s), 0, {}};
+  }
+  static RespValue integer_of(std::int64_t v) {
+    return {Type::kInteger, {}, v, {}};
+  }
+  static RespValue bulk(std::string s) {
+    return {Type::kBulkString, std::move(s), 0, {}};
+  }
+  static RespValue null() { return {}; }
+  static RespValue array_of(RespArray items) {
+    return {Type::kArray, {}, 0, std::move(items)};
+  }
+
+  bool is_error() const { return type == Type::kError; }
+  bool is_null() const { return type == Type::kNull; }
+
+  bool operator==(const RespValue&) const = default;
+};
+
+/// Serialize a value to RESP2 wire bytes.
+std::string resp_encode(const RespValue& v);
+
+/// Encode a client command (array of bulk strings), e.g. {"LPUSH","k","v"}.
+std::string resp_encode_command(const std::vector<std::string>& parts);
+
+struct RespDecodeResult {
+  RespValue value;
+  std::size_t consumed = 0;  // bytes consumed from the input
+};
+
+/// Decode one complete value from the front of `wire`. Returns nullopt for
+/// incomplete or malformed input (streaming callers retry with more bytes).
+std::optional<RespDecodeResult> resp_decode(const std::string& wire);
+
+}  // namespace klb::net

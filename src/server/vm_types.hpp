@@ -1,0 +1,40 @@
+// Azure VM type catalog used by the paper's testbed (Table 3).
+//
+// `speed` is the per-core speed relative to a DS-series core. The paper
+// measured F-series to be 15-20% faster than the corresponding DS VM
+// (§2.2.1, §6); we use 1.18.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace klb::server {
+
+struct VmType {
+  std::string name;
+  int cores = 1;
+  double speed = 1.0;  // per-core speed multiplier vs. a DS-series core
+};
+
+inline const VmType kDs1v2{"DS1v2", 1, 1.0};
+inline const VmType kDs2v2{"DS2v2", 2, 1.0};
+inline const VmType kDs3v2{"DS3v2", 4, 1.0};
+inline const VmType kF8sv2{"F8sv2", 8, 1.18};
+
+/// The 30-DIP pool from Table 3: 16x DS1v2, 8x DS2v2, 4x DS3v2, 2x F8sv2.
+inline std::vector<VmType> table3_pool() {
+  std::vector<VmType> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(kDs1v2);
+  for (int i = 0; i < 8; ++i) pool.push_back(kDs2v2);
+  for (int i = 0; i < 4; ++i) pool.push_back(kDs3v2);
+  for (int i = 0; i < 2; ++i) pool.push_back(kF8sv2);
+  return pool;
+}
+
+/// Relative capacity of a VM type (cores x speed), the paper's notion of
+/// "max throughput of a DIP" up to a constant factor.
+inline double relative_capacity(const VmType& t) {
+  return t.cores * t.speed;
+}
+
+}  // namespace klb::server

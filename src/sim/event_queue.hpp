@@ -1,0 +1,77 @@
+// Cancellable priority queue of timestamped events.
+//
+// Events fire in (time, sequence) order so that same-timestamp events run
+// in schedule order — required for deterministic replays. Cancellation is
+// lazy: a cancelled entry stays in the heap and is skipped on pop, which
+// keeps cancel() O(1) (timers are cancelled far more often than they fire
+// in connection-heavy simulations).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace klb::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(util::SimTime at, Callback fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  /// Cancel a pending event. Safe to call with an already-fired id.
+  void cancel(EventId id) { callbacks_.erase(id); }
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the next live event; SimTime::max() when empty.
+  util::SimTime next_time() {
+    skip_dead();
+    return heap_.empty() ? util::SimTime::max() : heap_.top().at;
+  }
+
+  /// Pop and run the next live event. The caller must advance its clock to
+  /// next_time() BEFORE calling this, so the callback observes the event's
+  /// own timestamp. Precondition: !empty().
+  void pop_and_run() {
+    skip_dead();
+    const Entry e = heap_.top();
+    heap_.pop();
+    auto node = callbacks_.extract(e.id);
+    node.mapped()();
+  }
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  void skip_dead() {
+    while (!heap_.empty() && !callbacks_.count(heap_.top().id)) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace klb::sim

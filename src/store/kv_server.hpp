@@ -1,0 +1,67 @@
+// Network front-end for the KvEngine: accepts RESP command messages and
+// replies with RESP-encoded results, playing the role of the Azure Redis
+// instance in Fig. 6. Malformed commands get RESP errors, like real Redis.
+#pragma once
+
+#include <memory>
+
+#include "net/fabric.hpp"
+#include "store/kv_engine.hpp"
+
+namespace klb::store {
+
+class KvServer : public net::Node {
+ public:
+  KvServer(net::Network& net, net::IpAddr addr,
+           std::shared_ptr<KvEngine> engine)
+      : net_(net), addr_(addr), engine_(std::move(engine)) {
+    net_.attach(addr_, this);
+  }
+
+  ~KvServer() override { net_.attach(addr_, nullptr); }
+
+  net::IpAddr address() const { return addr_; }
+  KvEngine& engine() { return *engine_; }
+
+  std::uint64_t commands_processed() const { return processed_; }
+
+  void on_message(const net::Message& msg) override {
+    if (msg.type != net::MsgType::kRespCommand) return;
+    ++processed_;
+
+    net::RespValue result;
+    const auto decoded = net::resp_decode(msg.payload);
+    if (!decoded || decoded->value.type != net::RespValue::Type::kArray) {
+      result = net::RespValue::error("ERR Protocol error: expected array");
+    } else {
+      std::vector<std::string> parts;
+      bool ok = true;
+      for (const auto& item : decoded->value.array) {
+        if (item.type != net::RespValue::Type::kBulkString) {
+          ok = false;
+          break;
+        }
+        parts.push_back(item.str);
+      }
+      result = ok ? engine_->execute(parts)
+                  : net::RespValue::error(
+                        "ERR Protocol error: expected bulk strings");
+    }
+
+    net::Message reply;
+    reply.type = net::MsgType::kRespReply;
+    reply.tuple = msg.tuple;
+    reply.conn_id = msg.conn_id;
+    reply.req_id = msg.req_id;
+    reply.payload = net::resp_encode(result);
+    net_.send(msg.tuple.src_ip, reply);
+  }
+
+ private:
+  net::Network& net_;
+  net::IpAddr addr_;
+  std::shared_ptr<KvEngine> engine_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace klb::store

@@ -1,0 +1,88 @@
+#include "store/latency_store.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace klb::store {
+
+std::string LatencySample::serialize() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s|%.6f|%u|%u|%u|%lld", dip.str().c_str(),
+                avg_latency_ms, probes, errors, timeouts,
+                static_cast<long long>(at.us()));
+  return buf;
+}
+
+std::optional<LatencySample> LatencySample::parse(const std::string& s) {
+  // Format: ip|latency|probes|errors|timeouts|time_us
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto bar = s.find('|', pos);
+    if (bar == std::string::npos) {
+      parts.push_back(s.substr(pos));
+      break;
+    }
+    parts.push_back(s.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  if (parts.size() != 6) return std::nullopt;
+
+  LatencySample out;
+  const auto ip = net::IpAddr::parse(parts[0]);
+  if (!ip) return std::nullopt;
+  out.dip = *ip;
+
+  char* end = nullptr;
+  out.avg_latency_ms = std::strtod(parts[1].c_str(), &end);
+  if (end == parts[1].c_str()) return std::nullopt;
+
+  auto parse_u32 = [](const std::string& p, std::uint32_t& v) {
+    const auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+    return ec == std::errc{} && ptr == p.data() + p.size();
+  };
+  if (!parse_u32(parts[2], out.probes) || !parse_u32(parts[3], out.errors) ||
+      !parse_u32(parts[4], out.timeouts))
+    return std::nullopt;
+
+  std::int64_t us = 0;
+  const auto [ptr, ec] =
+      std::from_chars(parts[5].data(), parts[5].data() + parts[5].size(), us);
+  if (ec != std::errc{} || ptr != parts[5].data() + parts[5].size())
+    return std::nullopt;
+  out.at = util::SimTime::micros(us);
+  return out;
+}
+
+std::string LatencyStore::key_for(net::IpAddr vip, net::IpAddr dip) {
+  return "lat:" + vip.str() + ":" + dip.str();
+}
+
+void LatencyStore::record(net::IpAddr vip, const LatencySample& sample) {
+  const auto key = key_for(vip, sample.dip);
+  engine_->execute({"LPUSH", key, sample.serialize()});
+  engine_->execute({"LTRIM", key, "0", std::to_string(history_ - 1)});
+}
+
+std::optional<LatencySample> LatencyStore::latest(net::IpAddr vip,
+                                                  net::IpAddr dip) const {
+  auto samples = recent(vip, dip, 1);
+  if (samples.empty()) return std::nullopt;
+  return samples.front();
+}
+
+std::vector<LatencySample> LatencyStore::recent(net::IpAddr vip,
+                                                net::IpAddr dip,
+                                                std::size_t n) const {
+  const auto key = key_for(vip, dip);
+  const auto result = engine_->execute(
+      {"LRANGE", key, "0", std::to_string(n == 0 ? 0 : n - 1)});
+  std::vector<LatencySample> out;
+  if (result.type != net::RespValue::Type::kArray) return out;
+  for (const auto& item : result.array) {
+    if (auto s = LatencySample::parse(item.str)) out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace klb::store

@@ -1,0 +1,65 @@
+// The latency store (Fig. 6): VIP -> list of <DIP, latency, time> tuples.
+//
+// A typed schema over the KvEngine. KLM instances append samples over the
+// wire (through KvServer); the controller reads through this facade
+// synchronously — the store round trip (0.3-4 ms against Azure Redis, §6.7)
+// is negligible against the 5-second control loop, so modelling it would
+// only add plumbing, not behaviour. Samples are stored newest-first under
+// key "lat:<vip>:<dip>" with a bounded history.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "store/kv_engine.hpp"
+
+namespace klb::store {
+
+/// One KLM measurement round for one DIP.
+struct LatencySample {
+  net::IpAddr dip;
+  double avg_latency_ms = 0.0;
+  std::uint32_t probes = 0;    // requests attempted this round
+  std::uint32_t errors = 0;    // 5xx responses (server-side drops)
+  std::uint32_t timeouts = 0;  // no response at all
+  util::SimTime at = util::SimTime::zero();
+
+  /// A round where nothing came back: the DIP looks dead (§4.5 failures).
+  bool all_failed() const { return probes > 0 && errors + timeouts >= probes; }
+  /// Any drop at all — the explorer's "packet drop" input (Algorithm 1).
+  bool saw_drops() const { return errors + timeouts > 0; }
+
+  std::string serialize() const;
+  static std::optional<LatencySample> parse(const std::string& s);
+};
+
+class LatencyStore {
+ public:
+  explicit LatencyStore(std::shared_ptr<KvEngine> engine,
+                        std::size_t history_per_dip = 64)
+      : engine_(std::move(engine)), history_(history_per_dip) {}
+
+  KvEngine& engine() { return *engine_; }
+
+  /// Append a sample (newest first) and trim history.
+  void record(net::IpAddr vip, const LatencySample& sample);
+
+  /// The most recent sample for a DIP, if any.
+  std::optional<LatencySample> latest(net::IpAddr vip, net::IpAddr dip) const;
+
+  /// Most recent `n` samples, newest first.
+  std::vector<LatencySample> recent(net::IpAddr vip, net::IpAddr dip,
+                                    std::size_t n) const;
+
+  static std::string key_for(net::IpAddr vip, net::IpAddr dip);
+
+ private:
+  std::shared_ptr<KvEngine> engine_;
+  std::size_t history_;
+};
+
+}  // namespace klb::store

@@ -1,0 +1,66 @@
+// Fixed-width table / series printers so bench output lines up with the
+// paper's figures and tables.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace klb::testbed {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : "";
+        os << std::left << std::setw(static_cast<int>(width[c])) << v << " | ";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+inline std::string fmt_pct(double fraction, int precision = 1) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace klb::testbed

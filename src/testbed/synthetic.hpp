@@ -1,0 +1,30 @@
+// Synthetic weight-latency curves for solver-scale experiments (§6.6).
+//
+// Fig. 8 / Tables 6-7 exercise the ILP at up to 1000 DIPs without a
+// dataplane. The paper uses the F-series curve measured in §6.1; we build
+// the analytic equivalent: latency flat near l0 at low weight, rising
+// quadratically to ~5x l0 at the DIP's capacity weight (the knee shape of
+// Fig. 5 that drives both the explorer and the fit).
+#pragma once
+
+#include "fit/wl_curve.hpp"
+
+namespace klb::testbed {
+
+/// A fitted curve whose capacity weight (wmax) is `wmax`, unloaded latency
+/// `l0_ms`, and latency at wmax ~= 5x l0 (the explorer's pseudo-drop
+/// point). Sampled at 5 weights like a real exploration, then fit with
+/// degree 2.
+inline fit::WeightLatencyCurve synthetic_curve(double wmax,
+                                               double l0_ms = 1.5) {
+  fit::WeightLatencyCurve curve;
+  for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double w = f * wmax;
+    const double latency = l0_ms * (1.0 + 4.0 * f * f);  // 5x l0 at wmax
+    curve.add_point(w, latency, /*dropped=*/false);
+  }
+  curve.fit(2);
+  return curve;
+}
+
+}  // namespace klb::testbed

@@ -1,0 +1,158 @@
+#include "testbed/testbed.hpp"
+
+#include <cmath>
+
+#include "util/weight.hpp"
+
+namespace klb::testbed {
+
+namespace {
+const net::IpAddr kVip{10, 0, 0, 1};
+const net::IpAddr kDipBase{10, 1, 0, 1};
+const net::IpAddr kClientBase{10, 2, 0, 1};
+const net::IpAddr kKlmAddr{10, 3, 0, 1};
+const net::IpAddr kStoreAddr{10, 3, 0, 2};
+}  // namespace
+
+std::vector<DipSpec> table3_specs() {
+  std::vector<DipSpec> specs;
+  for (const auto& vm : server::table3_pool()) specs.push_back(DipSpec{vm, 1.0, 0.0});
+  return specs;
+}
+
+std::vector<DipSpec> three_dip_specs(double hc1, double hc2, double lc) {
+  return {DipSpec{server::kDs1v2, hc1, 0.0}, DipSpec{server::kDs1v2, hc2, 0.0},
+          DipSpec{server::kDs1v2, lc, 0.0}};
+}
+
+Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
+    : specs_(std::move(specs)), cfg_(cfg) {
+  sim_ = std::make_unique<sim::Simulation>(cfg_.seed);
+  net_ = std::make_unique<net::Network>(*sim_);
+  vip_ = kVip;
+
+  // DIPs.
+  std::vector<net::IpAddr> dip_addrs;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    auto dip_cfg = cfg_.dip;
+    dip_cfg.vm = specs_[i].vm;
+    auto dip = std::make_unique<server::DipServer>(
+        *net_, kDipBase.next(static_cast<std::uint32_t>(i)), dip_cfg);
+    dip->set_capacity_factor(specs_[i].capacity_factor);
+    dip->set_stolen_cores(specs_[i].stolen_cores);
+    dip_addrs.push_back(dip->address());
+    dips_.push_back(std::move(dip));
+  }
+
+  // MUX + LB control plane.
+  mux_ = std::make_unique<lb::Mux>(*net_, vip_, lb::make_policy(cfg_.policy));
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    mux_->add_backend(dip_addrs[i], dips_[i].get());
+  lb_ctrl_ = std::make_unique<lb::LbController>(*sim_, *mux_,
+                                                cfg_.programming_delay);
+
+  // Latency store (engine shared between the wire server and the typed
+  // facade the controller reads).
+  kv_engine_ = std::make_shared<store::KvEngine>(
+      [this] { return sim_->now(); });
+  kv_server_ = std::make_unique<store::KvServer>(*net_, kStoreAddr, kv_engine_);
+  lat_store_ = std::make_unique<store::LatencyStore>(kv_engine_);
+
+  // KLM.
+  klm_ = std::make_unique<klm::Klm>(*net_, kKlmAddr, vip_, dip_addrs,
+                                    kStoreAddr, cfg_.klm);
+  klm_->start();
+
+  // Clients at load_fraction of healthy capacity.
+  offered_rps_ = cfg_.load_fraction * healthy_capacity_rps();
+  workload::ClientConfig ccfg;
+  ccfg.requests_per_session = cfg_.requests_per_session;
+  if (cfg_.closed_loop_factor > 0.0) {
+    // Nominal in-flight ~= offered * (service + queueing headroom + RTT).
+    const double nominal_latency_s =
+        cfg_.dip.demand_core_ms / 1e3 * 2.0 + 0.001;
+    ccfg.max_outstanding_sessions = static_cast<std::uint64_t>(
+        std::max(4.0, std::ceil(cfg_.closed_loop_factor * offered_rps_ *
+                                nominal_latency_s /
+                                std::max(1.0, cfg_.requests_per_session))));
+  }
+  clients_ = std::make_unique<workload::ClientPool>(
+      *net_, kClientBase, vip_, workload::TrafficPattern(offered_rps_), ccfg);
+  clients_->start();
+
+  // KnapsackLB controller (optional).
+  if (cfg_.use_knapsacklb) {
+    controller_ = std::make_unique<core::Controller>(
+        *sim_, vip_, dip_addrs, *lat_store_, *lb_ctrl_, cfg_.controller);
+    controller_->start();
+  }
+}
+
+Testbed::~Testbed() {
+  if (controller_) controller_->stop();
+  if (clients_) clients_->stop();
+  if (klm_) klm_->stop();
+}
+
+void Testbed::run_for(util::SimTime duration) { sim_->run_for(duration); }
+
+bool Testbed::run_until_ready(util::SimTime limit) {
+  if (!controller_) return false;
+  const auto deadline = sim_->now() + limit;
+  while (sim_->now() < deadline) {
+    if (controller_->all_ready()) return true;
+    sim_->run_for(cfg_.controller.round_interval);
+  }
+  return controller_->all_ready();
+}
+
+void Testbed::reset_stats() {
+  for (auto& d : dips_) d->reset_stats();
+  clients_->recorder().reset();
+  mux_->reset_counters();
+}
+
+void Testbed::set_static_weights(const std::vector<double>& weights) {
+  lb_ctrl_->program_weights(util::normalize_to_units(weights));
+}
+
+std::vector<DipMetrics> Testbed::metrics() const {
+  std::vector<DipMetrics> out;
+  const auto& per_dip = clients_->recorder().per_dip();
+  const auto units = mux_->weight_units();
+  for (std::size_t i = 0; i < dips_.size(); ++i) {
+    DipMetrics m;
+    m.addr = dips_[i]->address();
+    m.vm_type = specs_[i].vm.name;
+    m.cpu_utilization = dips_[i]->cpu_utilization();
+    m.drops = dips_[i]->dropped();
+    m.weight = util::units_to_weight(units[i]);
+    const auto it = per_dip.find(m.addr);
+    if (it != per_dip.end()) {
+      m.client_latency_ms = it->second.mean();
+      m.client_requests = it->second.count();
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+double Testbed::overall_latency_ms() const {
+  return clients_->recorder().overall().mean();
+}
+
+double Testbed::overall_p99_ms() const {
+  return clients_->recorder().percentile_ms(0.99);
+}
+
+double Testbed::healthy_capacity_rps() const {
+  double total = 0.0;
+  for (const auto& spec : specs_) {
+    const double per_core_rps =
+        spec.vm.speed / (cfg_.dip.demand_core_ms / 1e3);
+    total += per_core_rps * spec.vm.cores;
+  }
+  return total;
+}
+
+}  // namespace klb::testbed

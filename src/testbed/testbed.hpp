@@ -1,0 +1,138 @@
+// Experiment composition: the simulated equivalent of the paper's 41-VM
+// Azure deployment (§6 Setup).
+//
+// A Testbed wires together, on one virtual-time Simulation:
+//   - N DIP servers (VM types + noisy-neighbor knobs),
+//   - one MUX with a selectable policy behind a VIP,
+//   - the HAProxy-like LB control plane (weight programming with delay),
+//   - an open-loop client pool driving a fraction of cluster capacity,
+//   - the KLM prober + RESP latency store,
+//   - optionally the KnapsackLB controller.
+//
+// Benches and examples construct a Testbed, run phases of virtual time,
+// and read per-DIP CPU / client-observed latency off it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "klm/klm.hpp"
+#include "lb/dns_lb.hpp"
+#include "lb/lb_controller.hpp"
+#include "lb/mux.hpp"
+#include "server/dip_server.hpp"
+#include "store/kv_server.hpp"
+#include "workload/client.hpp"
+
+namespace klb::testbed {
+
+struct DipSpec {
+  server::VmType vm = server::kDs1v2;
+  double capacity_factor = 1.0;  // cache-thrash slowdown (1.0 = healthy)
+  double stolen_cores = 0.0;     // antagonist-held vCPUs
+};
+
+struct TestbedConfig {
+  std::uint64_t seed = 1;
+  std::string policy = "wrr";  // lb policy for the MUX
+  /// Offered load as a fraction of the pool's healthy capacity (the paper
+  /// runs at 70%).
+  double load_fraction = 0.70;
+  double requests_per_session = 4.0;
+  /// Closed-loop concurrency, as a multiple of the nominal in-flight
+  /// request count (offered_rps x ~unloaded latency). 0 = open loop.
+  /// The paper's clients were fixed-concurrency load generators, which is
+  /// what keeps overloaded-DIP latency at a few multiples of healthy
+  /// rather than backlog-bound.
+  double closed_loop_factor = 5.0;
+  server::DipConfig dip;  // shared service-demand model
+  klm::KlmConfig klm;
+  core::ControllerConfig controller;
+  bool use_knapsacklb = false;
+  util::SimTime programming_delay = util::SimTime::millis(200);
+};
+
+/// Per-DIP metrics snapshot for reporting.
+struct DipMetrics {
+  net::IpAddr addr;
+  std::string vm_type;
+  double cpu_utilization = 0.0;       // server-side, window average
+  double client_latency_ms = 0.0;     // mean over client requests
+  std::uint64_t client_requests = 0;
+  std::uint64_t drops = 0;
+  double weight = 0.0;                // current MUX weight
+};
+
+class Testbed {
+ public:
+  Testbed(std::vector<DipSpec> specs, TestbedConfig cfg);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // --- run control ----------------------------------------------------------
+  void run_for(util::SimTime duration);
+  /// Run until the KnapsackLB controller reports every DIP Ready (requires
+  /// use_knapsacklb). Returns false if `limit` elapses first.
+  bool run_until_ready(util::SimTime limit);
+  /// Clear all measurement windows (after warmup / before a window).
+  void reset_stats();
+
+  // --- topology access --------------------------------------------------------
+  sim::Simulation& sim() { return *sim_; }
+  net::Network& network() { return *net_; }
+  std::size_t dip_count() const { return dips_.size(); }
+  server::DipServer& dip(std::size_t i) { return *dips_[i]; }
+  lb::Mux& mux() { return *mux_; }
+  lb::LbController& lb_controller() { return *lb_ctrl_; }
+  workload::ClientPool& clients() { return *clients_; }
+  klm::Klm& klm() { return *klm_; }
+  store::LatencyStore& latency_store() { return *lat_store_; }
+  core::Controller* controller() { return controller_.get(); }
+  net::IpAddr vip() const { return vip_; }
+
+  /// Program static weights (units of weight 1.0 per DIP, normalized
+  /// internally) through the LB controller — the "operator sets weights by
+  /// core count" baselines.
+  void set_static_weights(const std::vector<double>& weights);
+
+  // --- metrics ---------------------------------------------------------------
+  std::vector<DipMetrics> metrics() const;
+  /// Mean client latency over the current window.
+  double overall_latency_ms() const;
+  double overall_p99_ms() const;
+  /// Healthy-pool capacity in requests/sec (speed-weighted, ignoring
+  /// current antagonists).
+  double healthy_capacity_rps() const;
+  double offered_rps() const { return offered_rps_; }
+
+ private:
+  std::vector<DipSpec> specs_;
+  TestbedConfig cfg_;
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<net::Network> net_;
+  net::IpAddr vip_;
+  std::vector<std::unique_ptr<server::DipServer>> dips_;
+  std::unique_ptr<lb::Mux> mux_;
+  std::unique_ptr<lb::LbController> lb_ctrl_;
+  std::shared_ptr<store::KvEngine> kv_engine_;
+  std::unique_ptr<store::KvServer> kv_server_;
+  std::unique_ptr<store::LatencyStore> lat_store_;
+  std::unique_ptr<klm::Klm> klm_;
+  std::unique_ptr<workload::ClientPool> clients_;
+  std::unique_ptr<core::Controller> controller_;
+  double offered_rps_ = 0.0;
+};
+
+/// The paper's Table 3 pool: 16x DS1v2 + 8x DS2v2 + 4x DS3v2 + 2x F8sv2.
+std::vector<DipSpec> table3_specs();
+
+/// §2.1's three-DIP pool at the given capacity factors (e.g. {1, 1, 0.6}).
+std::vector<DipSpec> three_dip_specs(double hc1, double hc2, double lc);
+
+}  // namespace klb::testbed

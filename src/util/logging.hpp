@@ -1,0 +1,57 @@
+// Minimal leveled logger. Components log through a shared sink; benches and
+// tests can raise the threshold to keep output clean, examples can lower it
+// to narrate what the controller is doing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace klb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Not thread-safe by design: the simulator is
+/// single-threaded and benches set this once at startup.
+LogLevel& log_threshold();
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level) {
+    stream_ << "[" << log_level_name(level) << "] " << component << ": ";
+  }
+  ~LogLine() {
+    if (level_ >= log_threshold()) {
+      stream_ << '\n';
+      std::clog << stream_.str();
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_threshold()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug(const char* component) {
+  return detail::LogLine(LogLevel::kDebug, component);
+}
+inline detail::LogLine log_info(const char* component) {
+  return detail::LogLine(LogLevel::kInfo, component);
+}
+inline detail::LogLine log_warn(const char* component) {
+  return detail::LogLine(LogLevel::kWarn, component);
+}
+inline detail::LogLine log_error(const char* component) {
+  return detail::LogLine(LogLevel::kError, component);
+}
+
+}  // namespace klb::util

@@ -1,0 +1,146 @@
+// Deterministic random number generation for the simulator.
+//
+// All stochastic behaviour in the library flows from a seeded Rng so that
+// every experiment is reproducible from its printed seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through SplitMix64 so that small
+// integer seeds still produce well-mixed state.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace klb::util {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be used with
+/// <random> distributions, though the built-in helpers below are preferred
+/// for cross-platform determinism (libstdc++ distributions are not
+/// guaranteed to produce identical streams across versions).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) {
+    // Guard against log(0).
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: determinism over speed).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal with given mean and coefficient of variation of the
+  /// *resulting* distribution (handy for service-demand models).
+  double lognormal_mean_cov(double mean, double cov) {
+    if (cov <= 0.0) return mean;
+    const double sigma2 = std::log(1.0 + cov * cov);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+  }
+
+  /// true with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Returns weights.size() when all weights are <= 0.
+  template <typename Container>
+  std::size_t weighted_index(const Container& weights) {
+    double total = 0.0;
+    for (double w : weights) total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0) return weights.size();
+    double x = uniform() * total;
+    std::size_t i = 0;
+    for (double w : weights) {
+      if (w > 0.0) {
+        x -= w;
+        if (x < 0.0) return i;
+      }
+      ++i;
+    }
+    return weights.size() - 1;  // numeric edge: fall back to the last entry
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace klb::util

@@ -1,0 +1,179 @@
+// Streaming statistics used throughout the simulator and the controller:
+// Welford mean/variance, log-bucketed latency histograms with percentile
+// queries, and windowed time-weighted utilization accounting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace klb::util {
+
+/// Numerically stable streaming mean / variance / min / max (Welford).
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+  }
+
+  /// Merge another accumulator (parallel Welford / Chan et al.).
+  void merge(const Welford& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = n_ + o.n_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Latency histogram with geometrically spaced buckets.
+///
+/// Buckets span [min_value, max_value] with `buckets_per_decade` buckets per
+/// factor of 10, giving a bounded relative error on percentile queries
+/// (~ +/- half a bucket width). Values outside the range clamp to the edge
+/// buckets. Suited for request latencies spanning microseconds to seconds.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double min_value = 1e-6, double max_value = 1e2,
+                        int buckets_per_decade = 50)
+      : min_value_(min_value),
+        log_min_(std::log10(min_value)),
+        scale_(buckets_per_decade) {
+    const int decades =
+        static_cast<int>(std::ceil(std::log10(max_value / min_value)));
+    counts_.assign(static_cast<std::size_t>(decades * buckets_per_decade) + 2,
+                   0);
+  }
+
+  void add(double v) {
+    ++total_;
+    sum_ += v;
+    counts_[index_of(v)]++;
+  }
+
+  std::uint64_t count() const { return total_; }
+  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  /// p in [0,1]; returns the representative value of the bucket containing
+  /// the p-th quantile. p=0.5 -> median, p=0.99 -> P99.
+  double percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= rank && counts_[i] > 0) return bucket_mid(i);
+    }
+    return bucket_mid(counts_.size() - 1);
+  }
+
+  void merge(const LogHistogram& o) {
+    // Only valid for identically configured histograms.
+    for (std::size_t i = 0; i < counts_.size() && i < o.counts_.size(); ++i)
+      counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+  }
+
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::size_t index_of(double v) const {
+    if (v <= min_value_) return 0;
+    const double pos = (std::log10(v) - log_min_) * scale_;
+    const auto idx = static_cast<std::size_t>(pos) + 1;
+    return std::min(idx, counts_.size() - 1);
+  }
+
+  double bucket_mid(std::size_t i) const {
+    if (i == 0) return min_value_;
+    const double lo = log_min_ + static_cast<double>(i - 1) / scale_;
+    return std::pow(10.0, lo + 0.5 / scale_);
+  }
+
+  double min_value_;
+  double log_min_;
+  double scale_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Time-weighted average of a step function (e.g. #busy cores over time).
+/// Feed (time, new_value) transitions; query the average over [start, now].
+class TimeWeighted {
+ public:
+  void set(double time, double value) {
+    if (has_last_) {
+      area_ += last_value_ * (time - last_time_);
+    } else {
+      start_ = time;
+      has_last_ = true;
+    }
+    last_time_ = time;
+    last_value_ = value;
+  }
+
+  /// Average value over [window_start, now]; `now` must be >= last set time.
+  double average(double now) const {
+    if (!has_last_ || now <= start_) return 0.0;
+    const double area = area_ + last_value_ * (now - last_time_);
+    return area / (now - start_);
+  }
+
+  double current() const { return last_value_; }
+
+  /// Restart the averaging window at `time`, keeping the current value.
+  void reset_window(double time) {
+    start_ = time;
+    last_time_ = time;
+    area_ = 0.0;
+  }
+
+ private:
+  bool has_last_ = false;
+  double start_ = 0.0;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double area_ = 0.0;
+};
+
+}  // namespace klb::util

@@ -1,0 +1,73 @@
+// Virtual time for the discrete-event simulator.
+//
+// SimTime is a strong type over integer microseconds. Integer time keeps
+// event ordering exact (no float comparison hazards) and microsecond
+// resolution comfortably covers sub-millisecond service latencies while
+// allowing multi-day simulations within int64 range.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace klb::util {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  static constexpr SimTime millis(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1e3)};
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{us_ + o.us_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{us_ - o.us_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr SimTime operator*(double k) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+
+  std::string str() const {
+    const double s = sec();
+    if (s >= 1.0) return std::to_string(s) + "s";
+    return std::to_string(ms()) + "ms";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+namespace literals {
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::millis(static_cast<double>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace klb::util

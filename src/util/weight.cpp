@@ -1,0 +1,57 @@
+#include "util/weight.hpp"
+
+#include <numeric>
+
+namespace klb::util {
+
+std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  std::vector<std::int64_t> units(n, 0);
+  if (n == 0) return units;
+
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+
+  if (total <= 0.0) {
+    // Equal split with the leftover spread over the first few entries.
+    const std::int64_t base = kWeightScale / static_cast<std::int64_t>(n);
+    std::int64_t rem = kWeightScale - base * static_cast<std::int64_t>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      units[i] = base + (static_cast<std::int64_t>(i) < rem ? 1 : 0);
+    return units;
+  }
+
+  // Largest remainder method.
+  std::vector<double> exact(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    exact[i] = w / total * static_cast<double>(kWeightScale);
+    units[i] = static_cast<std::int64_t>(exact[i]);  // floor
+    assigned += units[i];
+  }
+  std::int64_t leftover = kWeightScale - assigned;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = exact[a] - static_cast<double>(units[a]);
+    const double rb = exact[b] - static_cast<double>(units[b]);
+    if (ra != rb) return ra > rb;
+    return a < b;  // deterministic tie-break
+  });
+  for (std::size_t k = 0; leftover > 0 && k < n; ++k, --leftover)
+    units[order[k]] += 1;
+
+  return units;
+}
+
+std::vector<double> normalize_weights(const std::vector<double>& weights) {
+  const auto units = normalize_to_units(weights);
+  std::vector<double> out(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i)
+    out[i] = units_to_weight(units[i]);
+  return out;
+}
+
+}  // namespace klb::util

@@ -1,0 +1,38 @@
+// Fixed-point LB weights.
+//
+// The controller, scheduler, and ILP all operate on weights from [0, 1].
+// Accumulating doubles drifts (sum-to-1 checks fail), and the ILP needs an
+// exact integer grid anyway, so weights are represented in units of
+// 1/kWeightScale. 1e4 units gives 0.01% resolution -- finer than the finest
+// grid the multi-step ILP ever requests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace klb::util {
+
+inline constexpr std::int64_t kWeightScale = 10'000;
+
+/// Round a real weight in [0,1] to grid units.
+inline std::int64_t weight_to_units(double w) {
+  return std::llround(std::clamp(w, 0.0, 1.0) * static_cast<double>(kWeightScale));
+}
+
+inline double units_to_weight(std::int64_t u) {
+  return static_cast<double>(u) / static_cast<double>(kWeightScale);
+}
+
+/// Normalize a non-negative weight vector so the rounded units sum exactly
+/// to kWeightScale. Largest-remainder apportionment: deterministic and
+/// minimizes total rounding error. All-zero input yields an equal split.
+std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights);
+
+/// Convenience: normalize and return doubles that sum to exactly 1 in grid
+/// units (each value is a multiple of 1/kWeightScale).
+std::vector<double> normalize_weights(const std::vector<double>& weights);
+
+}  // namespace klb::util

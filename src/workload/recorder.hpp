@@ -1,0 +1,68 @@
+// Client-side latency accounting.
+//
+// Records per-request outcomes, overall and attributed per DIP (clients
+// learn the serving DIP from the Server response header — purely an
+// observability convenience; no component of KnapsackLB consumes it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "util/stats.hpp"
+
+namespace klb::workload {
+
+class LatencyRecorder {
+ public:
+  void record_success(net::IpAddr dip, double latency_ms) {
+    overall_.add(latency_ms);
+    histogram_.add(latency_ms / 1e3);  // histogram works in seconds
+    per_dip_[dip].add(latency_ms);
+    latencies_.push_back(latency_ms);
+  }
+
+  void record_error(net::IpAddr dip) { ++errors_[dip]; }
+  void record_timeout() { ++timeouts_; }
+
+  const util::Welford& overall() const { return overall_; }
+  double percentile_ms(double p) const { return histogram_.percentile(p) * 1e3; }
+
+  const std::map<net::IpAddr, util::Welford>& per_dip() const {
+    return per_dip_;
+  }
+  std::uint64_t errors() const {
+    std::uint64_t total = 0;
+    for (const auto& [_, n] : errors_) total += n;
+    return total;
+  }
+  std::uint64_t errors_for(net::IpAddr dip) const {
+    const auto it = errors_.find(dip);
+    return it == errors_.end() ? 0 : it->second;
+  }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  /// Raw per-request latencies (ms) in completion order — used for the
+  /// "cuts latency by X% for Y% of requests" CDF comparisons.
+  const std::vector<double>& raw_latencies_ms() const { return latencies_; }
+
+  void reset() {
+    overall_.reset();
+    histogram_.reset();
+    per_dip_.clear();
+    errors_.clear();
+    timeouts_ = 0;
+    latencies_.clear();
+  }
+
+ private:
+  util::Welford overall_;
+  util::LogHistogram histogram_{1e-5, 1e2, 50};
+  std::map<net::IpAddr, util::Welford> per_dip_;
+  std::map<net::IpAddr, std::uint64_t> errors_;
+  std::uint64_t timeouts_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace klb::workload

@@ -1,0 +1,49 @@
+// Time-varying offered load.
+//
+// A TrafficPattern is a piecewise-constant request rate (requests/sec over
+// virtual time). §6.3's "+10% traffic" experiment is a two-piece pattern;
+// steady-state benches use a single piece.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace klb::workload {
+
+class TrafficPattern {
+ public:
+  /// Constant rate.
+  explicit TrafficPattern(double rps) { pieces_.push_back({util::SimTime::zero(), rps}); }
+
+  /// Piecewise: each piece applies from its start time until the next.
+  /// Pieces must be sorted by start time; the first should start at 0.
+  explicit TrafficPattern(std::vector<std::pair<util::SimTime, double>> pieces)
+      : pieces_(std::move(pieces)) {}
+
+  double rate_at(util::SimTime t) const {
+    double rate = pieces_.empty() ? 0.0 : pieces_.front().second;
+    for (const auto& [start, rps] : pieces_) {
+      if (start <= t) rate = rps;
+      else break;
+    }
+    return rate;
+  }
+
+  /// Scale every piece by `factor` (used to hit "x% of cluster capacity").
+  void scale(double factor) {
+    for (auto& [_, rps] : pieces_) rps *= factor;
+  }
+
+  void add_piece(util::SimTime start, double rps) {
+    pieces_.emplace_back(start, rps);
+    std::sort(pieces_.begin(), pieces_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+ private:
+  std::vector<std::pair<util::SimTime, double>> pieces_;
+};
+
+}  // namespace klb::workload

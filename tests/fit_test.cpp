@@ -1,0 +1,189 @@
+// Tests for polynomial regression and the weight-latency curve: exact
+// recovery of known polynomials, noisy-fit quality, monotone envelope
+// semantics, inverse lookup, and the §4.5 rescaling identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fit/polyfit.hpp"
+#include "fit/wl_curve.hpp"
+#include "util/rng.hpp"
+
+namespace klb::fit {
+namespace {
+
+TEST(SolveLinear, Solves2x2) {
+  const auto x = solve_linear({{2.0, 1.0}, {1.0, 3.0}}, {5.0, 10.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularReturnsNullopt) {
+  EXPECT_FALSE(solve_linear({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}).has_value());
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const auto x = solve_linear({{0.0, 1.0}, {1.0, 0.0}}, {2.0, 3.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  // y = 1 + 2x + 3x^2
+  std::vector<double> xs{0.0, 0.1, 0.2, 0.35, 0.5};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(1.0 + 2.0 * x + 3.0 * x * x);
+  const auto p = polyfit(xs, ys, 2);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->coeffs.size(), 3u);
+  EXPECT_NEAR(p->coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(p->coeffs[1], 2.0, 1e-8);
+  EXPECT_NEAR(p->coeffs[2], 3.0, 1e-7);
+}
+
+TEST(Polyfit, ClampsDegreeToDistinctPoints) {
+  // Two distinct x-values can only support a line.
+  const auto p = polyfit({0.0, 1.0, 1.0}, {1.0, 3.0, 3.0}, 5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->degree(), 1);
+  EXPECT_NEAR(p->eval(0.5), 2.0, 1e-9);
+}
+
+TEST(Polyfit, AllSameXIsDegreeZero) {
+  const auto p = polyfit({2.0, 2.0}, {5.0, 7.0}, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->degree(), 0);
+  EXPECT_NEAR(p->eval(123.0), 6.0, 1e-9);
+}
+
+TEST(Polyfit, EmptyInputFails) {
+  EXPECT_FALSE(polyfit({}, {}, 2).has_value());
+  EXPECT_FALSE(polyfit({1.0}, {}, 2).has_value());
+}
+
+TEST(Polyfit, NoisyFitHasHighR2) {
+  util::Rng rng(101);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = 0.01 * i;
+    xs.push_back(x);
+    ys.push_back(2.0 + 50.0 * x * x + rng.normal(0.0, 0.05));
+  }
+  const auto p = polyfit(xs, ys, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_GT(r_squared(*p, xs, ys), 0.98);
+}
+
+// Property: for random polynomials, fitting exact samples recovers eval
+// behaviour within tolerance across the sampled domain.
+class PolyfitRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyfitRoundTrip, ExactSamplesRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const int degree = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{3}));
+  std::vector<double> coeffs;
+  for (int i = 0; i <= degree; ++i) coeffs.push_back(rng.uniform(-5.0, 5.0));
+  const Polynomial truth{coeffs};
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= degree + 4; ++i) {
+    const double x = 0.05 + 0.09 * i;
+    xs.push_back(x);
+    ys.push_back(truth.eval(x));
+  }
+  const auto p = polyfit(xs, ys, degree);
+  ASSERT_TRUE(p.has_value());
+  for (const double x : xs)
+    EXPECT_NEAR(p->eval(x), truth.eval(x), 1e-5 * (1.0 + std::fabs(truth.eval(x))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyfitRoundTrip, ::testing::Range(0, 20));
+
+TEST(WeightLatencyCurve, FitsAndEvaluates) {
+  WeightLatencyCurve curve;
+  // Latency rises quadratically with weight (like Fig. 5).
+  for (const double w : {0.02, 0.05, 0.08, 0.12, 0.16})
+    curve.add_point(w, 1.0 + 100.0 * w * w, false);
+  ASSERT_TRUE(curve.fit(2));
+  EXPECT_NEAR(curve.latency_at(0.10), 2.0, 0.1);
+  EXPECT_GT(curve.fit_r_squared(), 0.99);
+  EXPECT_NEAR(curve.wmax(), 0.16, 1e-12);
+}
+
+TEST(WeightLatencyCurve, DroppedPointsExcludedFromFit) {
+  WeightLatencyCurve curve;
+  curve.add_point(0.05, 1.0, false);
+  curve.add_point(0.10, 2.0, false);
+  curve.add_point(0.15, 3.0, false);
+  curve.add_point(0.30, 500.0, true);  // drop point must not skew the line
+  ASSERT_TRUE(curve.fit(1));
+  EXPECT_NEAR(curve.latency_at(0.20), 4.0, 0.2);
+  EXPECT_NEAR(curve.wmax(), 0.15, 1e-12);  // wmax excludes dropped weights
+}
+
+TEST(WeightLatencyCurve, EnvelopeIsMonotone) {
+  WeightLatencyCurve curve;
+  // A downward-opening quadratic would dip; the envelope must not.
+  curve.add_point(0.0, 5.0, false);
+  curve.add_point(0.1, 4.0, false);
+  curve.add_point(0.2, 6.0, false);
+  ASSERT_TRUE(curve.fit(2));
+  double prev = curve.latency_at(0.0);
+  for (double w = 0.0; w <= 0.25; w += 0.005) {
+    const double l = curve.latency_at(w);
+    EXPECT_GE(l, prev - 1e-9) << "dip at w=" << w;
+    prev = l;
+  }
+}
+
+TEST(WeightLatencyCurve, InverseLookupIsConsistent) {
+  WeightLatencyCurve curve;
+  for (const double w : {0.02, 0.06, 0.10, 0.14})
+    curve.add_point(w, 1.0 + 50.0 * w * w, false);
+  ASSERT_TRUE(curve.fit(2));
+  const double l = curve.latency_at(0.08);
+  const double w = curve.weight_for(l);
+  EXPECT_NEAR(w, 0.08, 0.01);
+  // weight_for returns the largest weight not exceeding the latency.
+  EXPECT_LE(curve.latency_at(w), l + 1e-6);
+}
+
+TEST(WeightLatencyCurve, InverseBelowCurveReturnsZero) {
+  WeightLatencyCurve curve;
+  curve.add_point(0.0, 5.0, false);
+  curve.add_point(0.1, 6.0, false);
+  ASSERT_TRUE(curve.fit(1));
+  EXPECT_EQ(curve.weight_for(1.0), 0.0);
+}
+
+TEST(WeightLatencyCurve, RescaleShiftsLeft) {
+  WeightLatencyCurve curve;
+  for (const double w : {0.1, 0.2, 0.3, 0.4})
+    curve.add_point(w, 10.0 * w, false);
+  ASSERT_TRUE(curve.fit(1));
+
+  const double before = curve.latency_at(0.2);
+  // Traffic grew: the latency seen at weight 0.2 now happens at 0.16.
+  curve.rescale(0.8);
+  EXPECT_NEAR(curve.latency_at(0.16), before, 1e-6);
+  EXPECT_NEAR(curve.wmax(), 0.4 * 0.8, 1e-9);
+
+  // Rescaling accumulates.
+  curve.rescale(0.5);
+  EXPECT_NEAR(curve.latency_at(0.08), before, 1e-6);
+}
+
+TEST(WeightLatencyCurve, TooFewPointsFails) {
+  WeightLatencyCurve curve;
+  curve.add_point(0.1, 1.0, false);
+  EXPECT_FALSE(curve.fit(2));
+  EXPECT_FALSE(curve.fitted());
+}
+
+}  // namespace
+}  // namespace klb::fit

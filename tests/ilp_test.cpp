@@ -1,0 +1,199 @@
+// ILP branch & bound + MCKP DP tests: known-answer knapsacks, timeout
+// behaviour, infeasibility, and the key cross-validation property — on
+// random MCKP instances the generic B&B and the specialized DP must agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ilp/mckp.hpp"
+#include "ilp/model.hpp"
+#include "util/rng.hpp"
+#include "util/weight.hpp"
+
+namespace klb::ilp {
+namespace {
+
+TEST(Ilp, SolvesTinyBinaryKnapsack) {
+  // max 6a + 10b + 12c st a + 2b + 3c <= 5  (classic: b + c = 22)
+  Model m;
+  const int a = m.add_var(VarType::kBinary, -6.0);
+  const int b = m.add_var(VarType::kBinary, -10.0);
+  const int c = m.add_var(VarType::kBinary, -12.0);
+  m.add_constraint({{a, 1.0}, {b, 2.0}, {c, 3.0}}, lp::Relation::kLe, 5.0);
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -22.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(a)], 0.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(Ilp, IntegralityMatters) {
+  // LP relaxation would take half an item; ILP must not.
+  Model m;
+  const int a = m.add_var(VarType::kBinary, -10.0);
+  const int b = m.add_var(VarType::kBinary, -6.0);
+  m.add_constraint({{a, 2.0}, {b, 1.0}}, lp::Relation::kLe, 2.0);
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -10.0, 1e-6);  // take a alone (LP would mix)
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  Model m;
+  const int a = m.add_var(VarType::kBinary, 1.0);
+  m.add_constraint({{a, 1.0}}, lp::Relation::kGe, 2.0);  // binary can't be 2
+  EXPECT_EQ(solve(m).status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, ContinuousVariablesMix) {
+  // One binary gate y, one continuous x <= 10: min -x - 5y st x <= 10y.
+  Model m;
+  const int x = m.add_var(VarType::kContinuous, -1.0, 10.0);
+  const int y = m.add_var(VarType::kBinary, -5.0);
+  m.add_constraint({{x, 1.0}, {y, -10.0}}, lp::Relation::kLe, 0.0);
+  const auto r = solve(m);
+  ASSERT_EQ(r.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -15.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 10.0, 1e-6);
+}
+
+TEST(Ilp, TimeLimitReturnsTimeoutStatus) {
+  // A deliberately painful subset-sum-like instance with a 1 ms budget.
+  util::Rng rng(4242);
+  Model m;
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < 40; ++i) {
+    const int v = m.add_var(VarType::kBinary, rng.uniform(-2.0, -1.0));
+    terms.emplace_back(v, rng.uniform(0.9, 1.1));
+  }
+  m.add_constraint(terms, lp::Relation::kLe, 17.137);
+  IlpOptions opt;
+  opt.time_limit = std::chrono::milliseconds(1);
+  const auto r = solve(m, opt);
+  EXPECT_TRUE(r.status == IlpStatus::kFeasibleTimeout ||
+              r.status == IlpStatus::kTimeout ||
+              r.status == IlpStatus::kOptimal);  // fast machines may finish
+}
+
+TEST(Mckp, PicksObviousBest) {
+  // Two groups; only one combination sums to 10.
+  std::vector<MckpGroup> groups(2);
+  groups[0].items = {{4, 9.0}, {6, 1.0}};
+  groups[1].items = {{4, 2.0}, {6, 8.0}};
+  const auto r = solve_mckp(groups, 10, 0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice[0], 1);  // 6 units, cost 1
+  EXPECT_EQ(r.choice[1], 0);  // 4 units, cost 2
+  EXPECT_NEAR(r.cost, 3.0, 1e-12);
+  EXPECT_EQ(r.total_units, 10);
+}
+
+TEST(Mckp, SlackWindowAllowsUndershoot) {
+  std::vector<MckpGroup> groups(1);
+  groups[0].items = {{7, 1.0}, {12, 0.5}};
+  // Exact 10 impossible; slack 3 admits the 7-unit item.
+  const auto exact = solve_mckp(groups, 10, 0);
+  EXPECT_FALSE(exact.feasible);
+  const auto slack = solve_mckp(groups, 10, 3);
+  ASSERT_TRUE(slack.feasible);
+  EXPECT_EQ(slack.choice[0], 0);
+}
+
+TEST(Mckp, PrefersLargerSumOnCostTies) {
+  std::vector<MckpGroup> groups(1);
+  groups[0].items = {{8, 1.0}, {10, 1.0}};
+  const auto r = solve_mckp(groups, 10, 5);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.total_units, 10);
+}
+
+TEST(Mckp, EmptyGroupInfeasible) {
+  std::vector<MckpGroup> groups(2);
+  groups[0].items = {{5, 1.0}};
+  const auto r = solve_mckp(groups, 10, 10);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Mckp, ZeroWeightItemsAllowed) {
+  std::vector<MckpGroup> groups(2);
+  groups[0].items = {{0, 0.5}, {10, 3.0}};
+  groups[1].items = {{10, 1.0}};
+  const auto r = solve_mckp(groups, 10, 0);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.choice[0], 0);
+  EXPECT_NEAR(r.cost, 1.5, 1e-12);
+}
+
+/// Builds the Fig. 7 ILP for an MCKP instance (theta = infinity) — shared
+/// by the agreement property test below.
+IlpResult solve_via_bnb(const std::vector<MckpGroup>& groups,
+                        std::int64_t total, std::int64_t slack) {
+  Model m;
+  m.set_binary_bounds_implied(true);
+  std::vector<std::vector<int>> vars(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::vector<std::pair<int, double>> group_row;
+    for (const auto& item : groups[g].items) {
+      const int v = m.add_var(VarType::kBinary, item.cost);
+      vars[g].push_back(v);
+      group_row.emplace_back(v, 1.0);
+    }
+    m.add_constraint(group_row, lp::Relation::kEq, 1.0);
+  }
+  std::vector<std::pair<int, double>> weight_row;
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (std::size_t i = 0; i < groups[g].items.size(); ++i)
+      weight_row.emplace_back(vars[g][i],
+                              static_cast<double>(groups[g].items[i].weight_units));
+  m.add_constraint(weight_row, lp::Relation::kLe, static_cast<double>(total));
+  m.add_constraint(weight_row, lp::Relation::kGe,
+                   static_cast<double>(total - slack));
+  return solve(m);
+}
+
+class MckpAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpAgreement, BnbAndDpAgreeOnRandomInstances) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7321 + 11);
+  const int num_groups = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{5}));
+  const std::int64_t total = 100;
+  std::vector<MckpGroup> groups(static_cast<std::size_t>(num_groups));
+  for (auto& g : groups) {
+    const int items = 2 + static_cast<int>(rng.uniform_int(std::uint64_t{4}));
+    for (int i = 0; i < items; ++i) {
+      g.items.push_back(MckpItem{
+          static_cast<std::int64_t>(rng.uniform_int(std::int64_t{0},
+                                                    total / num_groups + 20)),
+          rng.uniform(0.1, 20.0)});
+    }
+  }
+  const std::int64_t slack = 5;
+  const auto dp = solve_mckp(groups, total, slack);
+  const auto bnb = solve_via_bnb(groups, total, slack);
+
+  ASSERT_EQ(dp.feasible, bnb.status == IlpStatus::kOptimal)
+      << "feasibility disagreement";
+  if (dp.feasible) {
+    EXPECT_NEAR(dp.cost, bnb.objective, 1e-6)
+        << "optimal objectives disagree";
+    // The DP's reported choice must actually satisfy the window + cost.
+    std::int64_t sum = 0;
+    double cost = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& it = groups[g].items[static_cast<std::size_t>(dp.choice[g])];
+      sum += it.weight_units;
+      cost += it.cost;
+    }
+    EXPECT_EQ(sum, dp.total_units);
+    EXPECT_GE(sum, total - slack);
+    EXPECT_LE(sum, total);
+    EXPECT_NEAR(cost, dp.cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpAgreement, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace klb::ilp

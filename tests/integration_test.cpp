@@ -1,0 +1,242 @@
+// End-to-end integration tests on the full simulated testbed: the complete
+// KnapsackLB loop (probe -> store -> explore -> fit -> ILP -> program)
+// against live DIPs, plus failure, capacity-change, and traffic-change
+// reactions (§6.2, §6.3 in miniature), and workload conservation laws.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testbed/testbed.hpp"
+
+namespace klb::testbed {
+namespace {
+
+using namespace util::literals;
+using core::Controller;
+
+TestbedConfig klb_config(std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.policy = "wrr";
+  cfg.use_knapsacklb = true;
+  return cfg;
+}
+
+TEST(Integration, ControllerConvergesOnDegradedPool) {
+  auto cfg = klb_config(7);
+  Testbed bed(three_dip_specs(1.0, 1.0, 0.6), cfg);
+  ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(10)));
+
+  // Every explorer terminated within the paper's ~10 iterations (+ slack).
+  for (std::size_t i = 0; i < bed.dip_count(); ++i) {
+    EXPECT_LE(bed.controller()->explorer(i).iterations(), 14u) << i;
+    EXPECT_GT(bed.controller()->explorer(i).wmax(), 0.0) << i;
+  }
+
+  // The degraded DIP discovered a smaller wmax than the healthy ones.
+  const double w_hc = bed.controller()->explorer(0).wmax();
+  const double w_lc = bed.controller()->explorer(2).wmax();
+  EXPECT_LT(w_lc, w_hc * 0.75);
+
+  bed.run_for(30_s);
+  bed.reset_stats();
+  bed.run_for(30_s);
+
+  // Weights: the degraded DIP gets meaningfully less than the healthy ones
+  // but is not abandoned.
+  const auto metrics = bed.metrics();
+  EXPECT_GT(metrics[2].weight, 0.05);
+  EXPECT_LT(metrics[2].weight, metrics[0].weight);
+
+  // CPU utilization is roughly uniform (paper Fig. 14): spread under 25 pts.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& m : metrics) {
+    lo = std::min(lo, m.cpu_utilization);
+    hi = std::max(hi, m.cpu_utilization);
+  }
+  EXPECT_LT(hi - lo, 0.25) << "CPU spread too wide: " << lo << ".." << hi;
+}
+
+TEST(Integration, KnapsackLbBeatsRoundRobinOnDegradedPool) {
+  double rr_mean = 0.0;
+  double rr_p99 = 0.0;
+  {
+    TestbedConfig cfg;
+    cfg.seed = 11;
+    cfg.policy = "rr";
+    Testbed bed(three_dip_specs(1.0, 1.0, 0.6), cfg);
+    bed.run_for(20_s);
+    bed.reset_stats();
+    bed.run_for(30_s);
+    rr_mean = bed.overall_latency_ms();
+    rr_p99 = bed.overall_p99_ms();
+  }
+  {
+    auto cfg = klb_config(11);
+    Testbed bed(three_dip_specs(1.0, 1.0, 0.6), cfg);
+    ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(10)));
+    bed.run_for(30_s);
+    bed.reset_stats();
+    bed.run_for(30_s);
+    EXPECT_LT(bed.overall_latency_ms(), rr_mean * 0.92)
+        << "KLB mean " << bed.overall_latency_ms() << " vs RR " << rr_mean;
+    EXPECT_LT(bed.overall_p99_ms(), rr_p99);
+  }
+}
+
+TEST(Integration, FailureDetectedAndTrafficRerouted) {
+  auto cfg = klb_config(13);
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(10)));
+  bed.run_for(30_s);
+
+  bed.dip(1).set_alive(false);
+  // Detection: next KLM round times out (probe timeout 2 s) then the
+  // controller reruns the ILP without the DIP.
+  bed.run_for(40_s);
+  EXPECT_GE(bed.controller()->failures_detected(), 1u);
+  EXPECT_EQ(bed.controller()->phase(1), Controller::DipPhase::kFailed);
+  EXPECT_LT(bed.controller()->current_weights()[1], 1e-9);
+
+  // New traffic lands only on the survivors.
+  bed.reset_stats();
+  bed.run_for(20_s);
+  const auto metrics = bed.metrics();
+  EXPECT_EQ(metrics[1].client_requests, 0u);
+  EXPECT_GT(metrics[0].client_requests, 100u);
+  EXPECT_GT(metrics[2].client_requests, 100u);
+
+  // Recovery: probes answer again, the DIP re-explores and rejoins.
+  bed.dip(1).set_alive(true);
+  bed.run_for(util::SimTime::minutes(6));
+  EXPECT_NE(bed.controller()->phase(1), Controller::DipPhase::kFailed);
+}
+
+TEST(Integration, CapacityChangeRescalesAndRebalances) {
+  auto cfg = klb_config(17);
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(10)));
+  bed.run_for(30_s);
+  const double w_before = bed.controller()->current_weights()[0];
+
+  // DIP 0 loses 40% capacity to a noisy neighbor.
+  bed.dip(0).set_capacity_factor(0.6);
+  bed.run_for(util::SimTime::minutes(2));
+
+  EXPECT_GE(bed.controller()->capacity_rescales(), 1u);
+  const double w_after = bed.controller()->current_weights()[0];
+  EXPECT_LT(w_after, w_before * 0.95)
+      << "weight did not move off the degraded DIP";
+}
+
+TEST(Integration, TrafficIncreaseTriggersCurveShift) {
+  auto cfg = klb_config(19);
+  cfg.load_fraction = 0.60;
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(10)));
+  bed.run_for(30_s);
+
+  // +40% traffic: latency rises everywhere at unchanged weights. The
+  // controller reacts by a cluster-wide curve shift (traffic) or, when
+  // the per-DIP threshold trips first, by per-DIP rescales — either way
+  // the curves must move.
+  bed.clients().set_pattern(
+      workload::TrafficPattern(bed.offered_rps() * 1.40));
+  bed.run_for(util::SimTime::minutes(2));
+  const auto adaptations = bed.controller()->traffic_rescales() * 2 +
+                           bed.controller()->capacity_rescales();
+  EXPECT_GE(adaptations, 2u);
+}
+
+TEST(Integration, WeightsTrackVmSizes) {
+  // 4 types from Table 3 (one of each): ILP weight order must follow
+  // capacity order 1 : 2 : 4 : ~9.4.
+  std::vector<DipSpec> specs{{server::kDs1v2, 1.0, 0.0},
+                             {server::kDs2v2, 1.0, 0.0},
+                             {server::kDs3v2, 1.0, 0.0},
+                             {server::kF8sv2, 1.0, 0.0}};
+  auto cfg = klb_config(23);
+  Testbed bed(specs, cfg);
+  ASSERT_TRUE(bed.run_until_ready(util::SimTime::minutes(12)));
+  bed.run_for(30_s);
+  const auto w = bed.controller()->current_weights();
+  // The Fig. 7 objective sums per-DIP latency, so with spare capacity it
+  // may legitimately park a small DIP at 0 (the paper's Fig. 11 likewise
+  // gives small DIPs less than their proportional share). Invariants:
+  // order follows capacity among carrying DIPs, at most one DIP parked,
+  // and the big F-series VM holds the plurality of traffic.
+  int parked = 0;
+  double prev_carrying = -1.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] <= 1e-9) {
+      ++parked;
+      continue;
+    }
+    EXPECT_GT(w[i], prev_carrying - 1e-9)
+        << "capacity order violated at " << i;
+    prev_carrying = w[i];
+  }
+  EXPECT_LE(parked, 1);
+  EXPECT_GT(w[3], 0.35);
+}
+
+TEST(Integration, ConservationOfRequests) {
+  TestbedConfig cfg;
+  cfg.seed = 29;
+  cfg.policy = "rr";
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  bed.run_for(30_s);
+  bed.clients().stop();
+  bed.run_for(10_s);  // drain
+
+  // Client-side accounting: every request was answered, errored, or
+  // timed out.
+  const auto& rec = bed.clients().recorder();
+  const auto answered =
+      rec.overall().count() + rec.errors() + rec.timeouts();
+  EXPECT_EQ(answered, bed.clients().requests_sent());
+
+  // Server-side: MUX forwarded everything the clients sent (plus nothing).
+  std::uint64_t forwarded = 0;
+  for (std::size_t i = 0; i < bed.dip_count(); ++i)
+    forwarded += bed.mux().forwarded_requests(i);
+  EXPECT_EQ(forwarded, bed.clients().requests_sent());
+}
+
+TEST(Integration, DnsModeDeliversWeightedTraffic) {
+  // §6.5: clients resolving through the DNS traffic manager with weights
+  // 0.2/0.3/0.5 land requests in roughly those proportions.
+  sim::Simulation sim(31);
+  net::Network net(sim);
+  std::vector<std::unique_ptr<server::DipServer>> dips;
+  std::vector<net::IpAddr> addrs;
+  for (int i = 0; i < 3; ++i) {
+    auto d = std::make_unique<server::DipServer>(
+        net, net::IpAddr{10, 1, 0, static_cast<std::uint8_t>(i + 1)},
+        server::DipConfig{});
+    addrs.push_back(d->address());
+    dips.push_back(std::move(d));
+  }
+  lb::DnsTrafficManager dns(sim, addrs, util::SimTime::seconds(5));
+  dns.program_weights({2000, 3000, 5000});
+
+  workload::ClientConfig ccfg;
+  ccfg.requests_per_session = 1.0;
+  workload::ClientPool clients(net, net::IpAddr{10, 2, 0, 1}, dns,
+                               workload::TrafficPattern(300.0), ccfg);
+  clients.start();
+  sim.run_until(40_s);
+  clients.stop();
+
+  const auto& per_dip = clients.recorder().per_dip();
+  const double total =
+      static_cast<double>(clients.recorder().overall().count());
+  ASSERT_GT(total, 5000.0);
+  EXPECT_NEAR(per_dip.at(addrs[0]).count() / total, 0.2, 0.06);
+  EXPECT_NEAR(per_dip.at(addrs[1]).count() / total, 0.3, 0.06);
+  EXPECT_NEAR(per_dip.at(addrs[2]).count() / total, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace klb::testbed

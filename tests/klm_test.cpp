@@ -1,0 +1,147 @@
+// KLM tests: periodic probing writes samples to the store over RESP, error
+// and timeout accounting, failure visibility, ping prober behaviour.
+#include <gtest/gtest.h>
+
+#include "klm/klm.hpp"
+#include "server/dip_server.hpp"
+#include "store/kv_server.hpp"
+
+namespace klb::klm {
+namespace {
+
+using namespace util::literals;
+
+struct Fixture {
+  sim::Simulation sim{41};
+  net::Network net{sim};
+  net::IpAddr vip{10, 0, 0, 1};
+  net::IpAddr store_addr{10, 3, 0, 2};
+  std::shared_ptr<store::KvEngine> engine =
+      std::make_shared<store::KvEngine>([this] { return sim.now(); });
+  store::KvServer kv_server{net, store_addr, engine};
+  store::LatencyStore lat_store{engine};
+};
+
+KlmConfig fast_cfg() {
+  KlmConfig cfg;
+  cfg.probes_per_round = 20;
+  cfg.period = 1_s;
+  cfg.spread_fraction = 0.5;
+  return cfg;
+}
+
+TEST(Klm, WritesSamplesToStore) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(3500_ms);
+  klm.stop();
+
+  const auto samples = f.lat_store.recent(f.vip, dip.address(), 10);
+  ASSERT_GE(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.probes, 20u);
+    EXPECT_EQ(s.errors, 0u);
+    EXPECT_EQ(s.timeouts, 0u);
+    // Unloaded DIP: ~RTT + service time.
+    EXPECT_NEAR(s.avg_latency_ms, 3.4, 1.0);
+  }
+  // Samples are newest-first.
+  EXPECT_GT(samples[0].at, samples[1].at);
+}
+
+TEST(Klm, ProbesAllDipsEachRound) {
+  Fixture f;
+  server::DipServer dip1(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  server::DipServer dip2(f.net, net::IpAddr{10, 1, 0, 2}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip,
+          {dip1.address(), dip2.address()}, f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(2500_ms);
+  EXPECT_GE(f.lat_store.recent(f.vip, dip1.address(), 10).size(), 2u);
+  EXPECT_GE(f.lat_store.recent(f.vip, dip2.address(), 10).size(), 2u);
+}
+
+TEST(Klm, DeadDipYieldsAllTimeouts) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  dip.set_alive(false);
+  auto cfg = fast_cfg();
+  cfg.probe_timeout = 500_ms;
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, cfg);
+  klm.start();
+  f.sim.run_until(2_s);
+  const auto sample = f.lat_store.latest(f.vip, dip.address());
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(sample->all_failed());
+  EXPECT_EQ(sample->timeouts, 20u);
+}
+
+TEST(Klm, OverloadedDipShowsErrors) {
+  Fixture f;
+  server::DipConfig dcfg;
+  dcfg.backlog_per_core = 2;  // tiny backlog: probes themselves overflow it
+  dcfg.demand_core_ms = 400.0;  // very slow: 2.5 rps capacity
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, dcfg);
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(3_s);
+  const auto sample = f.lat_store.latest(f.vip, dip.address());
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(sample->saw_drops());
+  EXPECT_GT(sample->errors, 0u);
+}
+
+TEST(Klm, ProbeOnceReportsSingleRound) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.probe_once(dip.address(), 5);
+  f.sim.run_all();
+  const auto sample = f.lat_store.latest(f.vip, dip.address());
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->probes, 5u);
+}
+
+TEST(Klm, AddRemoveDip) {
+  Fixture f;
+  server::DipServer dip1(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  server::DipServer dip2(f.net, net::IpAddr{10, 1, 0, 2}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip1.address()},
+          f.store_addr, fast_cfg());
+  klm.add_dip(dip2.address());
+  klm.remove_dip(dip1.address());
+  klm.start();
+  f.sim.run_until(1500_ms);
+  EXPECT_TRUE(f.lat_store.recent(f.vip, dip1.address(), 10).empty());
+  EXPECT_FALSE(f.lat_store.recent(f.vip, dip2.address(), 10).empty());
+}
+
+TEST(PingProber, MeasuresKernelRtt) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  PingProber prober(f.net, net::IpAddr{10, 3, 0, 3});
+  prober.ping(dip.address(), 20);
+  f.sim.run_all();
+  EXPECT_EQ(prober.rtt_ms().count(), 20u);
+  EXPECT_EQ(prober.lost(), 0u);
+  // Two fabric hops + kernel handling: well under 1 ms.
+  EXPECT_LT(prober.rtt_ms().mean(), 1.0);
+}
+
+TEST(PingProber, LostPingsCounted) {
+  Fixture f;
+  PingProber prober(f.net, net::IpAddr{10, 3, 0, 3});
+  prober.ping(net::IpAddr{10, 9, 9, 9}, 5);  // nobody home
+  f.sim.run_all();
+  EXPECT_EQ(prober.lost(), 5u);
+  EXPECT_EQ(prober.rtt_ms().count(), 0u);
+}
+
+}  // namespace
+}  // namespace klb::klm

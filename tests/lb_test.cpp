@@ -1,0 +1,330 @@
+// LB dataplane tests: policy selection semantics (including weighted
+// distribution properties), MUX affinity/FIN accounting, control-plane
+// programming delay, and DNS traffic-manager behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lb/dns_lb.hpp"
+#include "lb/lb_controller.hpp"
+#include "lb/mux.hpp"
+#include "lb/policy.hpp"
+#include "util/weight.hpp"
+
+namespace klb::lb {
+namespace {
+
+using namespace util::literals;
+
+std::vector<BackendView> make_backends(std::vector<std::int64_t> weights) {
+  std::vector<BackendView> out;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    BackendView v;
+    v.addr = net::IpAddr{10, 1, 0, static_cast<std::uint8_t>(i + 1)};
+    v.weight_units = weights[i];
+    out.push_back(v);
+  }
+  return out;
+}
+
+net::FiveTuple tuple_with_port(std::uint16_t port) {
+  net::FiveTuple t;
+  t.src_ip = net::IpAddr{10, 2, 0, 1};
+  t.dst_ip = net::IpAddr{10, 0, 0, 1};
+  t.src_port = port;
+  t.dst_port = 80;
+  return t;
+}
+
+TEST(Policy, FactoryKnowsAllNames) {
+  for (const std::string name :
+       {"rr", "wrr", "lc", "wlc", "random", "wrandom", "p2", "hash"}) {
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_THROW(make_policy("nope"), std::invalid_argument);
+}
+
+TEST(Policy, RoundRobinCycles) {
+  RoundRobin rr;
+  util::Rng rng(1);
+  auto backends = make_backends({1, 1, 1});
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i)
+    picks.push_back(rr.pick(tuple_with_port(0), backends, rng));
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Policy, RoundRobinSkipsDisabled) {
+  RoundRobin rr;
+  util::Rng rng(1);
+  auto backends = make_backends({1, 1, 1});
+  backends[1].enabled = false;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(rr.pick(tuple_with_port(0), backends, rng), 1u);
+}
+
+TEST(Policy, SmoothWrrMatchesWeightsExactly) {
+  SmoothWeightedRoundRobin wrr;
+  util::Rng rng(1);
+  auto backends = make_backends({5000, 3000, 2000});  // 0.5 / 0.3 / 0.2
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 1000; ++i)
+    counts[wrr.pick(tuple_with_port(0), backends, rng)]++;
+  EXPECT_EQ(counts[0], 500);
+  EXPECT_EQ(counts[1], 300);
+  EXPECT_EQ(counts[2], 200);
+}
+
+TEST(Policy, SmoothWrrInterleaves) {
+  // Smooth WRR spreads the heavy backend: naive WRR emits 5 a's in a row
+  // for (5,1,1); smooth caps the run at 4 (across the cycle boundary).
+  SmoothWeightedRoundRobin wrr;
+  util::Rng rng(1);
+  auto backends = make_backends({5, 1, 1});
+  int longest_run = 0;
+  int run = 0;
+  std::size_t prev = kNoBackend;
+  for (int i = 0; i < 70; ++i) {
+    const auto p = wrr.pick(tuple_with_port(0), backends, rng);
+    run = (p == prev) ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+    prev = p;
+  }
+  EXPECT_LE(longest_run, 4);
+}
+
+TEST(Policy, SmoothWrrZeroWeightExcluded) {
+  SmoothWeightedRoundRobin wrr;
+  util::Rng rng(1);
+  auto backends = make_backends({1000, 0, 1000});
+  for (int i = 0; i < 50; ++i)
+    EXPECT_NE(wrr.pick(tuple_with_port(0), backends, rng), 1u);
+}
+
+TEST(Policy, LeastConnectionPicksEmptiest) {
+  LeastConnection lc;
+  util::Rng rng(1);
+  auto backends = make_backends({1, 1, 1});
+  backends[0].active_conns = 5;
+  backends[1].active_conns = 2;
+  backends[2].active_conns = 9;
+  EXPECT_EQ(lc.pick(tuple_with_port(0), backends, rng), 1u);
+}
+
+TEST(Policy, WeightedLeastConnectionNormalizesByWeight) {
+  WeightedLeastConnection wlc;
+  util::Rng rng(1);
+  auto backends = make_backends({8000, 2000});
+  backends[0].active_conns = 8;  // (8+1)/8000 > (1+1)/2000? 1.125e-3 vs 1e-3
+  backends[1].active_conns = 1;
+  EXPECT_EQ(wlc.pick(tuple_with_port(0), backends, rng), 1u);
+  backends[1].active_conns = 2;  // now (8+1)/8000 < (2+1)/2000
+  EXPECT_EQ(wlc.pick(tuple_with_port(0), backends, rng), 0u);
+}
+
+TEST(Policy, WeightedRandomProportions) {
+  WeightedRandom wr;
+  util::Rng rng(99);
+  auto backends = make_backends({7000, 2000, 1000});
+  std::map<std::size_t, int> counts;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i)
+    counts[wr.pick(tuple_with_port(0), backends, rng)]++;
+  EXPECT_NEAR(counts[0], n * 0.7, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.2, n * 0.02);
+  EXPECT_NEAR(counts[2], n * 0.1, n * 0.02);
+}
+
+TEST(Policy, HashIsAffineToTuple) {
+  HashTuple hash;
+  util::Rng rng(1);
+  auto backends = make_backends({1, 1, 1});
+  const auto t = tuple_with_port(12'345);
+  const auto first = hash.pick(t, backends, rng);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(hash.pick(t, backends, rng), first);
+  // Different ports spread.
+  std::map<std::size_t, int> counts;
+  for (std::uint16_t p = 0; p < 3000; ++p)
+    counts[hash.pick(tuple_with_port(p), backends, rng)]++;
+  for (const auto& [_, c] : counts) EXPECT_GT(c, 800);
+}
+
+TEST(Policy, EmptyPoolReturnsNoBackend) {
+  RoundRobin rr;
+  util::Rng rng(1);
+  std::vector<BackendView> none;
+  EXPECT_EQ(rr.pick(tuple_with_port(0), none, rng), kNoBackend);
+  auto backends = make_backends({1});
+  backends[0].enabled = false;
+  EXPECT_EQ(rr.pick(tuple_with_port(0), backends, rng), kNoBackend);
+}
+
+// --- MUX ---------------------------------------------------------------------
+
+class Sink : public net::Node {
+ public:
+  void on_message(const net::Message& msg) override { messages.push_back(msg); }
+  std::vector<net::Message> messages;
+};
+
+struct MuxFixture {
+  sim::Simulation sim{11};
+  net::Network net{sim};
+  net::IpAddr vip{10, 0, 0, 1};
+  Sink dip1, dip2;
+
+  MuxFixture() {
+    net.attach(net::IpAddr{10, 1, 0, 1}, &dip1);
+    net.attach(net::IpAddr{10, 1, 0, 2}, &dip2);
+  }
+
+  net::Message request(std::uint16_t port, std::uint64_t conn, std::uint64_t req) {
+    net::Message m;
+    m.type = net::MsgType::kHttpRequest;
+    m.tuple = tuple_with_port(port);
+    m.conn_id = conn;
+    m.req_id = req;
+    return m;
+  }
+};
+
+TEST(Mux, ForwardsAndPinsConnections) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("rr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+
+  // Two requests on the same tuple must go to the same DIP even though RR
+  // would alternate.
+  f.net.send(f.vip, f.request(1000, 1, 1));
+  f.net.send(f.vip, f.request(1000, 1, 2));
+  f.sim.run_all();
+  EXPECT_EQ(f.dip1.messages.size() + f.dip2.messages.size(), 2u);
+  EXPECT_TRUE(f.dip1.messages.empty() || f.dip2.messages.empty());
+  EXPECT_EQ(mux.total_forwarded(), 2u);
+}
+
+TEST(Mux, FinReleasesAffinityAndCount) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("rr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+
+  f.net.send(f.vip, f.request(1000, 1, 1));
+  f.sim.run_all();
+  const std::size_t target = f.dip1.messages.empty() ? 1 : 0;
+  EXPECT_EQ(mux.active_connections(target), 1u);
+
+  net::Message fin;
+  fin.type = net::MsgType::kFin;
+  fin.tuple = tuple_with_port(1000);
+  fin.conn_id = 1;
+  f.net.send(f.vip, fin);
+  f.sim.run_all();
+  EXPECT_EQ(mux.active_connections(target), 0u);
+  // The FIN is forwarded to the DIP.
+  EXPECT_EQ(f.dip1.messages.size() + f.dip2.messages.size(), 2u);
+}
+
+TEST(Mux, WeightsSteerNewConnections) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.set_weight_units({9 * util::kWeightScale / 10, util::kWeightScale / 10});
+
+  for (std::uint16_t p = 0; p < 100; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(2000 + p),
+                                static_cast<std::uint64_t>(p + 1), 1));
+  f.sim.run_all();
+  EXPECT_EQ(f.dip1.messages.size(), 90u);
+  EXPECT_EQ(f.dip2.messages.size(), 10u);
+}
+
+TEST(Mux, DisabledBackendGetsNothingNew) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("rr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.set_backend_enabled(0, false);
+  for (std::uint16_t p = 0; p < 10; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(3000 + p),
+                                static_cast<std::uint64_t>(p + 1), 1));
+  f.sim.run_all();
+  EXPECT_TRUE(f.dip1.messages.empty());
+  EXPECT_EQ(f.dip2.messages.size(), 10u);
+}
+
+TEST(LbController, ProgramsAfterDelay) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  LbController ctrl(f.sim, mux, 200_ms);
+
+  ctrl.program_weights({7000, 3000});
+  f.sim.run_until(100_ms);
+  EXPECT_EQ(mux.weight_units()[0], util::kWeightScale / 2);  // still equal
+  f.sim.run_until(300_ms);
+  EXPECT_EQ(mux.weight_units()[0], 7000);
+}
+
+TEST(LbController, LaterProgrammingWins) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  LbController ctrl(f.sim, mux, 200_ms);
+
+  ctrl.program_weights({7000, 3000});
+  f.sim.run_until(100_ms);
+  ctrl.program_weights({1000, 9000});
+  f.sim.run_all();
+  EXPECT_EQ(mux.weight_units()[0], 1000);
+}
+
+TEST(DnsTrafficManager, ResolvesByWeight) {
+  sim::Simulation sim(21);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2},
+                                net::IpAddr{10, 1, 0, 3}};
+  DnsTrafficManager dns(sim, dips);
+  dns.program_weights({2000, 3000, 5000});
+  std::map<std::uint32_t, int> counts;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) counts[dns.resolve_authoritative().value()]++;
+  EXPECT_NEAR(counts[dips[0].value()], n * 0.2, n * 0.02);
+  EXPECT_NEAR(counts[dips[1].value()], n * 0.3, n * 0.02);
+  EXPECT_NEAR(counts[dips[2].value()], n * 0.5, n * 0.02);
+}
+
+TEST(DnsTrafficManager, CacheDelaysWeightAdherence) {
+  sim::Simulation sim(22);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2}};
+  DnsTrafficManager dns(sim, dips, 30_s);
+  dns.program_weights({util::kWeightScale, 0});
+  EXPECT_EQ(dns.resolve_cached(7), dips[0]);
+  // Flip the weights: the cached stub keeps answering the old DIP...
+  dns.program_weights({0, util::kWeightScale});
+  EXPECT_EQ(dns.resolve_cached(7), dips[0]);
+  EXPECT_GT(dns.cache_hits(), 0u);
+  // ...until the TTL expires.
+  sim.schedule_in(31_s, [] {});
+  sim.run_all();
+  EXPECT_EQ(dns.resolve_cached(7), dips[1]);
+}
+
+TEST(DnsTrafficManager, DisabledBackendNotResolved) {
+  sim::Simulation sim(23);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2}};
+  DnsTrafficManager dns(sim, dips);
+  dns.set_backend_enabled(0, false);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(dns.resolve_authoritative(), dips[1]);
+}
+
+}  // namespace
+}  // namespace klb::lb

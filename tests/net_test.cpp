@@ -1,0 +1,203 @@
+// net module tests: address parsing, 5-tuple hashing, HTTP and RESP codec
+// round-trips (including malformed input), and fabric delivery semantics.
+#include <gtest/gtest.h>
+
+#include "net/address.hpp"
+#include "net/fabric.hpp"
+#include "net/five_tuple.hpp"
+#include "net/http.hpp"
+#include "net/resp.hpp"
+
+namespace klb::net {
+namespace {
+
+using namespace util::literals;
+
+TEST(IpAddr, ParseAndFormatRoundTrip) {
+  for (const std::string s : {"0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"}) {
+    const auto a = IpAddr::parse(s);
+    ASSERT_TRUE(a.has_value()) << s;
+    EXPECT_EQ(a->str(), s);
+  }
+}
+
+TEST(IpAddr, RejectsMalformed) {
+  for (const std::string s :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "1.2.3.4 "}) {
+    EXPECT_FALSE(IpAddr::parse(s).has_value()) << s;
+  }
+}
+
+TEST(IpAddr, NextIncrements) {
+  const IpAddr a{10, 0, 0, 255};
+  EXPECT_EQ(a.next().str(), "10.0.1.0");
+  EXPECT_EQ(a.next(3).str(), "10.0.1.2");
+}
+
+TEST(FiveTuple, HashSpreadsUniformly) {
+  // Distinct source ports should spread evenly over 3 buckets (ECMP-style).
+  std::array<int, 3> buckets{};
+  FiveTuple t;
+  t.src_ip = IpAddr{10, 2, 0, 1};
+  t.dst_ip = IpAddr{10, 0, 0, 1};
+  t.dst_port = 80;
+  const int n = 30'000;
+  for (int p = 0; p < n; ++p) {
+    t.src_port = static_cast<std::uint16_t>(p % 65'536);
+    buckets[hash_tuple(t) % 3]++;
+  }
+  for (const int b : buckets) EXPECT_NEAR(b, n / 3, n / 50);
+}
+
+TEST(FiveTuple, HashIsDeterministic) {
+  FiveTuple t;
+  t.src_ip = IpAddr{1, 2, 3, 4};
+  t.src_port = 1234;
+  EXPECT_EQ(hash_tuple(t), hash_tuple(t));
+}
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/work?x=1";
+  req.headers["Host"] = "10.0.0.1";
+  req.body = "payload";
+  const auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->target, "/work?x=1");
+  EXPECT_EQ(parsed->headers.at("Host"), "10.0.0.1");
+  EXPECT_EQ(parsed->headers.at("Content-Length"), "7");
+  EXPECT_EQ(parsed->body, "payload");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.reason = "Service Unavailable";
+  resp.body = "overloaded";
+  const auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 503);
+  EXPECT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->body, "overloaded");
+}
+
+TEST(Http, ParsesHandWrittenWire) {
+  const std::string wire =
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\n"
+      "Content-Length: 0\r\n\r\n";
+  const auto req = HttpRequest::parse(wire);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->target, "/index.html");
+}
+
+TEST(Http, RejectsMalformed) {
+  EXPECT_FALSE(HttpRequest::parse("").has_value());
+  EXPECT_FALSE(HttpRequest::parse("GET /\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(HttpRequest::parse("GET / HTTP/2\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpResponse::parse("HTTP/1.1 abc OK\r\n\r\n").has_value());
+  // Truncated body: Content-Length promises more than present.
+  EXPECT_FALSE(
+      HttpRequest::parse("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+          .has_value());
+}
+
+TEST(Resp, ScalarRoundTrips) {
+  for (const auto& v :
+       {RespValue::simple("OK"), RespValue::error("ERR boom"),
+        RespValue::integer_of(-42), RespValue::bulk("hello\r\nworld"),
+        RespValue::null()}) {
+    const auto decoded = resp_decode(resp_encode(v));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->value, v);
+    EXPECT_EQ(decoded->consumed, resp_encode(v).size());
+  }
+}
+
+TEST(Resp, NestedArrayRoundTrip) {
+  const auto v = RespValue::array_of(
+      {RespValue::bulk("LPUSH"), RespValue::integer_of(3),
+       RespValue::array_of({RespValue::simple("a"), RespValue::null()})});
+  const auto decoded = resp_decode(resp_encode(v));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->value, v);
+}
+
+TEST(Resp, CommandEncoding) {
+  EXPECT_EQ(resp_encode_command({"GET", "key"}),
+            "*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n");
+}
+
+TEST(Resp, IncompleteInputReturnsNullopt) {
+  const auto full = resp_encode_command({"SET", "k", "v"});
+  for (std::size_t cut = 1; cut < full.size(); ++cut)
+    EXPECT_FALSE(resp_decode(full.substr(0, cut)).has_value()) << cut;
+}
+
+TEST(Resp, MalformedRejected) {
+  EXPECT_FALSE(resp_decode("x\r\n").has_value());
+  EXPECT_FALSE(resp_decode("$5\r\nab\r\n").has_value());
+  EXPECT_FALSE(resp_decode(":12a\r\n").has_value());
+}
+
+class Collector : public Node {
+ public:
+  void on_message(const Message& msg) override { received.push_back(msg); }
+  std::vector<Message> received;
+};
+
+TEST(Fabric, DeliversWithLatency) {
+  sim::Simulation sim(3);
+  Network net(sim);
+  Collector a;
+  net.attach(IpAddr{10, 0, 0, 1}, &a);
+
+  Message m;
+  m.type = MsgType::kHttpRequest;
+  m.payload = "hello";
+  net.send(IpAddr{10, 0, 0, 1}, m);
+  EXPECT_TRUE(a.received.empty());  // not synchronous
+  sim.run_all();
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].payload, "hello");
+  EXPECT_GE(sim.now().us(), 150);  // at least the base latency
+}
+
+TEST(Fabric, UnboundAddressDrops) {
+  sim::Simulation sim(3);
+  Network net(sim);
+  net.send(IpAddr{1, 1, 1, 1}, Message{});
+  sim.run_all();
+  EXPECT_EQ(net.messages_unreachable(), 1u);
+}
+
+TEST(Fabric, DetachStopsDelivery) {
+  sim::Simulation sim(3);
+  Network net(sim);
+  Collector a;
+  const IpAddr addr{10, 0, 0, 1};
+  net.attach(addr, &a);
+  net.attach(addr, nullptr);
+  net.send(addr, Message{});
+  sim.run_all();
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(Fabric, ManyMessagesAllArrive) {
+  sim::Simulation sim(5);
+  Network net(sim);
+  Collector a;
+  net.attach(IpAddr{10, 0, 0, 2}, &a);
+  for (int i = 0; i < 1000; ++i) {
+    Message m;
+    m.req_id = static_cast<std::uint64_t>(i);
+    net.send(IpAddr{10, 0, 0, 2}, m);
+  }
+  sim.run_all();
+  EXPECT_EQ(a.received.size(), 1000u);
+  EXPECT_EQ(net.messages_sent(), 1000u);
+}
+
+}  // namespace
+}  // namespace klb::net

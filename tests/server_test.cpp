@@ -1,0 +1,272 @@
+// DIP server model tests: queueing behaviour, capacity/utilization
+// relationships, backlog drops, ping load-independence, noisy-neighbor
+// knobs, and crash semantics. These validate the physics the whole control
+// loop depends on (the Fig. 5 shape).
+#include <gtest/gtest.h>
+
+#include "net/http.hpp"
+#include "server/dip_server.hpp"
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace klb::server {
+namespace {
+
+using namespace util::literals;
+
+/// Drives a DIP with open-loop Poisson requests and gathers replies.
+class Harness : public net::Node {
+ public:
+  Harness(net::Network& net, net::IpAddr addr) : net_(net), addr_(addr) {
+    net_.attach(addr_, this);
+  }
+  ~Harness() override { net_.attach(addr_, nullptr); }
+
+  void drive(net::IpAddr dip, double rps, util::SimTime duration) {
+    auto& sim = net_.sim();
+    const double gap = 1.0 / rps;
+    double t = 0.0;
+    std::uint64_t id = 1;
+    while (t < duration.sec()) {
+      t += sim.rng().exponential(gap);
+      const auto req_id = id++;
+      sim.schedule_at(sim.now() + util::SimTime::seconds(t),
+                      [this, dip, req_id] { send_one(dip, req_id); });
+    }
+  }
+
+  void send_one(net::IpAddr dip, std::uint64_t req_id) {
+    net::Message m;
+    m.type = net::MsgType::kHttpRequest;
+    m.tuple.src_ip = addr_;
+    m.tuple.dst_ip = dip;
+    m.req_id = req_id + 100;  // avoid the <=1 connection accounting path
+    m.conn_id = req_id;
+    sent_at_[m.req_id] = net_.sim().now();
+    net_.send(dip, m);
+    ++sent_;
+  }
+
+  void on_message(const net::Message& msg) override {
+    if (msg.type == net::MsgType::kPingReply) {
+      ++pings_;
+      return;
+    }
+    if (msg.type != net::MsgType::kHttpResponse) return;
+    const auto http = net::HttpResponse::parse(msg.payload);
+    ASSERT_TRUE(http.has_value());
+    if (http->ok()) {
+      ++ok_;
+      latency_ms_.add((net_.sim().now() - sent_at_[msg.req_id]).ms());
+    } else {
+      ++errors_;
+    }
+  }
+
+  net::Network& net_;
+  net::IpAddr addr_;
+  std::unordered_map<std::uint64_t, util::SimTime> sent_at_;
+  util::Welford latency_ms_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t pings_ = 0;
+};
+
+struct Fixture {
+  sim::Simulation sim{17};
+  net::Network net{sim};
+  Harness client{net, net::IpAddr{10, 2, 0, 1}};
+};
+
+DipConfig one_core() {
+  DipConfig cfg;
+  cfg.vm = kDs1v2;
+  cfg.demand_core_ms = 3.0;
+  return cfg;
+}
+
+TEST(DipServer, CapacityMatchesConfig) {
+  Fixture f;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  EXPECT_NEAR(dip.capacity_rps(), 1000.0 / 3.0, 1e-9);
+  dip.set_capacity_factor(0.5);
+  EXPECT_NEAR(dip.capacity_rps(), 1000.0 / 6.0, 1e-9);
+}
+
+TEST(DipServer, LowLoadLatencyNearServiceTime) {
+  Fixture f;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  f.client.drive(dip.address(), 30.0, 10_s);  // ~9% utilization
+  f.sim.run_all();
+  EXPECT_GT(f.client.ok_, 200u);
+  EXPECT_EQ(f.client.errors_, 0u);
+  // RTT (~0.4ms) + ~3ms service, little queueing.
+  EXPECT_NEAR(f.client.latency_ms_.mean(), 3.4, 0.8);
+  EXPECT_NEAR(dip.cpu_utilization(), 0.09, 0.03);
+}
+
+TEST(DipServer, UtilizationScalesWithLoad) {
+  Fixture f;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  f.client.drive(dip.address(), 200.0, 10_s);  // 60% of 333 rps
+  f.sim.run_all();
+  EXPECT_NEAR(dip.cpu_utilization(), 0.60, 0.05);
+}
+
+TEST(DipServer, HighLoadInflatesLatency) {
+  Fixture low;
+  DipServer dip_low(low.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  low.client.drive(dip_low.address(), 30.0, 10_s);
+  low.sim.run_all();
+
+  Fixture high;
+  DipServer dip_high(high.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  high.client.drive(dip_high.address(), 300.0, 10_s);  // ~90%
+  high.sim.run_all();
+
+  EXPECT_GT(high.client.latency_ms_.mean(),
+            3.0 * low.client.latency_ms_.mean());
+}
+
+TEST(DipServer, OverloadDropsAtBacklog) {
+  Fixture f;
+  auto cfg = one_core();
+  cfg.backlog_per_core = 16;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, cfg);
+  f.client.drive(dip.address(), 700.0, 5_s);  // 2.1x capacity
+  f.sim.run_all();
+  EXPECT_GT(dip.dropped(), 100u);
+  EXPECT_GT(f.client.errors_, 100u);
+  // Conservation: every request either completed, dropped, or in flight.
+  EXPECT_EQ(f.client.sent_, dip.completed() + dip.dropped());
+}
+
+TEST(DipServer, PingLatencyIndependentOfLoad) {
+  // The Fig. 5 property: app latency tracks load; ping latency does not.
+  auto ping_rtt = [](double rps) {
+    sim::Simulation sim(23);
+    net::Network net(sim);
+    Harness client(net, net::IpAddr{10, 2, 0, 1});
+    DipServer dip(net, net::IpAddr{10, 1, 0, 1}, one_core());
+    client.drive(dip.address(), rps, 5_s);
+    // Interleave pings.
+    util::Welford rtt;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(util::SimTime::millis(100.0 * i), [&, i] {
+        net::Message ping;
+        ping.type = net::MsgType::kPing;
+        ping.tuple.src_ip = client.addr_;
+        ping.tuple.dst_ip = dip.address();
+        ping.req_id = 1'000'000 + static_cast<std::uint64_t>(i);
+        client.sent_at_[ping.req_id] = sim.now();
+        net.send(dip.address(), ping);
+      });
+    }
+    sim.run_all();
+    (void)rtt;
+    return client.pings_;
+  };
+  // All pings answered even at overload.
+  EXPECT_EQ(ping_rtt(30.0), 50u);
+  EXPECT_EQ(ping_rtt(400.0), 50u);
+}
+
+TEST(DipServer, CapacityFactorRaisesUtilization) {
+  Fixture healthy;
+  DipServer d1(healthy.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  healthy.client.drive(d1.address(), 150.0, 10_s);
+  healthy.sim.run_all();
+
+  Fixture thrashed;
+  DipServer d2(thrashed.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  d2.set_capacity_factor(0.6);
+  thrashed.client.drive(d2.address(), 150.0, 10_s);
+  thrashed.sim.run_all();
+
+  EXPECT_NEAR(d2.cpu_utilization(), d1.cpu_utilization() / 0.6, 0.08);
+  EXPECT_GT(thrashed.client.latency_ms_.mean(),
+            healthy.client.latency_ms_.mean());
+}
+
+TEST(DipServer, StolenCoresCountInUtilization) {
+  Fixture f;
+  DipConfig cfg;
+  cfg.vm = kDs2v2;  // 2 cores
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, cfg);
+  dip.set_stolen_cores(1.0);
+  f.sim.run_for(1_s);
+  EXPECT_NEAR(dip.cpu_utilization(), 0.5, 0.01);  // idle app, 1 of 2 stolen
+  EXPECT_NEAR(dip.capacity_rps(), 1000.0 / 3.0, 1.0);  // half of 2-core
+}
+
+TEST(DipServer, MultiCoreServesInParallel) {
+  Fixture f;
+  DipConfig cfg;
+  cfg.vm = kDs3v2;  // 4 cores
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, cfg);
+  // 4x the single-core capacity at 60%: latency should stay near service time.
+  f.client.drive(dip.address(), 800.0, 5_s);
+  f.sim.run_all();
+  EXPECT_EQ(f.client.errors_, 0u);
+  EXPECT_LT(f.client.latency_ms_.mean(), 6.0);
+}
+
+TEST(DipServer, FasterVmTypeLowersServiceTime) {
+  Fixture f;
+  DipConfig cfg;
+  cfg.vm = kF8sv2;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, cfg);
+  f.client.drive(dip.address(), 100.0, 5_s);
+  f.sim.run_all();
+  // Service time 3/1.18 ~ 2.54ms + RTT.
+  EXPECT_NEAR(f.client.latency_ms_.mean(), 2.54 + 0.4, 0.5);
+}
+
+TEST(DipServer, CrashStopsServiceAndRecovers) {
+  Fixture f;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  f.client.drive(dip.address(), 50.0, 2_s);
+  f.sim.run_for(3_s);
+  const auto before = f.client.ok_;
+  EXPECT_GT(before, 0u);
+
+  dip.set_alive(false);
+  f.client.drive(dip.address(), 50.0, 2_s);
+  f.sim.run_for(3_s);
+  EXPECT_EQ(f.client.ok_, before);  // nothing served while down
+
+  dip.set_alive(true);
+  f.client.drive(dip.address(), 50.0, 2_s);
+  f.sim.run_for(3_s);
+  EXPECT_GT(f.client.ok_, before);
+}
+
+TEST(DipServer, ActiveConnectionTracking) {
+  Fixture f;
+  DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, one_core());
+  // Open 3 connections (req_id 1 = first request of each).
+  for (std::uint64_t c = 1; c <= 3; ++c) {
+    net::Message m;
+    m.type = net::MsgType::kHttpRequest;
+    m.tuple.src_ip = f.client.addr_;
+    m.tuple.src_port = static_cast<std::uint16_t>(c);
+    m.conn_id = c;
+    m.req_id = 1;
+    f.net.send(dip.address(), m);
+  }
+  f.sim.run_all();
+  EXPECT_EQ(dip.active_connections(), 3u);
+  // FIN one of them.
+  net::Message fin;
+  fin.type = net::MsgType::kFin;
+  fin.tuple.src_ip = f.client.addr_;
+  fin.tuple.src_port = 1;
+  fin.conn_id = 1;
+  f.net.send(dip.address(), fin);
+  f.sim.run_all();
+  EXPECT_EQ(dip.active_connections(), 2u);
+}
+
+}  // namespace
+}  // namespace klb::server

@@ -1,0 +1,145 @@
+// DES kernel tests: event ordering, cancellation, timers, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace klb::sim {
+namespace {
+
+using util::SimTime;
+using namespace util::literals;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(30_ms, [&] { order.push_back(3); });
+  sim.schedule_in(10_ms, [&] { order.push_back(1); });
+  sim.schedule_in(20_ms, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ms);
+}
+
+TEST(EventQueue, SameTimestampRunsInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_in(5_ms, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(10_ms, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(EventQueue, CancelAfterFireIsSafe) {
+  Simulation sim;
+  const auto id = sim.schedule_in(1_ms, [] {});
+  sim.run_all();
+  sim.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_in(10_ms, [&] { ++count; });
+  sim.schedule_in(20_ms, [&] { ++count; });
+  sim.run_until(15_ms);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 15_ms);  // clock advances through idle time
+  sim.run_until(25_ms);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventsScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1_ms, recurse);
+  };
+  sim.schedule_in(1_ms, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(Simulation, ScheduleAtPastClampsToNow) {
+  Simulation sim;
+  sim.schedule_in(10_ms, [] {});
+  sim.run_all();
+  bool fired = false;
+  sim.schedule_at(5_ms, [&] { fired = true; });  // in the past
+  sim.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 10_ms);
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10_ms, [&] { ++fires; });
+  timer.start();
+  sim.run_until(55_ms);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(PeriodicTimer, InitialDelayZeroFiresImmediately) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10_ms, [&] { ++fires; });
+  timer.start(SimTime::zero());
+  sim.run_until(25_ms);
+  EXPECT_EQ(fires, 3);  // t=0, 10, 20
+}
+
+TEST(PeriodicTimer, StopFromInsideCallback) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 10_ms, [&] {
+    if (++fires == 3) timer.stop();
+  });
+  timer.start();
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulation sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 10_ms, [&] { ++fires; });
+    timer.start();
+  }
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_in(SimTime::micros(static_cast<std::int64_t>(
+                          sim.rng().uniform_int(std::uint64_t{1000}))),
+                      [&values, &sim] { values.push_back(sim.rng().next()); });
+    }
+    sim.run_all();
+    return values;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace klb::sim

@@ -1,0 +1,251 @@
+// Latency store tests: KvEngine command semantics (Redis-compatible
+// subset), TTL expiry on virtual time, the RESP wire server, and the typed
+// latency-sample schema round trip.
+#include <gtest/gtest.h>
+
+#include "net/resp.hpp"
+#include "sim/simulation.hpp"
+#include "store/kv_engine.hpp"
+#include "store/kv_server.hpp"
+#include "store/latency_store.hpp"
+
+namespace klb::store {
+namespace {
+
+using net::RespValue;
+using namespace util::literals;
+
+struct EngineFixture {
+  util::SimTime now = util::SimTime::zero();
+  KvEngine engine{[this] { return now; }};
+};
+
+TEST(KvEngine, PingPong) {
+  EngineFixture f;
+  EXPECT_EQ(f.engine.execute({"PING"}), RespValue::simple("PONG"));
+  EXPECT_EQ(f.engine.execute({"PING", "hi"}), RespValue::bulk("hi"));
+  EXPECT_EQ(f.engine.execute({"ECHO", "x"}), RespValue::bulk("x"));
+}
+
+TEST(KvEngine, SetGetDel) {
+  EngineFixture f;
+  EXPECT_EQ(f.engine.execute({"SET", "k", "v"}), RespValue::simple("OK"));
+  EXPECT_EQ(f.engine.execute({"GET", "k"}), RespValue::bulk("v"));
+  EXPECT_EQ(f.engine.execute({"DEL", "k", "missing"}), RespValue::integer_of(1));
+  EXPECT_TRUE(f.engine.execute({"GET", "k"}).is_null());
+}
+
+TEST(KvEngine, CaseInsensitiveCommands) {
+  EngineFixture f;
+  EXPECT_EQ(f.engine.execute({"set", "k", "v"}), RespValue::simple("OK"));
+  EXPECT_EQ(f.engine.execute({"gEt", "k"}), RespValue::bulk("v"));
+}
+
+TEST(KvEngine, TtlExpiryOnVirtualClock) {
+  EngineFixture f;
+  f.engine.execute({"SET", "k", "v", "EX", "10"});
+  EXPECT_EQ(f.engine.execute({"TTL", "k"}), RespValue::integer_of(10));
+  f.now = 9_s;
+  EXPECT_EQ(f.engine.execute({"GET", "k"}), RespValue::bulk("v"));
+  f.now = 11_s;
+  EXPECT_TRUE(f.engine.execute({"GET", "k"}).is_null());
+  EXPECT_EQ(f.engine.execute({"TTL", "k"}), RespValue::integer_of(-2));
+}
+
+TEST(KvEngine, ExpireCommand) {
+  EngineFixture f;
+  f.engine.execute({"SET", "k", "v"});
+  EXPECT_EQ(f.engine.execute({"TTL", "k"}), RespValue::integer_of(-1));
+  EXPECT_EQ(f.engine.execute({"EXPIRE", "k", "5"}), RespValue::integer_of(1));
+  f.now = 6_s;
+  EXPECT_EQ(f.engine.execute({"EXISTS", "k"}), RespValue::integer_of(0));
+}
+
+TEST(KvEngine, ListOperations) {
+  EngineFixture f;
+  EXPECT_EQ(f.engine.execute({"LPUSH", "l", "a"}), RespValue::integer_of(1));
+  EXPECT_EQ(f.engine.execute({"LPUSH", "l", "b", "c"}), RespValue::integer_of(3));
+  EXPECT_EQ(f.engine.execute({"RPUSH", "l", "z"}), RespValue::integer_of(4));
+  EXPECT_EQ(f.engine.execute({"LLEN", "l"}), RespValue::integer_of(4));
+  // LPUSH prepends: order is c, b, a, z.
+  const auto range = f.engine.execute({"LRANGE", "l", "0", "-1"});
+  ASSERT_EQ(range.array.size(), 4u);
+  EXPECT_EQ(range.array[0].str, "c");
+  EXPECT_EQ(range.array[3].str, "z");
+  EXPECT_EQ(f.engine.execute({"LPOP", "l"}), RespValue::bulk("c"));
+}
+
+TEST(KvEngine, LrangeNegativeIndices) {
+  EngineFixture f;
+  f.engine.execute({"RPUSH", "l", "0", "1", "2", "3", "4"});
+  const auto tail = f.engine.execute({"LRANGE", "l", "-2", "-1"});
+  ASSERT_EQ(tail.array.size(), 2u);
+  EXPECT_EQ(tail.array[0].str, "3");
+  EXPECT_EQ(tail.array[1].str, "4");
+}
+
+TEST(KvEngine, LtrimBoundsHistory) {
+  EngineFixture f;
+  for (int i = 0; i < 10; ++i)
+    f.engine.execute({"LPUSH", "l", std::to_string(i)});
+  f.engine.execute({"LTRIM", "l", "0", "2"});
+  EXPECT_EQ(f.engine.execute({"LLEN", "l"}), RespValue::integer_of(3));
+  EXPECT_EQ(f.engine.execute({"LPOP", "l"}), RespValue::bulk("9"));
+}
+
+TEST(KvEngine, WrongTypeErrors) {
+  EngineFixture f;
+  f.engine.execute({"SET", "s", "v"});
+  EXPECT_TRUE(f.engine.execute({"LPUSH", "s", "x"}).is_error());
+  f.engine.execute({"LPUSH", "l", "x"});
+  EXPECT_TRUE(f.engine.execute({"GET", "l"}).is_error());
+}
+
+TEST(KvEngine, UnknownCommandErrors) {
+  EngineFixture f;
+  EXPECT_TRUE(f.engine.execute({"SUBSCRIBE", "ch"}).is_error());
+  EXPECT_TRUE(f.engine.execute({}).is_error());
+}
+
+TEST(KvEngine, KeysAndFlush) {
+  EngineFixture f;
+  f.engine.execute({"SET", "a", "1"});
+  f.engine.execute({"SET", "b", "2"});
+  EXPECT_EQ(f.engine.execute({"DBSIZE"}), RespValue::integer_of(2));
+  const auto keys = f.engine.execute({"KEYS", "*"});
+  ASSERT_EQ(keys.array.size(), 2u);
+  EXPECT_EQ(keys.array[0].str, "a");  // sorted
+  f.engine.execute({"FLUSHALL"});
+  EXPECT_EQ(f.engine.execute({"DBSIZE"}), RespValue::integer_of(0));
+}
+
+TEST(LatencySample, SerializeParseRoundTrip) {
+  LatencySample s;
+  s.dip = net::IpAddr{10, 1, 0, 7};
+  s.avg_latency_ms = 3.141592;
+  s.probes = 100;
+  s.errors = 3;
+  s.timeouts = 1;
+  s.at = util::SimTime::micros(123'456'789);
+  const auto parsed = LatencySample::parse(s.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dip, s.dip);
+  EXPECT_NEAR(parsed->avg_latency_ms, s.avg_latency_ms, 1e-6);
+  EXPECT_EQ(parsed->probes, 100u);
+  EXPECT_EQ(parsed->errors, 3u);
+  EXPECT_EQ(parsed->timeouts, 1u);
+  EXPECT_EQ(parsed->at, s.at);
+}
+
+TEST(LatencySample, ParseRejectsGarbage) {
+  EXPECT_FALSE(LatencySample::parse("").has_value());
+  EXPECT_FALSE(LatencySample::parse("10.0.0.1|1.0|2|3").has_value());
+  EXPECT_FALSE(LatencySample::parse("bad|1.0|2|3|4|5").has_value());
+  EXPECT_FALSE(LatencySample::parse("10.0.0.1|x|2|3|4|5").has_value());
+}
+
+TEST(LatencySample, FailureClassification) {
+  LatencySample s;
+  s.probes = 10;
+  s.errors = 4;
+  s.timeouts = 6;
+  EXPECT_TRUE(s.all_failed());
+  EXPECT_TRUE(s.saw_drops());
+  s.errors = 0;
+  s.timeouts = 0;
+  EXPECT_FALSE(s.all_failed());
+  EXPECT_FALSE(s.saw_drops());
+}
+
+TEST(LatencyStore, RecordAndReadBack) {
+  auto engine = std::make_shared<KvEngine>([] { return util::SimTime::zero(); });
+  LatencyStore store(engine, 4);
+  const net::IpAddr vip{10, 0, 0, 1};
+  const net::IpAddr dip{10, 1, 0, 1};
+
+  for (int i = 0; i < 6; ++i) {
+    LatencySample s;
+    s.dip = dip;
+    s.avg_latency_ms = 1.0 + i;
+    s.probes = 100;
+    s.at = util::SimTime::seconds(i);
+    store.record(vip, s);
+  }
+  const auto latest = store.latest(vip, dip);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_NEAR(latest->avg_latency_ms, 6.0, 1e-9);
+
+  const auto recent = store.recent(vip, dip, 10);
+  EXPECT_EQ(recent.size(), 4u);  // history capped at 4
+  EXPECT_NEAR(recent[0].avg_latency_ms, 6.0, 1e-9);   // newest first
+  EXPECT_NEAR(recent[3].avg_latency_ms, 3.0, 1e-9);
+}
+
+TEST(LatencyStore, MissingKeyIsEmpty) {
+  auto engine = std::make_shared<KvEngine>([] { return util::SimTime::zero(); });
+  LatencyStore store(engine);
+  EXPECT_FALSE(store.latest(net::IpAddr{1, 1, 1, 1}, net::IpAddr{2, 2, 2, 2})
+                   .has_value());
+}
+
+class RespCollector : public net::Node {
+ public:
+  void on_message(const net::Message& msg) override {
+    if (msg.type == net::MsgType::kRespReply) replies.push_back(msg.payload);
+  }
+  std::vector<std::string> replies;
+};
+
+TEST(KvServer, ServesRespOverFabric) {
+  sim::Simulation sim(31);
+  net::Network net(sim);
+  auto engine = std::make_shared<KvEngine>([&sim] { return sim.now(); });
+  KvServer server(net, net::IpAddr{10, 3, 0, 2}, engine);
+  RespCollector client;
+  net.attach(net::IpAddr{10, 3, 0, 9}, &client);
+
+  auto send_cmd = [&](std::vector<std::string> parts) {
+    net::Message m;
+    m.type = net::MsgType::kRespCommand;
+    m.tuple.src_ip = net::IpAddr{10, 3, 0, 9};
+    m.tuple.dst_ip = net::IpAddr{10, 3, 0, 2};
+    m.payload = net::resp_encode_command(parts);
+    net.send(net::IpAddr{10, 3, 0, 2}, m);
+  };
+
+  // The fabric has datagram semantics (no cross-message ordering), so
+  // drain between dependent commands like a synchronous client would.
+  send_cmd({"SET", "k", "v"});
+  sim.run_all();
+  send_cmd({"GET", "k"});
+  sim.run_all();
+
+  ASSERT_EQ(client.replies.size(), 2u);
+  EXPECT_EQ(client.replies[0], "+OK\r\n");
+  EXPECT_EQ(client.replies[1], "$1\r\nv\r\n");
+  EXPECT_EQ(server.commands_processed(), 2u);
+
+  // The engine state is visible to an in-process facade sharing it.
+  EXPECT_EQ(engine->execute({"GET", "k"}), RespValue::bulk("v"));
+}
+
+TEST(KvServer, MalformedPayloadGetsError) {
+  sim::Simulation sim(32);
+  net::Network net(sim);
+  auto engine = std::make_shared<KvEngine>([&sim] { return sim.now(); });
+  KvServer server(net, net::IpAddr{10, 3, 0, 2}, engine);
+  RespCollector client;
+  net.attach(net::IpAddr{10, 3, 0, 9}, &client);
+
+  net::Message m;
+  m.type = net::MsgType::kRespCommand;
+  m.tuple.src_ip = net::IpAddr{10, 3, 0, 9};
+  m.payload = "not resp at all";
+  net.send(net::IpAddr{10, 3, 0, 2}, m);
+  sim.run_all();
+  ASSERT_EQ(client.replies.size(), 1u);
+  EXPECT_EQ(client.replies[0][0], '-');  // RESP error marker
+}
+
+}  // namespace
+}  // namespace klb::store

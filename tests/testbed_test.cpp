@@ -1,0 +1,106 @@
+// Testbed composition tests: topology wiring, capacity accounting, static
+// weight programming, metrics plumbing, and the synthetic curve helper.
+#include <gtest/gtest.h>
+
+#include "testbed/synthetic.hpp"
+#include "testbed/testbed.hpp"
+
+namespace klb::testbed {
+namespace {
+
+using namespace util::literals;
+
+TEST(Specs, Table3PoolComposition) {
+  const auto specs = table3_specs();
+  ASSERT_EQ(specs.size(), 30u);
+  int ds1 = 0, ds2 = 0, ds3 = 0, f8 = 0;
+  for (const auto& s : specs) {
+    if (s.vm.name == "DS1v2") ++ds1;
+    if (s.vm.name == "DS2v2") ++ds2;
+    if (s.vm.name == "DS3v2") ++ds3;
+    if (s.vm.name == "F8sv2") ++f8;
+  }
+  EXPECT_EQ(ds1, 16);
+  EXPECT_EQ(ds2, 8);
+  EXPECT_EQ(ds3, 4);
+  EXPECT_EQ(f8, 2);
+}
+
+TEST(Testbed, HealthyCapacityMatchesVmMath) {
+  TestbedConfig cfg;
+  cfg.seed = 61;
+  Testbed bed(table3_specs(), cfg);
+  // 16*1 + 8*2 + 4*4 cores at 1000/3 rps/core + 2*8 cores at 1.18x.
+  const double expected =
+      (16.0 + 16.0 + 16.0) * (1000.0 / 3.0) + 16.0 * 1.18 * (1000.0 / 3.0);
+  EXPECT_NEAR(bed.healthy_capacity_rps(), expected, 1.0);
+  EXPECT_NEAR(bed.offered_rps(), 0.70 * expected, 1.0);
+}
+
+TEST(Testbed, StaticWeightsReachTheMux) {
+  TestbedConfig cfg;
+  cfg.seed = 62;
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  bed.set_static_weights({1.0, 2.0, 7.0});
+  bed.run_for(1_s);  // programming delay elapses
+  const auto units = bed.mux().weight_units();
+  EXPECT_EQ(units[0], util::kWeightScale / 10);
+  EXPECT_EQ(units[1], 2 * util::kWeightScale / 10);
+  EXPECT_EQ(units[2], 7 * util::kWeightScale / 10);
+}
+
+TEST(Testbed, MetricsAttributeTrafficPerDip) {
+  TestbedConfig cfg;
+  cfg.seed = 63;
+  cfg.policy = "rr";
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  bed.run_for(10_s);
+  const auto metrics = bed.metrics();
+  ASSERT_EQ(metrics.size(), 3u);
+  for (const auto& m : metrics) {
+    EXPECT_GT(m.client_requests, 500u);   // RR splits ~evenly
+    EXPECT_GT(m.cpu_utilization, 0.2);
+    EXPECT_GT(m.client_latency_ms, 1.0);
+  }
+  EXPECT_GT(bed.overall_p99_ms(), bed.overall_latency_ms());
+}
+
+TEST(Testbed, ResetStatsClearsWindows) {
+  TestbedConfig cfg;
+  cfg.seed = 64;
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  bed.run_for(5_s);
+  EXPECT_GT(bed.clients().recorder().overall().count(), 0u);
+  bed.reset_stats();
+  EXPECT_EQ(bed.clients().recorder().overall().count(), 0u);
+  EXPECT_EQ(bed.mux().total_forwarded(), 0u);
+}
+
+TEST(SyntheticCurve, MatchesExplorerSemantics) {
+  const auto curve = synthetic_curve(0.2, 1.5);
+  ASSERT_TRUE(curve.fitted());
+  EXPECT_NEAR(curve.wmax(), 0.2, 1e-9);
+  EXPECT_NEAR(curve.latency_at(0.0), 1.5, 0.15);
+  // ~5x l0 at wmax (the pseudo-drop point the explorer would find).
+  EXPECT_NEAR(curve.latency_at(0.2), 7.5, 0.8);
+  // Monotone.
+  EXPECT_LT(curve.latency_at(0.05), curve.latency_at(0.15));
+}
+
+class SyntheticCurveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticCurveSweep, InverseConsistentAcrossCapacities) {
+  const double wmax = GetParam();
+  const auto curve = synthetic_curve(wmax);
+  for (double f = 0.2; f <= 1.0; f += 0.2) {
+    const double w = f * wmax;
+    const double l = curve.latency_at(w);
+    EXPECT_NEAR(curve.weight_for(l), w, wmax * 0.05) << "f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SyntheticCurveSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace klb::testbed
