@@ -66,6 +66,10 @@ bool Controller::all_ready() const {
 }
 
 void Controller::tick(bool allow_ilp) {
+  if (tick_prepare() && allow_ilp) apply_ilp(solve_ilp());
+}
+
+bool Controller::tick_prepare() {
   ++rounds_;
   process_samples();
   maybe_refresh();
@@ -76,10 +80,10 @@ void Controller::tick(bool allow_ilp) {
       });
   if (measuring) {
     run_measurement_round();
-  } else {
-    apply_dynamics();
-    if (allow_ilp) run_steady_state();
+    return false;
   }
+  apply_dynamics();
+  return ilp_dirty_;
 }
 
 void Controller::process_samples() {
@@ -310,39 +314,52 @@ void Controller::maybe_refresh() {
   }
 }
 
-void Controller::run_steady_state() {
-  if (!ilp_dirty_) return;
-
-  std::vector<std::size_t> index;
+Controller::IlpSolveOutcome Controller::solve_ilp() const {
+  IlpSolveOutcome out;
   std::vector<const fit::WeightLatencyCurve*> curves;
   for (std::size_t i = 0; i < dips_.size(); ++i) {
     if (dips_[i].phase != DipPhase::kReady) continue;
-    index.push_back(i);
+    out.index.push_back(i);
     curves.push_back(&dips_[i].curve);
   }
-  if (curves.empty()) return;
+  if (curves.empty()) return out;
+  out.attempted = true;
+  out.result = ilp_.compute(curves, 1.0);
+  return out;
+}
 
-  const auto result = ilp_.compute(curves, 1.0);
+void Controller::apply_ilp(const IlpSolveOutcome& out) {
+  if (!out.attempted) return;  // no ready curves yet: stay dirty
+
   ++ilp_runs_;
-  last_ilp_ms_ = result.elapsed;
-  if (!result.feasible) {
+  last_ilp_ms_ = out.result.elapsed;
+  if (!out.result.feasible) {
     // Degenerate (e.g. sum of wmax < 1 after failures): proportional to
     // wmax keeps everyone maximally utilized without a better signal.
     util::log_warn(kLog) << "steady-state ILP infeasible; "
                             "falling back to wmax-proportional weights";
     std::vector<double> prop(dips_.size(), 0.0);
-    for (std::size_t k = 0; k < index.size(); ++k)
-      prop[index[k]] = std::max(curves[k]->wmax(), 1e-6);
+    for (const auto i : out.index)
+      prop[i] = std::max(dips_[i].curve.wmax(), 1e-6);
     program(util::normalize_weights(prop));
     ilp_dirty_ = false;
     return;
   }
 
   std::vector<double> weights(dips_.size(), 0.0);
-  for (std::size_t k = 0; k < index.size(); ++k)
-    weights[index[k]] = result.weights[k];
+  for (std::size_t k = 0; k < out.index.size(); ++k)
+    weights[out.index[k]] = out.result.weights[k];
   program(weights);
   ilp_dirty_ = false;
+}
+
+void Controller::inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve) {
+  auto& d = dips_[i];
+  d.curve = std::move(curve);
+  d.phase = DipPhase::kReady;
+  d.curve_built_at = sim_.now();
+  d.explorer.set_l0(d.curve.latency_at(0.0));
+  ilp_dirty_ = true;
 }
 
 void Controller::program(const std::vector<double>& weights) {

@@ -86,6 +86,32 @@ class Controller {
   /// prioritization: only the VIPs granted a solver slot recompute now.
   void tick(bool allow_ilp = true);
 
+  /// Result of the pure ILP compute, handed between solve_ilp() and
+  /// apply_ilp() so the solve can run on a SolverPool worker.
+  struct IlpSolveOutcome {
+    bool attempted = false;          // false: no ready curves this round
+    std::vector<std::size_t> index;  // DIP index per solved curve
+    IlpWeightsResult result;
+  };
+
+  /// Phase 1 of a round (cheap, sim thread): consume samples, advance DIP
+  /// lifecycles, schedule measurements or classify dynamics. Returns true
+  /// when the VIP wants a steady-state ILP solve (steady state + dirty).
+  /// tick(true) is equivalent to
+  /// `if (tick_prepare()) apply_ilp(solve_ilp());`.
+  bool tick_prepare();
+
+  /// Phase 2 (expensive, thread-safe): run the Fig. 7 ILP over the current
+  /// ready curves. Pure compute — mutates nothing, so a SolverPool worker
+  /// may run it while other VIPs solve concurrently, as long as nothing
+  /// mutates this controller until apply_ilp().
+  IlpSolveOutcome solve_ilp() const;
+
+  /// Phase 3 (serial, sim thread): program the solved weights, update
+  /// counters, clear the dirty flag. Applying outcomes in VIP order makes
+  /// a pooled run bit-identical to a serial one.
+  void apply_ilp(const IlpSolveOutcome& outcome);
+
   /// A curve changed and the steady-state ILP has not rerun yet.
   bool ilp_dirty() const { return ilp_dirty_; }
 
@@ -112,6 +138,11 @@ class Controller {
   /// Force an ILP recomputation on the next round (tests/benches).
   void mark_dirty() { ilp_dirty_ = true; }
 
+  /// Install a pre-fitted curve and mark the DIP Ready, bypassing
+  /// exploration (fleet-scale benches and coordinator tests build synthetic
+  /// pools this way). Marks the ILP dirty like a real curve change.
+  void inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve);
+
  private:
   struct DipState {
     net::IpAddr addr;
@@ -131,7 +162,6 @@ class Controller {
   void process_samples();
   void handle_sample(std::size_t i, const store::LatencySample& sample);
   void run_measurement_round();
-  void run_steady_state();
   void apply_dynamics();
   void maybe_refresh();
   void program(const std::vector<double>& weights);

@@ -6,10 +6,22 @@
 // The controller by default runs ILP for each VIP every 5 seconds."
 //
 // The coordinator owns one Controller per VIP and drives their rounds on
-// a shared timer. Every round each controller processes samples and
-// measurement scheduling (cheap); steady-state ILP recomputation — the
-// expensive part — is granted to at most `max_ilp_per_round` VIPs,
-// dirty-curves first (FIFO among equally dirty, so no VIP starves).
+// a shared timer. Each round has three phases:
+//
+//   1. prepare (serial, sim thread): every controller consumes samples and
+//      schedules measurements — Controller::tick_prepare(), cheap;
+//   2. solve (parallel): VIPs that want a steady-state ILP recomputation
+//      are granted solver slots — dirty-curve VIPs packed least-recently-
+//      granted first, so no VIP starves — and the granted solves
+//      (Controller::solve_ilp, pure compute) run on the SolverPool's
+//      worker threads;
+//   3. apply (serial, sim thread): outcomes are applied in ascending VIP
+//      order (Controller::apply_ilp), so weights are bit-identical to a
+//      serial run regardless of worker scheduling.
+//
+// The grant budget is `max_ilp_per_round` per worker thread: the slot
+// budget models one solver core's round capacity, and adding workers
+// scales the round's solve throughput accordingly.
 #pragma once
 
 #include <algorithm>
@@ -17,14 +29,18 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/solver_pool.hpp"
 
 namespace klb::core {
 
 struct MultiVipConfig {
   util::SimTime round_interval = util::SimTime::seconds(10);
-  /// ILP solve slots per round across all VIPs (the solver budget of one
-  /// controller VM). 0 = unlimited.
+  /// ILP solve slots per round *per solver thread* (the solver budget of
+  /// one controller core). 0 = unlimited.
   int max_ilp_per_round = 4;
+  /// Solver pool width. 0 = hardware_concurrency; 1 = serial (solves run
+  /// inline on the sim thread, no pool is created).
+  int solver_threads = 1;
   ControllerConfig controller;  // template for every per-VIP controller
 };
 
@@ -32,7 +48,10 @@ class MultiVipCoordinator {
  public:
   MultiVipCoordinator(sim::Simulation& sim, MultiVipConfig cfg = {})
       : sim_(sim), cfg_(cfg),
-        timer_(sim, cfg.round_interval, [this] { tick(); }) {}
+        timer_(sim, cfg.round_interval, [this] { tick(); }) {
+    if (cfg_.solver_threads != 1)
+      pool_ = std::make_unique<SolverPool>(cfg_.solver_threads);
+  }
 
   /// Register a VIP with its DIPs, store, and weight interface. Returns
   /// the VIP's index. Must be called before start().
@@ -55,33 +74,65 @@ class MultiVipCoordinator {
   /// One coordinated round (also callable directly from benches).
   void tick() {
     ++rounds_;
-    // Grant ILP slots: dirty VIPs first, least-recently-granted first.
-    std::vector<std::size_t> order(vips_.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    // Phase 1 (serial): samples, lifecycle, measurement scheduling.
+    std::vector<char> wants(vips_.size(), 0);
+    for (std::size_t i = 0; i < vips_.size(); ++i)
+      wants[i] = vips_[i]->tick_prepare() ? 1 : 0;
+
+    // Grant solver slots to the VIPs that want a recomputation,
+    // least-recently-granted first (FIFO among equally dirty VIPs, so no
+    // VIP starves behind a persistently dirty neighbour).
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < vips_.size(); ++i)
+      if (wants[i]) order.push_back(i);
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
-                       const bool da = vips_[a]->ilp_dirty();
-                       const bool db = vips_[b]->ilp_dirty();
-                       if (da != db) return da > db;
                        return last_ilp_grant_[a] < last_ilp_grant_[b];
                      });
-    int slots = cfg_.max_ilp_per_round > 0 ? cfg_.max_ilp_per_round
-                                           : static_cast<int>(vips_.size());
-    std::vector<bool> allow(vips_.size(), false);
+    int budget = slot_budget();
+    std::vector<char> granted(vips_.size(), 0);
     for (const auto i : order) {
-      if (slots <= 0) break;
-      allow[i] = true;
+      if (budget == 0) break;  // negative = unlimited
+      granted[i] = 1;
       last_ilp_grant_[i] = rounds_;
-      --slots;
+      ++ilp_grants_;
+      if (budget > 0) --budget;
     }
+
+    // Phase 2: granted solves — on the pool when one exists, else inline.
+    std::vector<Controller::IlpSolveOutcome> outcomes(vips_.size());
+    if (pool_) {
+      for (std::size_t i = 0; i < vips_.size(); ++i) {
+        if (!granted[i]) continue;
+        auto* vip = vips_[i].get();
+        auto* slot = &outcomes[i];
+        pool_->submit([vip, slot] { *slot = vip->solve_ilp(); });
+      }
+      pool_->wait_idle();
+    } else {
+      for (std::size_t i = 0; i < vips_.size(); ++i)
+        if (granted[i]) outcomes[i] = vips_[i]->solve_ilp();
+    }
+
+    // Phase 3 (serial): apply in VIP order — deterministic regardless of
+    // which worker finished first.
     for (std::size_t i = 0; i < vips_.size(); ++i)
-      vips_[i]->tick(allow[i]);
+      if (granted[i]) vips_[i]->apply_ilp(outcomes[i]);
   }
 
   std::size_t vip_count() const { return vips_.size(); }
   Controller& controller(std::size_t i) { return *vips_[i]; }
   const Controller& controller(std::size_t i) const { return *vips_[i]; }
   std::uint64_t rounds_run() const { return rounds_; }
+  /// Solver slots granted over the coordinator's lifetime.
+  std::uint64_t ilp_grants() const { return ilp_grants_; }
+  std::size_t solver_threads() const { return pool_ ? pool_->thread_count() : 1; }
+  /// Effective ILP grant budget per round (negative = unlimited).
+  int slot_budget() const {
+    if (cfg_.max_ilp_per_round <= 0) return -1;
+    return cfg_.max_ilp_per_round * static_cast<int>(solver_threads());
+  }
 
   bool all_ready() const {
     for (const auto& v : vips_)
@@ -94,8 +145,10 @@ class MultiVipCoordinator {
   MultiVipConfig cfg_;
   std::vector<std::unique_ptr<Controller>> vips_;
   std::vector<std::uint64_t> last_ilp_grant_;
+  std::unique_ptr<SolverPool> pool_;
   sim::PeriodicTimer timer_;
   std::uint64_t rounds_ = 0;
+  std::uint64_t ilp_grants_ = 0;
 };
 
 }  // namespace klb::core

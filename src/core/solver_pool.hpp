@@ -1,0 +1,64 @@
+// A fixed-size worker pool for ILP recomputations (§5 at fleet scale).
+//
+// The paper runs one ILP per VIP on a shared controller VM; with hundreds
+// of VIPs the wall-clock bottleneck is solver time, not the slot budget.
+// SolverPool turns the coordinator's granted solves into jobs drained by N
+// worker threads. Only the pure compute (Controller::solve_ilp) runs on
+// workers; all state mutation (weight programming, counters, dirty flags)
+// stays on the sim thread, applied back in VIP order so results are
+// bit-identical to a serial run.
+//
+// The pool is deliberately minimal: submit closures, then wait_idle() to
+// barrier a round. No futures, no shutdown races — the destructor joins
+// after draining the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace klb::core {
+
+class SolverPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// `threads` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit SolverPool(int threads = 0);
+  ~SolverPool();
+
+  SolverPool(const SolverPool&) = delete;
+  SolverPool& operator=(const SolverPool&) = delete;
+
+  /// Enqueue a job. Jobs must not touch simulation state; they may only
+  /// write to storage the submitter reads back after wait_idle().
+  void submit(Job job);
+
+  /// Block until every submitted job has finished executing (not merely
+  /// been dequeued). Safe to call repeatedly; returns immediately when
+  /// nothing is in flight.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Jobs executed over the pool's lifetime (stats for benches).
+  std::uint64_t jobs_run() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;   // wait_idle waits for drain
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  std::uint64_t jobs_run_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace klb::core

@@ -26,8 +26,12 @@ class IpAddr {
   constexpr std::uint32_t value() const { return addr_; }
   std::string str() const;
 
-  constexpr bool operator==(const IpAddr&) const = default;
-  constexpr auto operator<=>(const IpAddr&) const = default;
+  constexpr bool operator==(const IpAddr& o) const { return addr_ == o.addr_; }
+  constexpr bool operator!=(const IpAddr& o) const { return addr_ != o.addr_; }
+  constexpr bool operator<(const IpAddr& o) const { return addr_ < o.addr_; }
+  constexpr bool operator<=(const IpAddr& o) const { return addr_ <= o.addr_; }
+  constexpr bool operator>(const IpAddr& o) const { return addr_ > o.addr_; }
+  constexpr bool operator>=(const IpAddr& o) const { return addr_ >= o.addr_; }
 
   /// Successor address (used to mint DIP addresses from a base).
   constexpr IpAddr next(std::uint32_t n = 1) const { return IpAddr(addr_ + n); }
@@ -41,8 +45,13 @@ struct Endpoint {
   std::uint16_t port = 0;
 
   std::string str() const { return ip.str() + ":" + std::to_string(port); }
-  bool operator==(const Endpoint&) const = default;
-  auto operator<=>(const Endpoint&) const = default;
+  bool operator==(const Endpoint& o) const {
+    return ip == o.ip && port == o.port;
+  }
+  bool operator!=(const Endpoint& o) const { return !(*this == o); }
+  bool operator<(const Endpoint& o) const {
+    return ip != o.ip ? ip < o.ip : port < o.port;
+  }
 };
 
 }  // namespace klb::net

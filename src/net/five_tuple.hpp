@@ -20,7 +20,12 @@ struct FiveTuple {
   std::uint16_t dst_port = 0;
   Proto proto = Proto::kTcp;
 
-  bool operator==(const FiveTuple&) const = default;
+  bool operator==(const FiveTuple& o) const {
+    return src_ip == o.src_ip && dst_ip == o.dst_ip &&
+           src_port == o.src_port && dst_port == o.dst_port &&
+           proto == o.proto;
+  }
+  bool operator!=(const FiveTuple& o) const { return !(*this == o); }
 
   std::string str() const {
     return src_ip.str() + ":" + std::to_string(src_port) + "->" +

@@ -51,7 +51,11 @@ struct RespValue {
   bool is_error() const { return type == Type::kError; }
   bool is_null() const { return type == Type::kNull; }
 
-  bool operator==(const RespValue&) const = default;
+  bool operator==(const RespValue& o) const {
+    return type == o.type && str == o.str && integer == o.integer &&
+           array == o.array;
+  }
+  bool operator!=(const RespValue& o) const { return !(*this == o); }
 };
 
 /// Serialize a value to RESP2 wire bytes.

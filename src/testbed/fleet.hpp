@@ -1,0 +1,107 @@
+// A synthetic multi-VIP control-plane fleet (§5 at scale, no dataplane).
+//
+// Fig. 8 / Tab. 6 benchmark one ILP at growing DIP counts; the fleet
+// fixture does the same for the *coordinator*: V VIPs x D DIPs, every DIP
+// Ready with an injected synthetic curve, weights programmed into a sink.
+// That isolates exactly the work the controller VM does per round —
+// sample scan + ILP solves — so the fleet benches measure solver-pool
+// scaling and the coordinator tests check grant policy without simulating
+// traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/multi_vip.hpp"
+#include "store/latency_store.hpp"
+#include "testbed/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace klb::testbed {
+
+/// WeightInterface that records programmings and drives no dataplane.
+class SinkWeightInterface : public lb::WeightInterface {
+ public:
+  explicit SinkWeightInterface(std::size_t backends) : backends_(backends) {}
+
+  std::size_t backend_count() const override { return backends_; }
+  void program_weights(const std::vector<std::int64_t>& units) override {
+    last_units_ = units;
+    ++programs_;
+  }
+  void set_backend_enabled(std::size_t, bool) override {}
+
+  const std::vector<std::int64_t>& last_units() const { return last_units_; }
+  std::uint64_t programs() const { return programs_; }
+
+ private:
+  std::size_t backends_;
+  std::vector<std::int64_t> last_units_;
+  std::uint64_t programs_ = 0;
+};
+
+class SyntheticFleet {
+ public:
+  /// Build `vips` VIPs of `dips` DIPs each. Curve shapes (wmax, l0) are
+  /// drawn from Rng(seed), so two fleets with equal (vips, dips, seed)
+  /// hold identical curves regardless of `cfg` — the parallel-vs-serial
+  /// determinism test relies on this. Curve refresh is disabled: the
+  /// fixture has no KLM feeding samples, so a refresh could never finish.
+  SyntheticFleet(std::size_t vips, std::size_t dips, core::MultiVipConfig cfg,
+                 std::uint64_t seed = 1)
+      : round_interval_(cfg.round_interval),
+        engine_(std::make_shared<store::KvEngine>([this] { return sim_.now(); })),
+        store_(engine_) {
+    cfg.controller.refresh_interval = util::SimTime::zero();
+    coord_ = std::make_unique<core::MultiVipCoordinator>(sim_, cfg);
+
+    util::Rng rng(seed);
+    for (std::size_t v = 0; v < vips; ++v) {
+      const auto vip = net::IpAddr(static_cast<std::uint32_t>(0x0a000001 + v));
+      std::vector<net::IpAddr> addrs;
+      for (std::size_t d = 0; d < dips; ++d)
+        addrs.push_back(
+            net::IpAddr(static_cast<std::uint32_t>(0x0a800000 + (v << 8) + d)));
+      lbs_.push_back(std::make_unique<SinkWeightInterface>(dips));
+      const auto idx = coord_->add_vip(vip, addrs, store_, *lbs_.back());
+      // Heterogeneous pool: per-DIP capacity 0.5-2x the fair share, total
+      // capacity ~1.25x the VIP's demand so the ILP stays feasible.
+      auto& ctl = coord_->controller(idx);
+      const double base = 1.25 / static_cast<double>(dips);
+      for (std::size_t d = 0; d < dips; ++d) {
+        const double wmax = base * (0.5 + 1.5 * rng.uniform());
+        const double l0 = 1.0 + 2.0 * rng.uniform();
+        ctl.inject_ready_curve(d, synthetic_curve(wmax, l0));
+      }
+    }
+  }
+
+  sim::Simulation& sim() { return sim_; }
+  core::MultiVipCoordinator& coordinator() { return *coord_; }
+  SinkWeightInterface& lb(std::size_t v) { return *lbs_[v]; }
+
+  void mark_all_dirty() {
+    for (std::size_t v = 0; v < coord_->vip_count(); ++v)
+      coord_->controller(v).mark_dirty();
+  }
+
+  /// Advance virtual time one round interval, then run a coordinated
+  /// round. Driving tick() with a frozen clock would feed the dynamics
+  /// detector never-stale zero-latency observations (the fixture records
+  /// no samples), so rounds must move time like the real timer does.
+  void tick_round() {
+    sim_.run_for(round_interval_);
+    coord_->tick();
+  }
+
+ private:
+  sim::Simulation sim_{1};
+  util::SimTime round_interval_;
+  std::shared_ptr<store::KvEngine> engine_;
+  store::LatencyStore store_;
+  std::vector<std::unique_ptr<SinkWeightInterface>> lbs_;
+  std::unique_ptr<core::MultiVipCoordinator> coord_;
+};
+
+}  // namespace klb::testbed

@@ -6,7 +6,6 @@
 // allowing multi-day simulations within int64 range.
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <string>
 
@@ -31,7 +30,24 @@ class SimTime {
   constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
   constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
 
-  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.us_ == b.us_;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) {
+    return a.us_ != b.us_;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) {
+    return a.us_ < b.us_;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.us_ <= b.us_;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) {
+    return a.us_ > b.us_;
+  }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.us_ >= b.us_;
+  }
 
   constexpr SimTime operator+(SimTime o) const { return SimTime{us_ + o.us_}; }
   constexpr SimTime operator-(SimTime o) const { return SimTime{us_ - o.us_}; }

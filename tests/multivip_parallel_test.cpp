@@ -1,0 +1,188 @@
+// Solver-pool and multi-VIP control-plane tests: the SolverPool work
+// queue, parallel-vs-serial weight determinism (a pooled coordinator run
+// must be bit-identical to a serial one), and the coordinator's
+// slot-granting policy (dirty VIPs first, least-recently-granted order,
+// no starvation under persistent contention).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/solver_pool.hpp"
+#include "testbed/fleet.hpp"
+
+namespace klb::core {
+namespace {
+
+// --- SolverPool ---------------------------------------------------------------
+
+TEST(SolverPool, RunsEverySubmittedJob) {
+  SolverPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(pool.jobs_run(), 200u);
+}
+
+TEST(SolverPool, WaitIdleWithNothingSubmittedReturnsImmediately) {
+  SolverPool pool(2);
+  pool.wait_idle();
+  EXPECT_EQ(pool.jobs_run(), 0u);
+}
+
+TEST(SolverPool, WaitIdleBlocksUntilInFlightJobsFinish) {
+  SolverPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  pool.wait_idle();
+  // Not merely dequeued: fully executed.
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(SolverPool, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    SolverPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(SolverPool, ZeroThreadsPicksHardwareConcurrency) {
+  SolverPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(SolverPool, ReusableAcrossWaves) {
+  SolverPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 16; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 16);
+  }
+}
+
+// --- Parallel == serial determinism -------------------------------------------
+
+MultiVipConfig fleet_cfg(int solver_threads, int max_ilp_per_round = 0) {
+  MultiVipConfig cfg;
+  cfg.solver_threads = solver_threads;
+  cfg.max_ilp_per_round = max_ilp_per_round;  // 0 = unlimited
+  return cfg;
+}
+
+TEST(MultiVipParallel, PooledWeightsBitIdenticalToSerial) {
+  constexpr std::size_t kVips = 24, kDips = 8, kSeed = 7;
+  testbed::SyntheticFleet serial(kVips, kDips, fleet_cfg(1), kSeed);
+  testbed::SyntheticFleet pooled(kVips, kDips, fleet_cfg(4), kSeed);
+  ASSERT_EQ(pooled.coordinator().solver_threads(), 4u);
+
+  for (int round = 0; round < 5; ++round) {
+    serial.mark_all_dirty();
+    pooled.mark_all_dirty();
+    serial.tick_round();
+    pooled.tick_round();
+    for (std::size_t v = 0; v < kVips; ++v) {
+      const auto& ws = serial.coordinator().controller(v).current_weights();
+      const auto& wp = pooled.coordinator().controller(v).current_weights();
+      ASSERT_EQ(ws.size(), wp.size());
+      for (std::size_t d = 0; d < ws.size(); ++d)
+        EXPECT_EQ(ws[d], wp[d]) << "round " << round << " vip " << v
+                                << " dip " << d;  // exact, not NEAR
+      EXPECT_EQ(serial.lb(v).last_units(), pooled.lb(v).last_units());
+    }
+    // Identical drift applied to both fleets keeps later rounds meaningful.
+    for (std::size_t v = 0; v < kVips; ++v) {
+      const double delta = 0.8 + 0.05 * static_cast<double>(round);
+      auto rescale = [&](testbed::SyntheticFleet& f) {
+        auto& ctl = f.coordinator().controller(v);
+        auto curve = ctl.curve(round % kDips);
+        curve.rescale(delta);
+        ctl.inject_ready_curve(round % kDips, std::move(curve));
+      };
+      rescale(serial);
+      rescale(pooled);
+    }
+  }
+}
+
+TEST(MultiVipParallel, SlotBudgetScalesWithSolverThreads) {
+  testbed::SyntheticFleet fleet(12, 4, fleet_cfg(3, 2), 3);
+  EXPECT_EQ(fleet.coordinator().slot_budget(), 6);  // 2 per thread x 3
+  fleet.mark_all_dirty();
+  fleet.tick_round();
+  std::uint64_t solved = 0;
+  for (std::size_t v = 0; v < 12; ++v)
+    solved += fleet.coordinator().controller(v).ilp_runs();
+  EXPECT_EQ(solved, 6u);
+}
+
+// --- Slot-granting fairness ---------------------------------------------------
+
+TEST(MultiVipFairness, PersistentlyDirtyVipsShareSlotsEvenly) {
+  constexpr std::size_t kVips = 8;
+  testbed::SyntheticFleet fleet(kVips, 4, fleet_cfg(1, 2), 5);  // 2 slots/round
+  for (int round = 0; round < 12; ++round) {
+    fleet.mark_all_dirty();  // every VIP contends every round
+    fleet.tick_round();
+  }
+  // 12 rounds x 2 slots = 24 grants over 8 VIPs: exactly 3 each.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (std::size_t v = 0; v < kVips; ++v) {
+    const auto runs = fleet.coordinator().controller(v).ilp_runs();
+    lo = std::min(lo, runs);
+    hi = std::max(hi, runs);
+  }
+  EXPECT_EQ(lo, 3u) << "a VIP was starved";
+  EXPECT_EQ(hi, 3u) << "a VIP was favoured";
+  EXPECT_EQ(fleet.coordinator().ilp_grants(), 24u);
+}
+
+TEST(MultiVipFairness, DirtyFirstNoGrantsWastedOnCleanVips) {
+  testbed::SyntheticFleet fleet(6, 4, fleet_cfg(1, 2), 9);
+  fleet.mark_all_dirty();
+  // Rounds 1-3 drain the initial dirty backlog (2 per round).
+  for (int round = 0; round < 3; ++round) fleet.tick_round();
+  EXPECT_EQ(fleet.coordinator().ilp_grants(), 6u);
+
+  // All clean now: a round must grant nothing (slots are not burned on
+  // clean VIPs the way the fixed-slot design did).
+  fleet.tick_round();
+  EXPECT_EQ(fleet.coordinator().ilp_grants(), 6u);
+
+  // One VIP dirties: it gets a slot on the very next round even though
+  // every other VIP holds an older grant stamp.
+  fleet.coordinator().controller(4).mark_dirty();
+  const auto runs_before = fleet.coordinator().controller(4).ilp_runs();
+  fleet.tick_round();
+  EXPECT_EQ(fleet.coordinator().controller(4).ilp_runs(), runs_before + 1);
+  EXPECT_EQ(fleet.coordinator().ilp_grants(), 7u);
+}
+
+TEST(MultiVipFairness, LeastRecentlyGrantedVipWinsTheTie) {
+  testbed::SyntheticFleet fleet(4, 4, fleet_cfg(1, 1), 11);  // 1 slot/round
+  fleet.mark_all_dirty();
+  // Rounds grant VIP 0, 1, 2, 3 in order (equal dirt, FIFO by last grant).
+  std::vector<std::uint64_t> expect_runs(4, 0);
+  for (std::size_t round = 0; round < 4; ++round) {
+    fleet.mark_all_dirty();
+    fleet.tick_round();
+    expect_runs[round] += 1;
+    for (std::size_t v = 0; v < 4; ++v)
+      EXPECT_EQ(fleet.coordinator().controller(v).ilp_runs(), expect_runs[v])
+          << "round " << round << " vip " << v;
+  }
+}
+
+}  // namespace
+}  // namespace klb::core
