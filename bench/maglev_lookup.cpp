@@ -1,0 +1,127 @@
+// Dataplane pick-path scaling: weighted Maglev vs the 5-tuple modulo hash.
+//
+// Two properties let the maglev policy carry 10k-DIP pools (ISSUE 2):
+//   1. pick cost: one hash + one array read, O(1) in the DIP count, where
+//      HashTuple re-scans the pool for usable backends on every packet;
+//   2. churn disruption: removing one DIP remaps a few percent of flows,
+//      where `hash % n` remaps essentially all of them (every pinned flow
+//      turns into a cross-DIP move once its affinity entry ages out).
+//
+// Usage: bench_maglev_lookup [picks_per_size]   (default 2'000'000)
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lb/maglev.hpp"
+#include "lb/policy.hpp"
+#include "testbed/report.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using klb::lb::BackendView;
+using Clock = std::chrono::steady_clock;
+
+std::vector<BackendView> make_views(std::size_t n, klb::util::Rng& rng) {
+  std::vector<BackendView> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].addr = klb::net::IpAddr(static_cast<std::uint32_t>(0x0a800000 + i));
+    // Heterogeneous weights, as the ILP would program them.
+    out[i].weight_units =
+        static_cast<std::int64_t>(50 + rng.uniform_int(std::uint64_t{150}));
+  }
+  return out;
+}
+
+klb::net::FiveTuple flow(std::uint64_t f) {
+  klb::net::FiveTuple t;
+  t.src_ip = klb::net::IpAddr(static_cast<std::uint32_t>(0x0a020000 + f / 50'000));
+  t.dst_ip = klb::net::IpAddr{10, 0, 0, 1};
+  t.src_port = static_cast<std::uint16_t>(f % 50'000);
+  t.dst_port = 443;
+  return t;
+}
+
+/// Picks/sec over `picks` distinct-ish flows (volatile sink defeats DCE).
+double measure_rate(klb::lb::Policy& policy,
+                    const std::vector<BackendView>& views,
+                    std::uint64_t picks, klb::util::Rng& rng) {
+  volatile std::size_t sink = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t f = 0; f < picks; ++f)
+    sink = sink + policy.pick(flow(f), views, rng);
+  const auto dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  return dt > 0 ? static_cast<double>(picks) / dt : 0.0;
+}
+
+/// Fraction of flows (not mapped to the removed DIP) that change backend
+/// when one DIP leaves the pool.
+double remap_fraction(klb::lb::Policy& policy, std::vector<BackendView> views,
+                      klb::util::Rng& rng) {
+  const std::uint64_t flows = 50'000;
+  std::vector<klb::net::IpAddr> before(flows);
+  for (std::uint64_t f = 0; f < flows; ++f) {
+    const auto i = policy.pick(flow(f), views, rng);
+    before[f] = i == klb::lb::kNoBackend ? klb::net::IpAddr{} : views[i].addr;
+  }
+  const auto removed = views[views.size() / 2].addr;
+  views.erase(views.begin() +
+              static_cast<std::ptrdiff_t>(views.size() / 2));
+  policy.invalidate();
+
+  std::uint64_t moved = 0;
+  std::uint64_t eligible = 0;
+  for (std::uint64_t f = 0; f < flows; ++f) {
+    if (before[f] == removed) continue;
+    ++eligible;
+    const auto i = policy.pick(flow(f), views, rng);
+    const auto now = i == klb::lb::kNoBackend ? klb::net::IpAddr{} : views[i].addr;
+    if (now != before[f]) ++moved;
+  }
+  return eligible ? static_cast<double>(moved) / static_cast<double>(eligible)
+                  : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t picks = 2'000'000;
+  if (argc > 1) picks = std::stoull(argv[1]);
+
+  klb::testbed::banner("maglev vs 5-tuple-hash dataplane pick path");
+  klb::testbed::Table table({"DIPs", "hash picks/s", "maglev picks/s",
+                             "speedup", "hash remap", "maglev remap"});
+
+  klb::util::Rng rng(42);
+  for (const std::size_t dips : {100u, 1'000u, 10'000u}) {
+    const auto views = make_views(dips, rng);
+
+    klb::lb::HashTuple hash;
+    klb::lb::MaglevPolicy maglev(std::max<std::size_t>(65'537, dips * 13));
+    // One warm pick builds maglev's table outside the timed loop; steady
+    // state re-picks, not rebuilds, are the packet path being measured.
+    maglev.pick(flow(0), views, rng);
+
+    const double hash_rate = measure_rate(hash, views, picks / 10, rng);
+    const double maglev_rate = measure_rate(maglev, views, picks, rng);
+
+    klb::lb::HashTuple hash_r;
+    klb::lb::MaglevPolicy maglev_r(std::max<std::size_t>(65'537, dips * 13));
+    const double hash_remap = remap_fraction(hash_r, views, rng);
+    const double maglev_remap = remap_fraction(maglev_r, views, rng);
+
+    table.row({std::to_string(dips),
+               klb::testbed::fmt(hash_rate / 1e6, 2) + "M",
+               klb::testbed::fmt(maglev_rate / 1e6, 2) + "M",
+               klb::testbed::fmt(maglev_rate / std::max(1.0, hash_rate), 1) + "x",
+               klb::testbed::fmt_pct(hash_remap),
+               klb::testbed::fmt_pct(maglev_remap)});
+  }
+  table.print();
+  std::cout << "\nmaglev pick cost is flat in the DIP count (consistent-hash "
+               "table lookup);\nhash remap ~100% on any membership change vs "
+               "maglev's few percent.\n";
+  return 0;
+}

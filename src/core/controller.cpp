@@ -353,6 +353,42 @@ void Controller::apply_ilp(const IlpSolveOutcome& out) {
   ilp_dirty_ = false;
 }
 
+std::size_t Controller::add_dip(net::IpAddr addr) {
+  DipState s;
+  s.addr = addr;
+  s.explorer = WeightExplorer(cfg_.explorer);
+  dips_.push_back(std::move(s));
+  weights_.push_back(0.0);
+  lb_.add_backend(addr);
+  ilp_dirty_ = true;
+  util::log_info(kLog) << "scale-out: DIP " << addr.str() << " joined ("
+                       << dips_.size() << " in pool)";
+  return dips_.size() - 1;
+}
+
+bool Controller::remove_dip(std::size_t i) {
+  if (i >= dips_.size()) return false;
+  util::log_info(kLog) << "scale-in: DIP " << dips_[i].addr.str()
+                       << " leaving (" << dips_.size() - 1 << " remain)";
+  lb_.remove_backend(i);
+  dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
+  weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(i));
+  ilp_dirty_ = true;
+  return true;
+}
+
+void Controller::mark_failed(std::size_t i) {
+  if (i >= dips_.size()) return;
+  auto& d = dips_[i];
+  if (d.phase == DipPhase::kFailed) return;
+  ++failures_;
+  util::log_info(kLog) << "DIP " << d.addr.str()
+                       << " reported failed (ops feed); removing from rotation";
+  d.phase = DipPhase::kFailed;
+  d.awaiting_measurement = false;
+  ilp_dirty_ = true;
+}
+
 void Controller::inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve) {
   auto& d = dips_[i];
   d.curve = std::move(curve);
@@ -364,9 +400,15 @@ void Controller::inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve
 
 void Controller::program(const std::vector<double>& weights) {
   weights_ = weights;
+  double total = 0.0;
+  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  // Largest-remainder normalization keeps the programmed units summing to
+  // exactly kWeightScale (per-entry rounding can drift by a few units when
+  // the ILP grid does not divide the scale). All-zero vectors program as
+  // zeros — normalize's equal-split fallback must not resurrect a pool the
+  // controller meant to park.
   std::vector<std::int64_t> units(weights.size(), 0);
-  for (std::size_t i = 0; i < weights.size(); ++i)
-    units[i] = util::weight_to_units(weights[i]);
+  if (total > 0.0) units = util::normalize_to_units(weights);
   lb_.program_weights(units);
   last_program_at_ = sim_.now();
 }

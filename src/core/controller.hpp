@@ -138,6 +138,23 @@ class Controller {
   /// Force an ILP recomputation on the next round (tests/benches).
   void mark_dirty() { ilp_dirty_ = true; }
 
+  // --- pool churn (§6's capacity-change scenario as a first-class op) -------
+
+  /// Scale-out: append a DIP to this VIP's pool and to the LB. The DIP
+  /// enters the NeedL0 lifecycle (or call inject_ready_curve for synthetic
+  /// pools). Returns the new DIP's index.
+  std::size_t add_dip(net::IpAddr addr);
+
+  /// Scale-in: remove DIP `i` from the pool and the LB; surviving DIPs
+  /// keep their state and the ILP reruns over the smaller pool. Returns
+  /// false for an out-of-range index.
+  bool remove_dip(std::size_t i);
+
+  /// Abrupt failure reported out-of-band (an ops/health feed, faster than
+  /// waiting for a §4.5 probe blackout): the DIP is dropped from rotation
+  /// and the ILP reruns, exactly like the sample-driven failure path.
+  void mark_failed(std::size_t i);
+
   /// Install a pre-fitted curve and mark the DIP Ready, bypassing
   /// exploration (fleet-scale benches and coordinator tests build synthetic
   /// pools this way). Marks the ILP dirty like a real curve change.

@@ -86,11 +86,13 @@ void DrainEstimator::poll_draining() {
 
 void DrainEstimator::finish(std::optional<util::SimTime> result) {
   running_ = false;
-  // Restore an equal split before reporting.
+  // Restore an equal split before reporting. normalize_to_units spreads
+  // the kWeightScale % n remainder instead of leaking it (a flat
+  // kWeightScale / n per entry under-programs the pool whenever n does
+  // not divide the scale).
   const auto n = lb_.backend_count();
-  std::vector<std::int64_t> units(
-      n, util::kWeightScale / static_cast<std::int64_t>(n == 0 ? 1 : n));
-  lb_.program_weights(units);
+  if (n > 0)
+    lb_.program_weights(util::normalize_to_units(std::vector<double>(n, 1.0)));
   if (done_) done_(result);
 }
 

@@ -14,6 +14,7 @@
 #include "lb/lb_controller.hpp"
 #include "net/address.hpp"
 #include "sim/simulation.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/weight.hpp"
 
@@ -33,12 +34,39 @@ class DnsTrafficManager : public WeightInterface {
   std::size_t backend_count() const override { return dips_.size(); }
 
   void program_weights(const std::vector<std::int64_t>& units) override {
-    for (std::size_t i = 0; i < weights_.size() && i < units.size(); ++i)
+    if (units.size() != weights_.size()) {
+      util::log_warn("klb-dns") << "rejecting weight programming: "
+                                << units.size() << " entries for "
+                                << weights_.size() << " DIPs";
+      return;
+    }
+    for (std::size_t i = 0; i < weights_.size(); ++i)
       weights_[i] = units[i] < 0 ? 0 : units[i];
   }
 
   void set_backend_enabled(std::size_t i, bool enabled) override {
     if (i < enabled_.size()) enabled_[i] = enabled;
+  }
+
+  void add_backend(net::IpAddr dip) override {
+    // Same churn semantics as the MUX: a fair share for the newcomer,
+    // existing ratios preserved (DNS resolution is already proportional,
+    // so no exact-sum renormalization is needed).
+    std::int64_t sum = 0;
+    for (const auto w : weights_) sum += w;
+    dips_.push_back(dip);
+    weights_.push_back(weights_.empty() || sum <= 0
+                           ? util::kWeightScale
+                           : sum / static_cast<std::int64_t>(weights_.size()));
+    enabled_.push_back(true);
+  }
+
+  bool remove_backend(std::size_t i) override {
+    if (i >= dips_.size()) return false;
+    dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
+    weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(i));
+    enabled_.erase(enabled_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
   }
 
   // --- resolver -------------------------------------------------------------

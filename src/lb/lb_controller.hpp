@@ -16,6 +16,12 @@ namespace klb::lb {
 /// Abstract weight-programming interface: anything that can apply per-DIP
 /// weights (a MUX pool, a DNS traffic manager, ...). This is the "LB
 /// controller" box of Fig. 6.
+///
+/// Membership (add/remove) is a synchronous config push — the pool resizes
+/// immediately — while weight programming keeps its implementation-specific
+/// delay. An in-flight programming sized for the old pool is rejected by
+/// the dataplane (never prefix-applied), so a membership/weights race is
+/// loud instead of silently half-programming the pool.
 class WeightInterface {
  public:
   virtual ~WeightInterface() = default;
@@ -25,6 +31,10 @@ class WeightInterface {
   virtual void program_weights(const std::vector<std::int64_t>& units) = 0;
   /// Remove/readmit a backend from rotation (used on failure detection).
   virtual void set_backend_enabled(std::size_t i, bool enabled) = 0;
+  /// Scale-out: append a backend to the pool.
+  virtual void add_backend(net::IpAddr dip) = 0;
+  /// Scale-in: drop backend `i` from the pool; false if out of range.
+  virtual bool remove_backend(std::size_t i) = 0;
 };
 
 class LbController : public WeightInterface {
@@ -46,9 +56,21 @@ class LbController : public WeightInterface {
   }
 
   void set_backend_enabled(std::size_t i, bool enabled) override {
-    sim_.schedule_in(delay_, [this, i, enabled] {
-      mux_.set_backend_enabled(i, enabled);
+    if (i >= mux_.backend_count()) return;
+    // Capture the stable id, not the index: synchronous membership ops can
+    // renumber the pool before the delayed change lands, and draining the
+    // wrong backend would be a silent misprogram.
+    const auto id = mux_.backend_id(i);
+    sim_.schedule_in(delay_, [this, id, enabled] {
+      if (const auto idx = mux_.index_of_id(id))
+        mux_.set_backend_enabled(*idx, enabled);
     });
+  }
+
+  void add_backend(net::IpAddr dip) override { mux_.add_backend(dip); }
+
+  bool remove_backend(std::size_t i) override {
+    return mux_.remove_backend(i);
   }
 
   util::SimTime programming_delay() const { return delay_; }

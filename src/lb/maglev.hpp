@@ -1,0 +1,109 @@
+// Weighted Maglev-style consistent hashing for the MUX dataplane.
+//
+// A MaglevTable is a flat lookup array (prime-sized) filled from per-backend
+// pseudo-random slot permutations (Eisenbud et al., NSDI'16). Each backend's
+// permutation is derived only from its stable id, so rebuilding the table
+// after a weight or membership change moves as few slots as possible:
+// removing one DIP from a 100-DIP pool remaps a few percent of flows, where
+// `hash % n` remaps essentially all of them. Slot counts are apportioned to
+// the programmed `weight_units` by largest remainder, so the table honours
+// KnapsackLB's ILP weights exactly (to one slot).
+//
+// Packet-path cost is one hash + one array read — O(1) in the DIP count —
+// which is what lets the dataplane scale to 10k-DIP pools (bench/
+// maglev_lookup.cpp measures it against the O(n) usable-scan policies).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lb/policy.hpp"
+
+namespace klb::lb {
+
+/// One backend as the table sees it: a stable identity (the Mux uses the
+/// DIP address value) plus its programmed weight. Entries with weight <= 0
+/// take no slots but keep their position so entry indexes stay aligned
+/// with the caller's backend indexes.
+struct MaglevEntry {
+  std::uint64_t id = 0;
+  std::int64_t weight_units = 0;
+};
+
+class MaglevTable {
+ public:
+  static constexpr std::uint32_t kEmptySlot =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint64_t kNoId =
+      std::numeric_limits<std::uint64_t>::max();
+  /// Default table size (prime). ~650 slots per backend at 100 DIPs; pass
+  /// a larger minimum for 10k-DIP pools if finer weight resolution matters.
+  static constexpr std::size_t kDefaultMinSize = 65'537;
+
+  /// The table allocates the first prime >= min_table_size slots (the
+  /// permutation walk needs the size coprime with every skip).
+  explicit MaglevTable(std::size_t min_table_size = kDefaultMinSize);
+
+  /// Rebuild the table. Disruption is minimal only if callers keep each
+  /// id's relative order stable across builds (the Mux registration order
+  /// does). Entries with weight <= 0 are excluded from the table.
+  void build(const std::vector<MaglevEntry>& entries);
+
+  /// Entry index owning `hash`'s slot, or kEmptySlot for an empty table.
+  std::uint32_t lookup(std::uint64_t hash) const {
+    return slots_[hash % slots_.size()];
+  }
+
+  /// As lookup(), but resolves to the entry's stable id (kNoId if empty).
+  std::uint64_t lookup_id(std::uint64_t hash) const {
+    const auto e = lookup(hash);
+    return e == kEmptySlot ? kNoId : ids_[e];
+  }
+
+  std::size_t table_size() const { return slots_.size(); }
+  std::size_t entry_count() const { return ids_.size(); }
+  std::uint64_t builds() const { return builds_; }
+
+  /// Slots owned per entry index (weight-proportionality checks).
+  std::vector<std::size_t> slot_counts() const;
+
+ private:
+  std::vector<std::uint32_t> slots_;  // entry index or kEmptySlot
+  std::vector<std::uint64_t> ids_;    // stable id per entry index
+  std::uint64_t builds_ = 0;
+};
+
+/// The "maglev" MUX policy: consistent-hash DIP selection over the 5-tuple,
+/// weight-aware, O(1) per pick.
+///
+/// The table is rebuilt lazily on the next pick after invalidate(); the Mux
+/// calls invalidate() on every weight/membership/enable change. Direct
+/// users that mutate their BackendView vector (tests, benches) must do the
+/// same — a size change is detected automatically, a pure weight change is
+/// not (detecting it would cost the O(n) scan this policy exists to avoid).
+class MaglevPolicy : public Policy {
+ public:
+  explicit MaglevPolicy(std::size_t min_table_size = MaglevTable::kDefaultMinSize)
+      : table_(min_table_size) {}
+
+  std::string name() const override { return "maglev"; }
+  bool weighted() const override { return true; }
+  void invalidate() override { dirty_ = true; }
+
+  std::size_t pick(const net::FiveTuple& tuple,
+                   const std::vector<BackendView>& backends,
+                   util::Rng& rng) override;
+
+  const MaglevTable& table() const { return table_; }
+
+ private:
+  void rebuild(const std::vector<BackendView>& backends);
+
+  MaglevTable table_;
+  bool dirty_ = true;
+  std::size_t cached_count_ = 0;
+};
+
+}  // namespace klb::lb

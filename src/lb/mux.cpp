@@ -1,9 +1,18 @@
 #include "lb/mux.hpp"
 
+#include <numeric>
+
 #include "util/logging.hpp"
 #include "util/weight.hpp"
 
 namespace klb::lb {
+
+namespace {
+constexpr const char* kLog = "klb-mux";
+/// Inline idle-flow sweeps run at most once per this many requests, so the
+/// GC amortizes to O(1) per packet.
+constexpr std::uint64_t kGcRequestInterval = 4096;
+}  // namespace
 
 Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy)
     : net_(net), vip_(vip), policy_(std::move(policy)),
@@ -15,23 +24,108 @@ Mux::~Mux() { net_.attach(vip_, nullptr); }
 
 void Mux::set_policy(std::unique_ptr<Policy> policy) {
   policy_ = std::move(policy);
+  policy_->invalidate();
 }
 
-void Mux::add_backend(net::IpAddr dip, const server::DipServer* server) {
+std::uint64_t Mux::add_backend(net::IpAddr dip,
+                               const server::DipServer* server) {
   Backend b;
+  b.id = next_backend_id_++;
   b.addr = dip;
   b.server = server;
-  // New backends start at an equal share so an unweighted pool works out
-  // of the box; weighted policies get reprogrammed by the LB controller.
+  // The newcomer enters at the pool's mean weight (a fair share relative
+  // to its peers); existing controller-programmed ratios are preserved by
+  // renormalize — an n-DIP equal pool stays equal at n+1, a weighted pool
+  // keeps its shape. An all-parked pool gives the newcomer everything.
+  std::int64_t sum = 0;
+  for (const auto& be : backends_) sum += be.weight_units;
+  b.weight_units =
+      backends_.empty() || sum <= 0
+          ? util::kWeightScale
+          : (sum + static_cast<std::int64_t>(backends_.size()) / 2) /
+                static_cast<std::int64_t>(backends_.size());
   backends_.push_back(b);
-  const auto equal = util::kWeightScale /
-                     static_cast<std::int64_t>(backends_.size());
-  for (auto& be : backends_) be.weight_units = equal;
+  renormalize_weights();
+  rebuild_id_index();
+  rebuild_views();
+  policy_->invalidate();
+  return b.id;
 }
 
-void Mux::set_weight_units(const std::vector<std::int64_t>& units) {
-  for (std::size_t i = 0; i < backends_.size() && i < units.size(); ++i)
+bool Mux::remove_backend(std::size_t i) { return erase_backend(i, false); }
+
+bool Mux::fail_backend(std::size_t i) { return erase_backend(i, true); }
+
+bool Mux::erase_backend(std::size_t i, bool failed) {
+  if (i >= backends_.size()) return false;
+  const auto id = backends_[i].id;
+  if (failed) {
+    util::log_warn(kLog) << "backend " << backends_[i].addr.str()
+                         << " failed; resetting "
+                         << backends_[i].active << " pinned flows";
+  }
+  drop_affinity_for(id, failed);
+  backends_.erase(backends_.begin() + static_cast<std::ptrdiff_t>(i));
+  renormalize_weights();
+  rebuild_id_index();
+  rebuild_views();
+  policy_->invalidate();
+  return true;
+}
+
+void Mux::renormalize_weights() {
+  if (backends_.empty()) return;
+  std::vector<double> raw(backends_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    raw[i] = static_cast<double>(backends_[i].weight_units);
+    sum += raw[i];
+  }
+  // A fully parked pool (all zeros) stays parked: normalize's equal-split
+  // fallback would resurrect a VIP the controller deliberately weighted to
+  // zero, e.g. after removing the only weighted backend.
+  if (sum <= 0.0) return;
+  const auto units = util::normalize_to_units(raw);
+  for (std::size_t i = 0; i < backends_.size(); ++i)
+    backends_[i].weight_units = units[i];
+}
+
+void Mux::drop_affinity_for(std::uint64_t id, bool count_as_reset) {
+  for (auto it = affinity_.begin(); it != affinity_.end();) {
+    if (it->second.backend_id == id) {
+      if (count_as_reset) ++flows_reset_;
+      it = affinity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Mux::rebuild_id_index() {
+  id_index_.clear();
+  for (std::size_t i = 0; i < backends_.size(); ++i)
+    id_index_[backends_[i].id] = i;
+}
+
+std::optional<std::size_t> Mux::index_of_id(std::uint64_t id) const {
+  const auto it = id_index_.find(id);
+  if (it == id_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
+  if (units.size() != backends_.size()) {
+    ++rejected_programmings_;
+    util::log_warn(kLog) << "rejecting weight programming: " << units.size()
+                         << " entries for " << backends_.size()
+                         << " backends (controller out of sync with pool)";
+    return false;
+  }
+  for (std::size_t i = 0; i < backends_.size(); ++i)
     backends_[i].weight_units = units[i] < 0 ? 0 : units[i];
+  rebuild_views();
+  policy_->invalidate();
+  return true;
 }
 
 std::vector<std::int64_t> Mux::weight_units() const {
@@ -42,7 +136,11 @@ std::vector<std::int64_t> Mux::weight_units() const {
 }
 
 void Mux::set_backend_enabled(std::size_t i, bool enabled) {
-  if (i < backends_.size()) backends_[i].enabled = enabled;
+  if (i < backends_.size()) {
+    backends_[i].enabled = enabled;
+    views_[i].enabled = enabled;
+    policy_->invalidate();
+  }
 }
 
 void Mux::reset_counters() {
@@ -52,13 +150,53 @@ void Mux::reset_counters() {
   }
   total_forwarded_ = 0;
   no_backend_drops_ = 0;
+  rejected_programmings_ = 0;
+  flows_reset_ = 0;
+  flows_gced_ = 0;
 }
 
-std::vector<BackendView> Mux::views() const {
-  std::vector<BackendView> out;
-  out.reserve(backends_.size());
-  for (const auto& b : backends_) out.push_back(b.view());
-  return out;
+void Mux::rebuild_views() {
+  views_.clear();
+  views_.reserve(backends_.size());
+  for (const auto& b : backends_) views_.push_back(b.view());
+}
+
+std::size_t Mux::dangling_affinity_count() const {
+  std::size_t n = 0;
+  for (const auto& [tuple, aff] : affinity_)
+    if (id_index_.count(aff.backend_id) == 0) ++n;
+  return n;
+}
+
+std::size_t Mux::gc_affinity() {
+  std::size_t reclaimed = 0;
+  const auto now = net_.sim().now();
+  for (auto it = affinity_.begin(); it != affinity_.end();) {
+    const auto idx = index_of_id(it->second.backend_id);
+    const bool dead = !idx.has_value();
+    const bool idle = affinity_idle_ > util::SimTime::zero() &&
+                      it->second.last_seen + affinity_idle_ < now;
+    if (dead || idle) {
+      if (!dead) {  // a live backend loses a flow that never FIN'd
+        auto& b = backends_[*idx];
+        if (b.active > 0) --b.active;
+        views_[*idx].active_conns = b.active;
+      }
+      ++flows_gced_;
+      ++reclaimed;
+      it = affinity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+void Mux::maybe_gc() {
+  if (affinity_idle_ <= util::SimTime::zero()) return;
+  if (++requests_since_gc_ < kGcRequestInterval) return;
+  requests_since_gc_ = 0;
+  gc_affinity();
 }
 
 void Mux::on_message(const net::Message& msg) {
@@ -75,19 +213,30 @@ void Mux::on_message(const net::Message& msg) {
 }
 
 void Mux::handle_request(const net::Message& msg) {
-  std::size_t dip;
+  maybe_gc();
+  std::size_t dip = kNoBackend;
   const auto it = affinity_.find(msg.tuple);
   if (it != affinity_.end()) {
-    dip = it->second;  // connection affinity: pinned regardless of weights
-  } else {
-    dip = policy_->pick(msg.tuple, views(), rng_);
+    // Connection affinity: pinned regardless of weights — unless the
+    // backend died since (defensive; removal drops its entries eagerly).
+    const auto idx = index_of_id(it->second.backend_id);
+    if (idx) {
+      dip = *idx;
+      it->second.last_seen = net_.sim().now();
+    } else {
+      affinity_.erase(it);
+    }
+  }
+  if (dip == kNoBackend) {
+    dip = policy_->pick(msg.tuple, views_, rng_);
     if (dip == kNoBackend) {
       ++no_backend_drops_;
       return;  // connection refused; client times out
     }
-    affinity_[msg.tuple] = dip;
+    affinity_[msg.tuple] = Affinity{backends_[dip].id, net_.sim().now()};
     ++backends_[dip].active;
     ++backends_[dip].connections;
+    views_[dip].active_conns = backends_[dip].active;
   }
   ++backends_[dip].forwarded;
   ++total_forwarded_;
@@ -97,10 +246,13 @@ void Mux::handle_request(const net::Message& msg) {
 void Mux::handle_fin(const net::Message& msg) {
   const auto it = affinity_.find(msg.tuple);
   if (it == affinity_.end()) return;
-  auto& b = backends_[it->second];
-  if (b.active > 0) --b.active;
-  net_.send(b.addr, msg);  // let the server close out the connection too
+  const auto idx = index_of_id(it->second.backend_id);
   affinity_.erase(it);
+  if (!idx) return;  // backend removed while the flow was live
+  auto& b = backends_[*idx];
+  if (b.active > 0) --b.active;
+  views_[*idx].active_conns = b.active;
+  net_.send(b.addr, msg);  // let the server close out the connection too
 }
 
 }  // namespace klb::lb

@@ -1,10 +1,21 @@
 // The MUX: the L4 LB dataplane instance.
 //
-// A Mux owns a VIP, keeps the connection-affinity table (5-tuple -> DIP),
-// applies the configured policy to new connections, and forwards requests
-// to DIPs with the original tuple preserved (encap + direct server return,
-// per Fig. 1). FINs flow through the MUX so it can maintain per-DIP active
-// connection counts for (W)LC — the proxy-visible signal HAProxy uses.
+// A Mux owns a VIP, keeps the connection-affinity table (5-tuple -> stable
+// backend id), applies the configured policy to new connections, and
+// forwards requests to DIPs with the original tuple preserved (encap +
+// direct server return, per Fig. 1). FINs flow through the MUX so it can
+// maintain per-DIP active connection counts for (W)LC — the proxy-visible
+// signal HAProxy uses.
+//
+// Backend lifecycle: backends carry a stable id from registration to
+// removal, so the affinity table survives pool churn — indices shift when
+// a backend is removed, ids never do. Adding a backend rescales the pool
+// (newcomer gets a fair share, existing ratios preserved, units keep
+// summing to util::kWeightScale) instead of wiping controller-programmed
+// weights; removing one drops its affinity entries and rescales the rest
+// the same way (scale-in after draining to weight 0 leaves the survivors'
+// units exactly unchanged). Flows that never FIN are reclaimed by the
+// affinity GC once an idle timeout is configured.
 //
 // Weight changes only affect *new* connections: pinned connections drain
 // naturally, which is precisely the effect §4.7's drain-time estimation has
@@ -13,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,23 +45,61 @@ class Mux : public net::Node {
   /// Replace the policy (connection table survives, like a HAProxy reload).
   void set_policy(std::unique_ptr<Policy> policy);
 
-  /// Register a backend. `server` is optional and only consulted by the
-  /// power-of-two policy.
-  void add_backend(net::IpAddr dip, const server::DipServer* server = nullptr);
+  // --- backend lifecycle -----------------------------------------------------
+
+  /// Register a backend and return its stable id. Existing weights are
+  /// rescaled — newcomer at a fair share, existing ratios preserved, units
+  /// summing to util::kWeightScale — never reset. `server` is optional and
+  /// only consulted by the power-of-two policy.
+  std::uint64_t add_backend(net::IpAddr dip,
+                            const server::DipServer* server = nullptr);
+
+  /// Deregister backend `i` (scale-in): its affinity entries are dropped
+  /// and the survivors are rescaled back to kWeightScale (exactly unchanged
+  /// when the backend was already drained to weight 0; a fully parked pool
+  /// stays parked). Returns false for an out-of-range index.
+  bool remove_backend(std::size_t i);
+
+  /// Abrupt backend death (host failure): like remove_backend but the
+  /// pinned flows are counted as reset — their clients see a connection
+  /// reset and retry as new flows on the survivors.
+  bool fail_backend(std::size_t i);
 
   std::size_t backend_count() const { return backends_.size(); }
   net::IpAddr backend_addr(std::size_t i) const { return backends_[i].addr; }
+  std::uint64_t backend_id(std::size_t i) const { return backends_[i].id; }
+  /// Index currently holding stable id `id`, if the backend still exists.
+  std::optional<std::size_t> index_of_id(std::uint64_t id) const;
 
   /// Program weights (grid units, util::kWeightScale = 1.0), one entry per
   /// backend in registration order. This is the interface the LB controller
-  /// programs; KnapsackLB never calls it directly.
-  void set_weight_units(const std::vector<std::int64_t>& units);
+  /// programs; KnapsackLB never calls it directly. A vector whose size does
+  /// not match backend_count() is rejected with a warning (a controller/mux
+  /// pool-size race must not half-program the pool); returns false then.
+  bool set_weight_units(const std::vector<std::int64_t>& units);
   std::vector<std::int64_t> weight_units() const;
 
   /// Administratively drain a backend (no new connections).
   void set_backend_enabled(std::size_t i, bool enabled);
+  bool backend_enabled(std::size_t i) const { return backends_[i].enabled; }
 
-  // --- dataplane counters ---------------------------------------------------
+  // --- affinity table --------------------------------------------------------
+
+  /// Enable idle-flow GC: affinity entries with no request for `idle` are
+  /// reclaimed (flows that never FIN). Zero (the default) disables it.
+  /// Sweeps run inline every few thousand forwarded requests and on
+  /// explicit gc_affinity() calls.
+  void set_affinity_idle_timeout(util::SimTime idle) { affinity_idle_ = idle; }
+
+  /// Sweep now; returns the number of entries reclaimed.
+  std::size_t gc_affinity();
+
+  std::size_t affinity_size() const { return affinity_.size(); }
+  /// Entries whose backend no longer exists. Always 0 — removal drops them
+  /// eagerly — but tests assert it after churn.
+  std::size_t dangling_affinity_count() const;
+
+  // --- dataplane counters ----------------------------------------------------
   std::uint64_t forwarded_requests(std::size_t i) const {
     return backends_[i].forwarded;
   }
@@ -60,6 +110,9 @@ class Mux : public net::Node {
     return backends_[i].view().active_conns;
   }
   std::uint64_t total_forwarded() const { return total_forwarded_; }
+  std::uint64_t rejected_programmings() const { return rejected_programmings_; }
+  std::uint64_t flows_reset_by_failure() const { return flows_reset_; }
+  std::uint64_t flows_gced_idle() const { return flows_gced_; }
   void reset_counters();
 
   // --- net::Node -------------------------------------------------------------
@@ -67,6 +120,7 @@ class Mux : public net::Node {
 
  private:
   struct Backend {
+    std::uint64_t id = 0;  // stable across pool churn; affinity key
     net::IpAddr addr;
     const server::DipServer* server = nullptr;
     std::int64_t weight_units = 0;
@@ -80,18 +134,41 @@ class Mux : public net::Node {
     }
   };
 
+  struct Affinity {
+    std::uint64_t backend_id = 0;
+    util::SimTime last_seen = util::SimTime::zero();
+  };
+
   void handle_request(const net::Message& msg);
   void handle_fin(const net::Message& msg);
-  std::vector<BackendView> views() const;
+  /// Refresh the cached policy view of the pool. Rebuilt on pool mutations
+  /// (O(n), as the mutations already are); the per-packet pick path only
+  /// patches active_conns in place, so a pick stays O(policy), not O(n).
+  void rebuild_views();
+  /// Rescale all weights to sum kWeightScale, preserving current ratios.
+  /// All-zero pools fall back to an equal split (traffic must go somewhere).
+  void renormalize_weights();
+  bool erase_backend(std::size_t i, bool failed);
+  void drop_affinity_for(std::uint64_t id, bool count_as_reset);
+  void rebuild_id_index();
+  void maybe_gc();
 
   net::Network& net_;
   net::IpAddr vip_;
   std::unique_ptr<Policy> policy_;
   util::Rng rng_;
   std::vector<Backend> backends_;
-  std::unordered_map<net::FiveTuple, std::size_t> affinity_;
+  std::vector<BackendView> views_;  // policy-facing cache, index-aligned
+  std::unordered_map<std::uint64_t, std::size_t> id_index_;
+  std::unordered_map<net::FiveTuple, Affinity> affinity_;
+  util::SimTime affinity_idle_ = util::SimTime::zero();
+  std::uint64_t next_backend_id_ = 1;
+  std::uint64_t requests_since_gc_ = 0;
   std::uint64_t total_forwarded_ = 0;
   std::uint64_t no_backend_drops_ = 0;
+  std::uint64_t rejected_programmings_ = 0;
+  std::uint64_t flows_reset_ = 0;
+  std::uint64_t flows_gced_ = 0;
 };
 
 }  // namespace klb::lb

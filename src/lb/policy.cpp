@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "lb/maglev.hpp"
 #include "server/dip_server.hpp"
 #include "util/weight.hpp"
 
@@ -146,6 +147,7 @@ std::unique_ptr<Policy> make_policy(const std::string& name) {
   if (name == "wrandom") return std::make_unique<WeightedRandom>();
   if (name == "p2") return std::make_unique<PowerOfTwoCpu>();
   if (name == "hash") return std::make_unique<HashTuple>();
+  if (name == "maglev") return std::make_unique<MaglevPolicy>();
   throw std::invalid_argument("unknown LB policy: " + name);
 }
 

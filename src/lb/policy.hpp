@@ -46,10 +46,15 @@ class Policy {
   virtual std::size_t pick(const net::FiveTuple& tuple,
                            const std::vector<BackendView>& backends,
                            util::Rng& rng) = 0;
+  /// The backend pool changed (weights, membership, enable bits). Policies
+  /// that precompute per-pool state (maglev's lookup table) rebuild lazily
+  /// on the next pick; stateless policies ignore it. The Mux calls this on
+  /// every pool mutation.
+  virtual void invalidate() {}
 };
 
 /// Factory by policy name: "rr", "wrr", "lc", "wlc", "random", "wrandom",
-/// "p2", "hash". Throws std::invalid_argument for unknown names.
+/// "p2", "hash", "maglev". Throws std::invalid_argument for unknown names.
 std::unique_ptr<Policy> make_policy(const std::string& name);
 
 // --- concrete policies (exposed for direct construction in tests) ---------

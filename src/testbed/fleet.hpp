@@ -21,24 +21,38 @@
 namespace klb::testbed {
 
 /// WeightInterface that records programmings and drives no dataplane.
+/// Mirrors the MUX's contract: a programming whose size does not match the
+/// pool is rejected (and counted), so churn tests catch size races.
 class SinkWeightInterface : public lb::WeightInterface {
  public:
   explicit SinkWeightInterface(std::size_t backends) : backends_(backends) {}
 
   std::size_t backend_count() const override { return backends_; }
   void program_weights(const std::vector<std::int64_t>& units) override {
+    if (units.size() != backends_) {
+      ++rejected_;
+      return;
+    }
     last_units_ = units;
     ++programs_;
   }
   void set_backend_enabled(std::size_t, bool) override {}
+  void add_backend(net::IpAddr) override { ++backends_; }
+  bool remove_backend(std::size_t i) override {
+    if (i >= backends_) return false;
+    --backends_;
+    return true;
+  }
 
   const std::vector<std::int64_t>& last_units() const { return last_units_; }
   std::uint64_t programs() const { return programs_; }
+  std::uint64_t rejected_programs() const { return rejected_; }
 
  private:
   std::size_t backends_;
   std::vector<std::int64_t> last_units_;
   std::uint64_t programs_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 class SyntheticFleet {
@@ -86,6 +100,30 @@ class SyntheticFleet {
       coord_->controller(v).mark_dirty();
   }
 
+  // --- pool churn (the §6 capacity-change scenario, fleet-scale) ------------
+
+  /// Scale-out: add a DIP with a synthetic Ready curve to VIP `v` mid-run.
+  /// Returns the new DIP's index on that VIP's controller.
+  std::size_t scale_out(std::size_t v, double wmax, double l0 = 1.5) {
+    auto& ctl = coord_->controller(v);
+    const auto addr =
+        net::IpAddr(static_cast<std::uint32_t>(0x0ac00000 + (v << 12)) +
+                    next_addr_++);
+    const auto idx = ctl.add_dip(addr);
+    ctl.inject_ready_curve(idx, synthetic_curve(wmax, l0));
+    return idx;
+  }
+
+  /// Scale-in: remove DIP `d` from VIP `v` mid-run.
+  void scale_in(std::size_t v, std::size_t d) {
+    coord_->controller(v).remove_dip(d);
+  }
+
+  /// Abrupt DIP failure mid-round (ops-feed report).
+  void fail_dip(std::size_t v, std::size_t d) {
+    coord_->controller(v).mark_failed(d);
+  }
+
   /// Advance virtual time one round interval, then run a coordinated
   /// round. Driving tick() with a frozen clock would feed the dynamics
   /// detector never-stale zero-latency observations (the fixture records
@@ -102,6 +140,7 @@ class SyntheticFleet {
   store::LatencyStore store_;
   std::vector<std::unique_ptr<SinkWeightInterface>> lbs_;
   std::unique_ptr<core::MultiVipCoordinator> coord_;
+  std::uint32_t next_addr_ = 1;  // scale-out DIPs get addresses of their own
 };
 
 }  // namespace klb::testbed

@@ -91,14 +91,24 @@ class LogHistogram {
   double percentile(double p) const {
     if (total_ == 0) return 0.0;
     p = std::clamp(p, 0.0, 1.0);
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(p * static_cast<double>(total_)));
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total_))));
+    // Walk non-empty buckets only and remember the last one, so the rank
+    // crossing always resolves to a bucket that holds samples at or before
+    // it — never a later bucket (which would inflate tail percentiles,
+    // e.g. after a merge() whose counts undercount total_).
     std::uint64_t seen = 0;
+    std::size_t last_nonempty = counts_.size() - 1;
+    bool any = false;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      last_nonempty = i;
+      any = true;
       seen += counts_[i];
-      if (seen >= rank && counts_[i] > 0) return bucket_mid(i);
+      if (seen >= rank) return bucket_mid(i);
     }
-    return bucket_mid(counts_.size() - 1);
+    return any ? bucket_mid(last_nonempty) : bucket_mid(counts_.size() - 1);
   }
 
   void merge(const LogHistogram& o) {
@@ -143,12 +153,18 @@ class TimeWeighted {
  public:
   void set(double time, double value) {
     if (has_last_) {
-      area_ += last_value_ * (time - last_time_);
+      // Guard against non-monotonic time (clock skew between feeders):
+      // a transition "before" the last one contributes no (negative) area
+      // and does not move the clock backwards.
+      if (time > last_time_) {
+        area_ += last_value_ * (time - last_time_);
+        last_time_ = time;
+      }
     } else {
       start_ = time;
+      last_time_ = time;
       has_last_ = true;
     }
-    last_time_ = time;
     last_value_ = value;
   }
 

@@ -4,18 +4,19 @@
 
 namespace klb::util {
 
-std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights) {
+std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights,
+                                              std::int64_t total) {
   const std::size_t n = weights.size();
   std::vector<std::int64_t> units(n, 0);
-  if (n == 0) return units;
+  if (n == 0 || total <= 0) return units;
 
-  double total = 0.0;
-  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  double sum = 0.0;
+  for (double w : weights) sum += (w > 0.0 ? w : 0.0);
 
-  if (total <= 0.0) {
+  if (sum <= 0.0) {
     // Equal split with the leftover spread over the first few entries.
-    const std::int64_t base = kWeightScale / static_cast<std::int64_t>(n);
-    std::int64_t rem = kWeightScale - base * static_cast<std::int64_t>(n);
+    const std::int64_t base = total / static_cast<std::int64_t>(n);
+    std::int64_t rem = total - base * static_cast<std::int64_t>(n);
     for (std::size_t i = 0; i < n; ++i)
       units[i] = base + (static_cast<std::int64_t>(i) < rem ? 1 : 0);
     return units;
@@ -26,11 +27,11 @@ std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights)
   std::int64_t assigned = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double w = weights[i] > 0.0 ? weights[i] : 0.0;
-    exact[i] = w / total * static_cast<double>(kWeightScale);
+    exact[i] = w / sum * static_cast<double>(total);
     units[i] = static_cast<std::int64_t>(exact[i]);  // floor
     assigned += units[i];
   }
-  std::int64_t leftover = kWeightScale - assigned;
+  std::int64_t leftover = total - assigned;
 
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});

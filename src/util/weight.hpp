@@ -27,9 +27,11 @@ inline double units_to_weight(std::int64_t u) {
 }
 
 /// Normalize a non-negative weight vector so the rounded units sum exactly
-/// to kWeightScale. Largest-remainder apportionment: deterministic and
-/// minimizes total rounding error. All-zero input yields an equal split.
-std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights);
+/// to `total` (kWeightScale by default; the maglev table passes its slot
+/// count). Largest-remainder apportionment: deterministic and minimizes
+/// total rounding error. All-zero input yields an equal split.
+std::vector<std::int64_t> normalize_to_units(const std::vector<double>& weights,
+                                             std::int64_t total = kWeightScale);
 
 /// Convenience: normalize and return doubles that sum to exactly 1 in grid
 /// units (each value is a multiple of 1/kWeightScale).

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <numeric>
 
+#include "core/drain.hpp"
 #include "lb/dns_lb.hpp"
 #include "lb/lb_controller.hpp"
 #include "lb/mux.hpp"
 #include "lb/policy.hpp"
+#include "store/latency_store.hpp"
 #include "util/weight.hpp"
 
 namespace klb::lb {
@@ -162,6 +165,24 @@ TEST(Policy, EmptyPoolReturnsNoBackend) {
 
 // --- MUX ---------------------------------------------------------------------
 
+/// Minimal WeightInterface that records the last programming (drain tests).
+struct RecordingWeights : public WeightInterface {
+  explicit RecordingWeights(std::size_t n) : n_(n) {}
+  std::size_t backend_count() const override { return n_; }
+  void program_weights(const std::vector<std::int64_t>& units) override {
+    last_units = units;
+  }
+  void set_backend_enabled(std::size_t, bool) override {}
+  void add_backend(net::IpAddr) override { ++n_; }
+  bool remove_backend(std::size_t i) override {
+    if (i >= n_) return false;
+    --n_;
+    return true;
+  }
+  std::vector<std::int64_t> last_units;
+  std::size_t n_;
+};
+
 class Sink : public net::Node {
  public:
   void on_message(const net::Message& msg) override { messages.push_back(msg); }
@@ -254,6 +275,162 @@ TEST(Mux, DisabledBackendGetsNothingNew) {
   f.sim.run_all();
   EXPECT_TRUE(f.dip1.messages.empty());
   EXPECT_EQ(f.dip2.messages.size(), 10u);
+}
+
+std::int64_t sum_units(const std::vector<std::int64_t>& units) {
+  return std::accumulate(units.begin(), units.end(), std::int64_t{0});
+}
+
+// Regression (ISSUE 2): adding a DIP used to reset *every* backend to an
+// equal integer split, wiping controller-programmed weights and leaking the
+// kWeightScale % n remainder. Now the pool rescales: newcomer at a fair
+// share, existing ratios preserved, units summing exactly to kWeightScale.
+TEST(Mux, AddBackendPreservesProgrammedWeights) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  ASSERT_TRUE(mux.set_weight_units({5000, 3000, 2000}));
+
+  mux.add_backend(net::IpAddr{10, 1, 0, 4});
+  const auto units = mux.weight_units();
+  // Ratios 5:3:2 preserved, newcomer at the pool mean (1/4 of the total).
+  EXPECT_EQ(units, (std::vector<std::int64_t>{3750, 2250, 1500, 2500}));
+  EXPECT_EQ(sum_units(units), util::kWeightScale);
+}
+
+TEST(Mux, AddBackendSpreadsEqualSplitRemainder) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("rr"));
+  // 3 does not divide kWeightScale: the old equal-split floor programmed
+  // 3 * 3333 = 9999 units. The rescale must not leak the remainder.
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  EXPECT_EQ(sum_units(mux.weight_units()), util::kWeightScale);
+}
+
+// Regression (ISSUE 2): a weight vector sized for a different pool used to
+// be silently prefix-applied; a controller racing a membership change could
+// half-program the pool. It is now rejected loudly.
+TEST(Mux, SetWeightUnitsRejectsSizeMismatch) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  const auto before = mux.weight_units();
+
+  EXPECT_FALSE(mux.set_weight_units({9000}));          // too short
+  EXPECT_FALSE(mux.set_weight_units({1, 2, 3}));       // too long
+  EXPECT_EQ(mux.weight_units(), before);
+  EXPECT_EQ(mux.rejected_programmings(), 2u);
+}
+
+TEST(Mux, RemoveDrainedBackendLeavesSurvivorsUntouched) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  // Controller-style scale-in: drain the leaver to 0 first, then remove.
+  ASSERT_TRUE(mux.set_weight_units({4000, 0, 6000}));
+  ASSERT_TRUE(mux.remove_backend(1));
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{4000, 6000}));
+}
+
+TEST(Mux, RemoveBackendKeepsParkedPoolParked) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  // The controller parked the pool except one backend; removing that
+  // backend must not resurrect the others via an equal-split fallback.
+  ASSERT_TRUE(mux.set_weight_units({0, 0, util::kWeightScale}));
+  ASSERT_TRUE(mux.remove_backend(2));
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(Mux, RemoveLoadedBackendRescalesToFullScale) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  ASSERT_TRUE(mux.set_weight_units({6000, 2000, 2000}));
+  ASSERT_TRUE(mux.remove_backend(0));
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{5000, 5000}));
+  EXPECT_FALSE(mux.remove_backend(7));  // out of range
+}
+
+// Membership changes apply immediately; a delayed weight programming sized
+// for the old pool must bounce off instead of half-applying.
+TEST(LbController, InFlightProgrammingRejectedAfterChurn) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  LbController ctrl(f.sim, mux, 200_ms);
+
+  ctrl.program_weights({7000, 3000});  // in flight...
+  ctrl.add_backend(net::IpAddr{10, 1, 0, 3});  // ...pool grows immediately
+  f.sim.run_all();
+  EXPECT_EQ(mux.backend_count(), 3u);
+  EXPECT_EQ(mux.rejected_programmings(), 1u);
+  EXPECT_EQ(sum_units(mux.weight_units()), util::kWeightScale);
+}
+
+// A delayed enable/drain must land on the backend it was aimed at, even if
+// membership churn renumbered the pool while it was in flight.
+TEST(LbController, DelayedDrainFollowsBackendAcrossChurn) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("rr"));
+  mux.add_backend(net::IpAddr{10, 1, 0, 1});
+  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  mux.add_backend(net::IpAddr{10, 1, 0, 3});
+  LbController ctrl(f.sim, mux, 200_ms);
+
+  ctrl.set_backend_enabled(2, false);  // aim at 10.1.0.3...
+  ctrl.remove_backend(0);              // ...pool renumbers before it lands
+  f.sim.run_all();
+  EXPECT_TRUE(mux.backend_enabled(0));   // 10.1.0.2 untouched
+  EXPECT_FALSE(mux.backend_enabled(1));  // 10.1.0.3 drained
+
+  // A drain aimed at a backend that was removed in flight is a no-op.
+  ctrl.set_backend_enabled(1, true);
+  ctrl.remove_backend(1);
+  f.sim.run_all();
+  EXPECT_EQ(mux.backend_count(), 1u);
+  EXPECT_TRUE(mux.backend_enabled(0));
+}
+
+// Regression (ISSUE 2): DrainEstimator::finish restored kWeightScale / n
+// per backend, under-programming the pool when n does not divide the
+// scale. The estimator aborts here (no samples ever arrive), which drives
+// exactly the finish() path.
+TEST(DrainEstimator, RestoredEqualSplitSumsToScale) {
+  sim::Simulation sim(31);
+  auto engine = std::make_shared<store::KvEngine>([&sim] { return sim.now(); });
+  store::LatencyStore store(engine);
+  RecordingWeights lb(3);
+
+  core::DrainEstimatorConfig cfg;
+  cfg.max_load_time = 5_s;
+  core::DrainEstimator est(sim, net::IpAddr{10, 0, 0, 1}, store, lb, cfg);
+
+  bool done_called = false;
+  est.run(net::IpAddr{10, 1, 0, 1}, 0, 1.0,
+          [&](std::optional<util::SimTime> r) {
+            done_called = true;
+            EXPECT_FALSE(r.has_value());
+          });
+  sim.run_all();
+
+  ASSERT_TRUE(done_called);
+  ASSERT_EQ(lb.last_units.size(), 3u);
+  EXPECT_EQ(sum_units(lb.last_units), util::kWeightScale);
+  for (const auto u : lb.last_units) EXPECT_NEAR(u, util::kWeightScale / 3, 1);
 }
 
 TEST(LbController, ProgramsAfterDelay) {

@@ -159,6 +159,30 @@ TEST(LogHistogram, ClampsOutOfRange) {
   EXPECT_GT(h.percentile(0.99), 0.0);
 }
 
+// Regression (ISSUE 2): when the cumulative count crossed the rank without
+// a matching non-empty bucket (e.g. counts undercount total_ after merging
+// a histogram with a wider range), percentile() fell through to the *last*
+// bucket of the whole range, inflating reported tails. It must resolve to
+// the last non-empty bucket at or before the crossing instead.
+TEST(LogHistogram, PercentileNotInflatedWhenCountsUndercountTotal) {
+  LogHistogram narrow(1e-3, 1.0, 10);
+  narrow.add(0.01);
+  LogHistogram wide(1e-3, 1e6, 10);
+  wide.add(1e5);  // lands in a bucket beyond narrow's range
+  narrow.merge(wide);  // total_ = 2 but only one sample is in counts
+
+  // P99 must report the only observable sample (~0.01), not the top of
+  // narrow's range (~1.0).
+  EXPECT_NEAR(narrow.percentile(0.99), 0.01, 0.005);
+}
+
+TEST(LogHistogram, AllPercentilesOfSingleValueAgree) {
+  LogHistogram h;
+  h.add(0.05);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(1.0));
+  EXPECT_NEAR(h.percentile(0.5), 0.05, 0.005);
+}
+
 TEST(TimeWeighted, StepFunctionAverage) {
   TimeWeighted tw;
   tw.set(0.0, 0.0);
@@ -175,6 +199,20 @@ TEST(TimeWeighted, WindowReset) {
   tw.set(5.0, 2.0);
   tw.reset_window(5.0);
   EXPECT_NEAR(tw.average(10.0), 2.0, 1e-12);
+}
+
+// Regression (ISSUE 2): a transition with a timestamp before the previous
+// one accumulated negative area. The value update is kept; the backwards
+// time step contributes nothing and the clock never rewinds.
+TEST(TimeWeighted, NonMonotonicTimeAddsNoNegativeArea) {
+  TimeWeighted tw;
+  tw.set(0.0, 5.0);
+  tw.set(10.0, 1.0);
+  tw.set(8.0, 3.0);  // skewed feeder: time went backwards
+  // [0,10) at 5 = 50, backwards step ignored (value becomes 3), [10,12)
+  // at 3 = 6 -> average 56 / 12.
+  EXPECT_NEAR(tw.average(12.0), 56.0 / 12.0, 1e-12);
+  EXPECT_EQ(tw.current(), 3.0);
 }
 
 TEST(SimTime, ArithmeticAndComparison) {
