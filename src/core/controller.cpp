@@ -13,7 +13,7 @@ constexpr const char* kLog = "klb-controller";
 
 Controller::Controller(sim::Simulation& sim, net::IpAddr vip,
                        std::vector<net::IpAddr> dips,
-                       store::LatencyStore& store, lb::WeightInterface& lb,
+                       store::LatencyStore& store, lb::PoolProgrammer& lb,
                        ControllerConfig cfg)
     : sim_(sim), vip_(vip), store_(store), lb_(lb), cfg_(cfg),
       scheduler_(IlpWeights(cfg.ilp)), ilp_(cfg.ilp), dynamics_(cfg.dynamics),
@@ -359,7 +359,10 @@ std::size_t Controller::add_dip(net::IpAddr addr) {
   s.explorer = WeightExplorer(cfg_.explorer);
   dips_.push_back(std::move(s));
   weights_.push_back(0.0);
-  lb_.add_backend(addr);
+  // One transaction admits the newcomer (parked at 0 — it enters the
+  // NeedL0 lifecycle) and restates the incumbents' weights: membership and
+  // weights can no longer race, they are the same commit.
+  program(weights_);
   ilp_dirty_ = true;
   util::log_info(kLog) << "scale-out: DIP " << addr.str() << " joined ("
                        << dips_.size() << " in pool)";
@@ -369,10 +372,17 @@ std::size_t Controller::add_dip(net::IpAddr addr) {
 bool Controller::remove_dip(std::size_t i) {
   if (i >= dips_.size()) return false;
   util::log_info(kLog) << "scale-in: DIP " << dips_[i].addr.str()
-                       << " leaving (" << dips_.size() - 1 << " remain)";
-  lb_.remove_backend(i);
+                       << " draining out (" << dips_.size() - 1 << " remain)";
+  // The leaver rides the same transaction as the survivors' reweight, as a
+  // kDraining entry: the dataplane parks it, keeps serving its pinned
+  // flows, and completes the removal when the last one drains — the
+  // manual weight-0 + wait + remove sequencing is gone (§4.7's connection
+  // draining, now owned by the dataplane).
+  const std::vector<lb::PoolEntry> leaver{
+      lb::PoolEntry{dips_[i].addr, 0, lb::BackendState::kDraining}};
   dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
   weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(i));
+  program(weights_, leaver);
   ilp_dirty_ = true;
   return true;
 }
@@ -398,7 +408,8 @@ void Controller::inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve
   ilp_dirty_ = true;
 }
 
-void Controller::program(const std::vector<double>& weights) {
+void Controller::program(const std::vector<double>& weights,
+                         const std::vector<lb::PoolEntry>& extra) {
   weights_ = weights;
   double total = 0.0;
   for (const double w : weights) total += (w > 0.0 ? w : 0.0);
@@ -409,7 +420,17 @@ void Controller::program(const std::vector<double>& weights) {
   // controller meant to park.
   std::vector<std::int64_t> units(weights.size(), 0);
   if (total > 0.0) units = util::normalize_to_units(weights);
-  lb_.program_weights(units);
+  // One transaction describes the entire desired pool — every DIP the
+  // controller tracks, in stable order (minimal maglev disruption), plus
+  // any lifecycle riders (a draining leaver). The dataplane commits it
+  // atomically; a racing membership change produces a newer version that
+  // supersedes this one whole.
+  lb::PoolProgram p(lb_.issue_version());
+  p.entries.reserve(dips_.size() + extra.size());
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    p.add(dips_[i].addr, units[i]);
+  for (const auto& e : extra) p.entries.push_back(e);
+  lb_.apply_program(p);
   last_program_at_ = sim_.now();
 }
 

@@ -71,7 +71,7 @@ class Controller {
 
   Controller(sim::Simulation& sim, net::IpAddr vip,
              std::vector<net::IpAddr> dips, store::LatencyStore& store,
-             lb::WeightInterface& lb, ControllerConfig cfg = {});
+             lb::PoolProgrammer& lb, ControllerConfig cfg = {});
 
   void start();
   void stop();
@@ -145,9 +145,13 @@ class Controller {
   /// pools). Returns the new DIP's index.
   std::size_t add_dip(net::IpAddr addr);
 
-  /// Scale-in: remove DIP `i` from the pool and the LB; surviving DIPs
-  /// keep their state and the ILP reruns over the smaller pool. Returns
-  /// false for an out-of-range index.
+  /// Scale-in: remove DIP `i` from the pool. The leaver is programmed
+  /// kDraining in the same transaction that reweights the survivors — the
+  /// dataplane parks it, serves its pinned flows out, and auto-completes
+  /// the removal when the last one drains (no manual weight-0 + wait +
+  /// remove sequencing). Surviving DIPs keep their state and the ILP
+  /// reruns over the smaller pool. Returns false for an out-of-range
+  /// index.
   bool remove_dip(std::size_t i);
 
   /// Abrupt failure reported out-of-band (an ops/health feed, faster than
@@ -181,14 +185,18 @@ class Controller {
   void run_measurement_round();
   void apply_dynamics();
   void maybe_refresh();
-  void program(const std::vector<double>& weights);
+  /// Emit one whole-pool transaction: every DIP the controller tracks,
+  /// with `weights` normalized to grid units (plus `extra`, if any —
+  /// remove_dip appends the leaver as a kDraining entry).
+  void program(const std::vector<double>& weights,
+               const std::vector<lb::PoolEntry>& extra = {});
   double equal_share() const;
   std::size_t alive_count() const;
 
   sim::Simulation& sim_;
   net::IpAddr vip_;
   store::LatencyStore& store_;
-  lb::WeightInterface& lb_;
+  lb::PoolProgrammer& lb_;
   ControllerConfig cfg_;
 
   std::vector<DipState> dips_;

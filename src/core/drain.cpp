@@ -26,14 +26,20 @@ void DrainEstimator::run(net::IpAddr dip, std::size_t dip_index, double l0_ms,
 void DrainEstimator::set_target_weight(double w) {
   // Target DIP gets w; everyone else splits the rest equally. (The
   // estimator is an offline calibration tool; the paper runs it against
-  // production pools the same way, accepting the brief skew.)
-  const auto n = lb_.backend_count();
-  std::vector<std::int64_t> units(n, 0);
+  // production pools the same way, accepting the brief skew.) The
+  // transaction is keyed by address, so pool renumbering between polls
+  // cannot redirect the extreme weight onto the wrong DIP — and it is
+  // weights-only, so a membership change racing through the programming
+  // delay is not reverted by the estimator's stale view of the pool.
+  const auto addrs = lb_.backend_addrs();
+  const auto n = addrs.size();
   const double rest =
       n > 1 ? (1.0 - w) / static_cast<double>(n - 1) : (1.0 - w);
-  for (std::size_t i = 0; i < n; ++i)
-    units[i] = util::weight_to_units(i == dip_index_ ? w : rest);
-  lb_.program_weights(units);
+  lb::PoolProgram p(lb_.issue_version());
+  p.weights_only = true;
+  for (const auto addr : addrs)
+    p.add(addr, util::weight_to_units(addr == dip_ ? w : rest));
+  lb_.apply_program(p);
 }
 
 std::optional<double> DrainEstimator::fresh_latency() const {
@@ -90,9 +96,15 @@ void DrainEstimator::finish(std::optional<util::SimTime> result) {
   // the kWeightScale % n remainder instead of leaking it (a flat
   // kWeightScale / n per entry under-programs the pool whenever n does
   // not divide the scale).
-  const auto n = lb_.backend_count();
-  if (n > 0)
-    lb_.program_weights(util::normalize_to_units(std::vector<double>(n, 1.0)));
+  const auto addrs = lb_.backend_addrs();
+  if (!addrs.empty()) {
+    const auto units = util::normalize_to_units(
+        std::vector<double>(addrs.size(), 1.0));
+    lb::PoolProgram p(lb_.issue_version());
+    p.weights_only = true;  // restore weights, never touch membership
+    for (std::size_t i = 0; i < addrs.size(); ++i) p.add(addrs[i], units[i]);
+    lb_.apply_program(p);
+  }
   if (done_) done_(result);
 }
 

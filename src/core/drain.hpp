@@ -41,14 +41,15 @@ class DrainEstimator {
   using DoneFn = std::function<void(std::optional<util::SimTime>)>;
 
   DrainEstimator(sim::Simulation& sim, net::IpAddr vip,
-                 store::LatencyStore& store, lb::WeightInterface& lb,
+                 store::LatencyStore& store, lb::PoolProgrammer& lb,
                  DrainEstimatorConfig cfg = {})
       : sim_(sim), vip_(vip), store_(store), lb_(lb), cfg_(cfg) {}
 
-  /// Measure the drain time of `dip` (index `dip_index` on the weight
-  /// interface). `l0_ms` is its unloaded latency. The pool's other weights
-  /// are scaled to absorb 1 - w during the procedure. Calls `done` with
-  /// the estimate (nullopt on timeout).
+  /// Measure the drain time of `dip` (programs are keyed by its address;
+  /// `dip_index` is kept for call-site compatibility but unused). `l0_ms`
+  /// is its unloaded latency. The pool's other weights are scaled to
+  /// absorb 1 - w during the procedure. Calls `done` with the estimate
+  /// (nullopt on timeout).
   void run(net::IpAddr dip, std::size_t dip_index, double l0_ms, DoneFn done);
 
   bool running() const { return running_; }
@@ -63,7 +64,7 @@ class DrainEstimator {
   sim::Simulation& sim_;
   net::IpAddr vip_;
   store::LatencyStore& store_;
-  lb::WeightInterface& lb_;
+  lb::PoolProgrammer& lb_;
   DrainEstimatorConfig cfg_;
 
   bool running_ = false;

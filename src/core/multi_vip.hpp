@@ -53,10 +53,10 @@ class MultiVipCoordinator {
       pool_ = std::make_unique<SolverPool>(cfg_.solver_threads);
   }
 
-  /// Register a VIP with its DIPs, store, and weight interface. Returns
-  /// the VIP's index. Must be called before start().
+  /// Register a VIP with its DIPs, store, and dataplane programmer.
+  /// Returns the VIP's index. Must be called before start().
   std::size_t add_vip(net::IpAddr vip, std::vector<net::IpAddr> dips,
-                      store::LatencyStore& store, lb::WeightInterface& lb) {
+                      store::LatencyStore& store, lb::PoolProgrammer& lb) {
     auto cc = cfg_.controller;
     cc.round_interval = cfg_.round_interval;
     vips_.push_back(std::make_unique<Controller>(sim_, vip, std::move(dips),

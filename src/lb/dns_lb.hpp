@@ -5,13 +5,22 @@
 // the programmed weights. Clients cache resolutions for a TTL, so weight
 // changes are adhered to only as caches expire — the lag the paper calls
 // out in Table 5's discussion.
+//
+// Programming is the same transactional PoolProgram contract the MUX
+// serves. The DNS analogue of connection draining is the TTL: a backend
+// programmed kDraining leaves rotation immediately but its cached
+// resolutions are honoured until they expire (no client is yanked
+// mid-session), and the record is dropped once a full TTL has passed. A
+// kRemoved (or omitted) backend is cut now: its cache entries are evicted
+// so no client resolves to a decommissioned DIP for up to a TTL.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <unordered_map>
 #include <vector>
 
-#include "lb/lb_controller.hpp"
+#include "lb/pool_program.hpp"
 #include "net/address.hpp"
 #include "sim/simulation.hpp"
 #include "util/logging.hpp"
@@ -20,99 +29,201 @@
 
 namespace klb::lb {
 
-class DnsTrafficManager : public WeightInterface {
+class DnsTrafficManager : public PoolProgrammer {
  public:
   DnsTrafficManager(sim::Simulation& sim, std::vector<net::IpAddr> dips,
                     util::SimTime ttl = util::SimTime::seconds(30))
-      : sim_(sim), rng_(sim.rng().fork()), dips_(std::move(dips)), ttl_(ttl) {
-    weights_.assign(dips_.size(), util::kWeightScale /
-                                      static_cast<std::int64_t>(dips_.size()));
-    enabled_.assign(dips_.size(), true);
+      : sim_(sim), rng_(sim.rng().fork()), ttl_(ttl) {
+    const auto share =
+        dips.empty() ? util::kWeightScale
+                     : util::kWeightScale / static_cast<std::int64_t>(dips.size());
+    for (const auto dip : dips) records_.push_back(Record{dip, share, false,
+                                                          util::SimTime::zero()});
   }
 
-  // --- WeightInterface ------------------------------------------------------
-  std::size_t backend_count() const override { return dips_.size(); }
+  // --- PoolProgrammer --------------------------------------------------------
+  std::size_t backend_count() const override {
+    std::size_t n = 0;
+    for (const auto& r : records_)
+      if (!drain_expired(r)) ++n;
+    return n;
+  }
 
-  void program_weights(const std::vector<std::int64_t>& units) override {
-    if (units.size() != weights_.size()) {
-      util::log_warn("klb-dns") << "rejecting weight programming: "
-                                << units.size() << " entries for "
-                                << weights_.size() << " DIPs";
+  std::vector<net::IpAddr> backend_addrs() const override {
+    std::vector<net::IpAddr> out;
+    for (const auto& r : records_)
+      if (!r.draining) out.push_back(r.addr);
+    return out;
+  }
+
+  void apply_program(const PoolProgram& program) override {
+    if (program.version <= applied_version_) {
+      ++superseded_programs_;
+      util::log_warn("klb-dns") << "discarding stale pool program v"
+                                << program.version << " (already at v"
+                                << applied_version_ << ")";
       return;
     }
-    for (std::size_t i = 0; i < weights_.size(); ++i)
-      weights_[i] = units[i] < 0 ? 0 : units[i];
+    applied_version_ = program.version;
+    expire_drained();
+
+    std::unordered_map<std::uint32_t, const PoolEntry*> desired;
+    for (const auto& e : program.entries) desired[e.dip.value()] = &e;
+
+    for (auto it = records_.begin(); it != records_.end();) {
+      // Absent (or consumed by an earlier duplicate record): removed —
+      // unless the program is weights-only or the record already drains.
+      const auto d = desired.find(it->addr.value());
+      if (d == desired.end() || d->second == nullptr) {
+        if (program.weights_only || it->draining) {
+          ++it;
+        } else {
+          evict_cached(it->addr);
+          it = records_.erase(it);
+        }
+        continue;
+      }
+      switch (d->second->state) {
+        case BackendState::kActive:
+          it->weight_units =
+              d->second->weight_units < 0 ? 0 : d->second->weight_units;
+          it->draining = false;
+          ++it;
+          break;
+        case BackendState::kDraining:
+          it->weight_units = 0;
+          if (!it->draining) {
+            it->draining = true;
+            it->drain_deadline = sim_.now() + ttl_;  // caches expired by then
+          }
+          ++it;
+          break;
+        case BackendState::kRemoved:
+          evict_cached(it->addr);
+          it = records_.erase(it);
+          break;
+      }
+      d->second = nullptr;  // consumed
+    }
+
+    for (const auto& e : program.entries) {
+      if (program.weights_only) break;  // no admissions
+      const auto d = desired.find(e.dip.value());
+      if (d == desired.end() || d->second == nullptr) continue;
+      d->second = nullptr;
+      if (e.state != BackendState::kActive) continue;
+      records_.push_back(Record{e.dip, e.weight_units < 0 ? 0 : e.weight_units,
+                                false, util::SimTime::zero()});
+    }
   }
 
-  void set_backend_enabled(std::size_t i, bool enabled) override {
-    if (i < enabled_.size()) enabled_[i] = enabled;
-  }
-
-  void add_backend(net::IpAddr dip) override {
-    // Same churn semantics as the MUX: a fair share for the newcomer,
-    // existing ratios preserved (DNS resolution is already proportional,
-    // so no exact-sum renormalization is needed).
-    std::int64_t sum = 0;
-    for (const auto w : weights_) sum += w;
-    dips_.push_back(dip);
-    weights_.push_back(weights_.empty() || sum <= 0
-                           ? util::kWeightScale
-                           : sum / static_cast<std::int64_t>(weights_.size()));
-    enabled_.push_back(true);
-  }
-
-  bool remove_backend(std::size_t i) override {
-    if (i >= dips_.size()) return false;
-    dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
-    weights_.erase(weights_.begin() + static_cast<std::ptrdiff_t>(i));
-    enabled_.erase(enabled_.begin() + static_cast<std::ptrdiff_t>(i));
-    return true;
-  }
+  std::uint64_t applied_version() const { return applied_version_; }
+  std::uint64_t superseded_programs() const { return superseded_programs_; }
 
   // --- resolver -------------------------------------------------------------
-  /// Authoritative resolution: weighted random over enabled DIPs.
+  /// Authoritative resolution: weighted random over the in-rotation DIPs.
+  /// With no resolvable DIP (empty or fully parked pool) the resolution is
+  /// dropped — an empty IpAddr, never a blind fallback to some parked or
+  /// draining backend.
   net::IpAddr resolve_authoritative() {
-    std::vector<double> w(dips_.size(), 0.0);
-    for (std::size_t i = 0; i < dips_.size(); ++i)
-      if (enabled_[i]) w[i] = static_cast<double>(weights_[i]);
-    auto i = rng_.weighted_index(w);
-    if (i >= dips_.size()) i = 0;
+    expire_drained();
+    std::vector<double> w(records_.size(), 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (records_[i].draining || records_[i].weight_units <= 0) continue;
+      w[i] = static_cast<double>(records_[i].weight_units);
+      any = true;
+    }
+    if (!any) {
+      ++dropped_resolutions_;
+      return net::IpAddr{};
+    }
+    const auto i = rng_.weighted_index(w);
+    if (i >= records_.size()) {  // defensive: weighted_index found no mass
+      ++dropped_resolutions_;
+      return net::IpAddr{};
+    }
     ++resolutions_;
-    return dips_[i];
+    return records_[i].addr;
   }
 
   /// Resolution through a per-client cache: `client_id` keys the cache
-  /// entry; re-resolves only after the TTL expires.
+  /// entry; re-resolves only after the TTL expires. Failed resolutions are
+  /// not cached (the client retries next time).
   net::IpAddr resolve_cached(std::uint64_t client_id) {
-    auto& entry = cache_[client_id];
-    if (entry.expires <= sim_.now() || entry.addr == net::IpAddr{}) {
-      entry.addr = resolve_authoritative();
-      entry.expires = sim_.now() + ttl_;
-    } else {
+    const auto it = cache_.find(client_id);
+    if (it != cache_.end() && it->second.expires > sim_.now() &&
+        !(it->second.addr == net::IpAddr{})) {
       ++cache_hits_;
+      return it->second.addr;
     }
-    return entry.addr;
+    const auto addr = resolve_authoritative();
+    if (addr == net::IpAddr{}) {
+      cache_.erase(client_id);
+      return addr;
+    }
+    cache_[client_id] = CacheEntry{addr, sim_.now() + ttl_};
+    return addr;
   }
 
   util::SimTime ttl() const { return ttl_; }
   std::uint64_t authoritative_resolutions() const { return resolutions_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
+  /// Cache entries evicted because their DIP was removed from the pool.
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
+  /// Resolutions dropped because no DIP was in rotation.
+  std::uint64_t dropped_resolutions() const { return dropped_resolutions_; }
+  std::size_t draining_count() const {
+    std::size_t n = 0;
+    for (const auto& r : records_)
+      if (r.draining && !drain_expired(r)) ++n;
+    return n;
+  }
 
  private:
+  struct Record {
+    net::IpAddr addr;
+    std::int64_t weight_units = 0;
+    bool draining = false;
+    util::SimTime drain_deadline = util::SimTime::zero();
+  };
+
   struct CacheEntry {
     net::IpAddr addr;
     util::SimTime expires = util::SimTime::zero();
   };
 
+  bool drain_expired(const Record& r) const {
+    return r.draining && r.drain_deadline <= sim_.now();
+  }
+
+  void expire_drained() {
+    for (auto it = records_.begin(); it != records_.end();)
+      it = drain_expired(*it) ? records_.erase(it) : std::next(it);
+  }
+
+  void evict_cached(net::IpAddr addr) {
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->second.addr == addr) {
+        ++cache_evictions_;
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   sim::Simulation& sim_;
   util::Rng rng_;
-  std::vector<net::IpAddr> dips_;
   util::SimTime ttl_;
-  std::vector<std::int64_t> weights_;
-  std::vector<bool> enabled_;
+  std::vector<Record> records_;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::uint64_t applied_version_ = 0;
+  std::uint64_t superseded_programs_ = 0;
   std::uint64_t resolutions_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t dropped_resolutions_ = 0;
 };
 
 }  // namespace klb::lb

@@ -1,86 +1,59 @@
 // The existing LB's control plane (HAProxy runtime API / Ananta controller
 // in Fig. 6). KnapsackLB talks to this interface only — it never touches
-// the MUXes. Programming is asynchronous: new weights reach the dataplane
-// after `programming_delay`, which is one of the two delays §4.7's
-// drain-time logic has to absorb (the other is connection draining).
+// the MUXes. Programming is asynchronous: a transaction reaches the
+// dataplane after `programming_delay`, which is one of the two delays
+// §4.7's drain-time logic has to absorb (the other is connection
+// draining).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "lb/mux.hpp"
-#include "util/weight.hpp"
+#include "lb/pool_program.hpp"
+#include "sim/simulation.hpp"
+#include "util/time.hpp"
 
 namespace klb::lb {
 
-/// Abstract weight-programming interface: anything that can apply per-DIP
-/// weights (a MUX pool, a DNS traffic manager, ...). This is the "LB
-/// controller" box of Fig. 6.
-///
-/// Membership (add/remove) is a synchronous config push — the pool resizes
-/// immediately — while weight programming keeps its implementation-specific
-/// delay. An in-flight programming sized for the old pool is rejected by
-/// the dataplane (never prefix-applied), so a membership/weights race is
-/// loud instead of silently half-programming the pool.
-class WeightInterface {
+/// Delay decorator over any dataplane: the controller hands a whole-pool
+/// transaction to the LB, and the LB commits it `programming_delay` later
+/// — membership, weights, and lifecycle land together, so the delay covers
+/// one transaction instead of N racing ops. Supersession needs no
+/// bookkeeping here: the dataplane's version check discards any
+/// transaction older than the newest it has committed, even if delivery
+/// reorders.
+class LbController : public PoolProgrammer {
  public:
-  virtual ~WeightInterface() = default;
-  virtual std::size_t backend_count() const = 0;
-  /// Apply weights (grid units summing to util::kWeightScale). Takes
-  /// effect after an implementation-specific delay.
-  virtual void program_weights(const std::vector<std::int64_t>& units) = 0;
-  /// Remove/readmit a backend from rotation (used on failure detection).
-  virtual void set_backend_enabled(std::size_t i, bool enabled) = 0;
-  /// Scale-out: append a backend to the pool.
-  virtual void add_backend(net::IpAddr dip) = 0;
-  /// Scale-in: drop backend `i` from the pool; false if out of range.
-  virtual bool remove_backend(std::size_t i) = 0;
-};
-
-class LbController : public WeightInterface {
- public:
-  LbController(sim::Simulation& sim, Mux& mux,
+  LbController(sim::Simulation& sim, PoolProgrammer& dataplane,
                util::SimTime programming_delay = util::SimTime::millis(200))
-      : sim_(sim), mux_(mux), delay_(programming_delay) {}
+      : sim_(sim), dataplane_(dataplane), delay_(programming_delay) {}
 
-  std::size_t backend_count() const override { return mux_.backend_count(); }
+  std::size_t backend_count() const override {
+    return dataplane_.backend_count();
+  }
 
-  void program_weights(const std::vector<std::int64_t>& units) override {
-    const std::uint64_t gen = ++generation_;
-    sim_.schedule_in(delay_, [this, gen, units] {
-      // Later programmings supersede earlier in-flight ones.
-      if (gen <= latest_applied_) return;
-      latest_applied_ = gen;
-      mux_.set_weight_units(units);
+  std::vector<net::IpAddr> backend_addrs() const override {
+    return dataplane_.backend_addrs();
+  }
+
+  void apply_program(const PoolProgram& program) override {
+    sim_.schedule_in(delay_, [this, program] {
+      dataplane_.apply_program(program);
     });
   }
 
-  void set_backend_enabled(std::size_t i, bool enabled) override {
-    if (i >= mux_.backend_count()) return;
-    // Capture the stable id, not the index: synchronous membership ops can
-    // renumber the pool before the delayed change lands, and draining the
-    // wrong backend would be a silent misprogram.
-    const auto id = mux_.backend_id(i);
-    sim_.schedule_in(delay_, [this, id, enabled] {
-      if (const auto idx = mux_.index_of_id(id))
-        mux_.set_backend_enabled(*idx, enabled);
-    });
-  }
-
-  void add_backend(net::IpAddr dip) override { mux_.add_backend(dip); }
-
-  bool remove_backend(std::size_t i) override {
-    return mux_.remove_backend(i);
-  }
+  /// Versions are drawn from the dataplane's sequence: programs issued
+  /// around the decorator (tests, a second controller) and through it
+  /// stay totally ordered.
+  std::uint64_t issue_version() override { return dataplane_.issue_version(); }
 
   util::SimTime programming_delay() const { return delay_; }
+  PoolProgrammer& dataplane() { return dataplane_; }
 
  private:
   sim::Simulation& sim_;
-  Mux& mux_;
+  PoolProgrammer& dataplane_;
   util::SimTime delay_;
-  std::uint64_t generation_ = 0;
-  std::uint64_t latest_applied_ = 0;
 };
 
 }  // namespace klb::lb

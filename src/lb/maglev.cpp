@@ -111,6 +111,28 @@ std::size_t MaglevPolicy::pick(const net::FiveTuple& tuple,
   return idx;  // entries are built 1:1 with backend indexes
 }
 
+std::size_t SharedMaglevPolicy::pick(const net::FiveTuple& tuple,
+                                     const std::vector<BackendView>& backends,
+                                     util::Rng&) {
+  if (!table_) return kNoBackend;
+  if (index_dirty_ || index_by_id_.size() != backends.size()) {
+    index_by_id_.clear();
+    for (std::size_t i = 0; i < backends.size(); ++i)
+      index_by_id_[backends[i].addr.value()] = i;
+    index_dirty_ = false;
+  }
+  const auto id = table_->lookup_id(net::hash_tuple(tuple));
+  if (id == MaglevTable::kNoId) return kNoBackend;
+  const auto it = index_by_id_.find(id);
+  // The table and the pool commit together, so a miss means the snapshot
+  // predates this mux's view (or the backend was imperatively removed);
+  // refuse rather than guess — affinity hits never reach this path.
+  if (it == index_by_id_.end()) return kNoBackend;
+  const auto& b = backends[it->second];
+  if (!b.enabled || b.weight_units <= 0) return kNoBackend;
+  return it->second;
+}
+
 void MaglevPolicy::rebuild(const std::vector<BackendView>& backends) {
   std::vector<MaglevEntry> entries(backends.size());
   for (std::size_t i = 0; i < backends.size(); ++i) {

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "lb/policy.hpp"
@@ -104,6 +106,45 @@ class MaglevPolicy : public Policy {
   MaglevTable table_;
   bool dirty_ = true;
   std::size_t cached_count_ = 0;
+};
+
+/// Maglev policy backed by an externally built, immutable table snapshot.
+///
+/// A MuxPool ECMP-shards one VIP over N muxes; for their picks to agree
+/// (per-connection consistency even when ECMP re-shards a flow to another
+/// mux), all N must consult the *same* table. The pool builds one
+/// MaglevTable per committed program version and publishes it to every
+/// member's policy as a shared_ptr<const> snapshot — pointer-equal across
+/// the pool, swapped atomically, never mutated in place.
+///
+/// The table resolves hashes to stable ids (DIP address values); the
+/// policy maps ids to local backend indexes through a cache rebuilt on
+/// invalidate(), so a pick stays O(1) while each mux keeps its own view
+/// (a draining backend may linger on one mux and be gone from another).
+class SharedMaglevPolicy : public Policy {
+ public:
+  std::string name() const override { return "maglev-shared"; }
+  bool weighted() const override { return true; }
+  void invalidate() override { index_dirty_ = true; }
+
+  /// Publish a new snapshot (pool-wide, once per program version).
+  void set_table(std::shared_ptr<const MaglevTable> table) {
+    table_ = std::move(table);
+    index_dirty_ = true;
+  }
+  /// The current snapshot — pointer-equal across all muxes of a pool.
+  const std::shared_ptr<const MaglevTable>& table_snapshot() const {
+    return table_;
+  }
+
+  std::size_t pick(const net::FiveTuple& tuple,
+                   const std::vector<BackendView>& backends,
+                   util::Rng& rng) override;
+
+ private:
+  std::shared_ptr<const MaglevTable> table_;
+  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
+  bool index_dirty_ = true;
 };
 
 }  // namespace klb::lb

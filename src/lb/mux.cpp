@@ -14,18 +14,141 @@ constexpr const char* kLog = "klb-mux";
 constexpr std::uint64_t kGcRequestInterval = 4096;
 }  // namespace
 
-Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy)
-    : net_(net), vip_(vip), policy_(std::move(policy)),
-      rng_(net.sim().rng().fork()) {
-  net_.attach(vip_, this);
+Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
+         bool attach_to_vip)
+    : net_(net), vip_(vip), attached_(attach_to_vip),
+      policy_(std::move(policy)), rng_(net.sim().rng().fork()) {
+  if (attached_) net_.attach(vip_, this);
 }
 
-Mux::~Mux() { net_.attach(vip_, nullptr); }
+Mux::~Mux() {
+  if (attached_) net_.attach(vip_, nullptr);
+}
 
 void Mux::set_policy(std::unique_ptr<Policy> policy) {
   policy_ = std::move(policy);
   policy_->invalidate();
 }
+
+// --- transactional programming -------------------------------------------------
+
+void Mux::apply_program(const PoolProgram& program) {
+  if (program.version <= applied_version_) {
+    ++superseded_programs_;
+    util::log_warn(kLog) << "discarding stale pool program v"
+                         << program.version << " (pool already at v"
+                         << applied_version_ << ")";
+    return;
+  }
+  applied_version_ = program.version;
+
+  // Reconciliation is keyed by DIP address — the one name the emitter and
+  // the dataplane agree on; stable ids stay dataplane-internal.
+  std::unordered_map<std::uint32_t, const PoolEntry*> desired;
+  for (const auto& e : program.entries) desired[e.dip.value()] = &e;
+
+  std::vector<std::uint64_t> to_remove;  // stable ids, graceful removal
+  for (auto& b : backends_) {
+    const auto it = desired.find(b.addr.value());
+    // Absent from the desired pool (or its entry was consumed by an
+    // earlier duplicate-address backend): removed — unless the program is
+    // weights-only (it does not own membership) or the backend is already
+    // draining, in which case the drain keeps running to completion.
+    if (it == desired.end() || it->second == nullptr) {
+      if (!program.weights_only && !b.draining) to_remove.push_back(b.id);
+      continue;
+    }
+    switch (it->second->state) {
+      case BackendState::kActive: {
+        const auto units = it->second->weight_units;
+        b.weight_units = units < 0 ? 0 : units;
+        b.enabled = true;
+        b.draining = false;  // re-listing a drainer as Active cancels it
+        break;
+      }
+      case BackendState::kDraining:
+        b.weight_units = 0;
+        b.enabled = false;
+        b.draining = true;
+        break;
+      case BackendState::kRemoved:
+        to_remove.push_back(b.id);
+        break;
+    }
+    it->second = nullptr;  // consumed: not a newcomer
+  }
+
+  // Admit newcomers in program order (keeps the pool's relative order in
+  // step with the program's, which the maglev build's minimal-disruption
+  // property relies on). Weights-only programs admit nothing.
+  for (const auto& e : program.entries) {
+    if (program.weights_only) break;
+    const auto it = desired.find(e.dip.value());
+    if (it == desired.end() || it->second == nullptr) continue;
+    it->second = nullptr;  // a duplicate entry admits one backend, not two
+    if (e.state != BackendState::kActive) continue;  // nothing to condemn
+    Backend b;
+    b.id = next_backend_id_++;
+    b.addr = e.dip;
+    b.weight_units = e.weight_units < 0 ? 0 : e.weight_units;
+    backends_.push_back(b);
+  }
+
+  for (const auto id : to_remove) {
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i].id != id) continue;
+      erase_backend_raw(i, /*failed=*/false);
+      break;
+    }
+  }
+
+  // A drain with no pinned flows completes in the same transaction.
+  for (std::size_t i = 0; i < backends_.size();) {
+    auto& b = backends_[i];
+    if (b.draining && b.active == 0) {
+      ++drains_completed_;
+      erase_backend_raw(i, /*failed=*/false);
+    } else {
+      ++i;
+    }
+  }
+
+  // Weights apply literally — the transaction declares the whole pool, so
+  // there is nothing to rescale (unlike the imperative churn ops below).
+  rebuild_id_index();
+  rebuild_views();
+  policy_->invalidate();
+}
+
+std::vector<net::IpAddr> Mux::backend_addrs() const {
+  std::vector<net::IpAddr> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_)
+    if (!b.draining) out.push_back(b.addr);
+  return out;
+}
+
+std::size_t Mux::draining_count() const {
+  std::size_t n = 0;
+  for (const auto& b : backends_)
+    if (b.draining) ++n;
+  return n;
+}
+
+bool Mux::maybe_complete_drain(std::size_t i) {
+  if (i >= backends_.size()) return false;
+  if (!backends_[i].draining || backends_[i].active > 0) return false;
+  ++drains_completed_;
+  util::log_info(kLog) << "backend " << backends_[i].addr.str()
+                       << " drained; completing removal";
+  erase_backend_raw(i, /*failed=*/false);
+  rebuild_id_index();
+  rebuild_views();
+  policy_->invalidate();
+  return true;
+}
+
+// --- imperative lifecycle (direct dataplane manipulation) ----------------------
 
 std::uint64_t Mux::add_backend(net::IpAddr dip,
                                const server::DipServer* server) {
@@ -58,6 +181,15 @@ bool Mux::fail_backend(std::size_t i) { return erase_backend(i, true); }
 
 bool Mux::erase_backend(std::size_t i, bool failed) {
   if (i >= backends_.size()) return false;
+  erase_backend_raw(i, failed);
+  renormalize_weights();
+  rebuild_id_index();
+  rebuild_views();
+  policy_->invalidate();
+  return true;
+}
+
+void Mux::erase_backend_raw(std::size_t i, bool failed) {
   const auto id = backends_[i].id;
   if (failed) {
     util::log_warn(kLog) << "backend " << backends_[i].addr.str()
@@ -66,11 +198,6 @@ bool Mux::erase_backend(std::size_t i, bool failed) {
   }
   drop_affinity_for(id, failed);
   backends_.erase(backends_.begin() + static_cast<std::ptrdiff_t>(i));
-  renormalize_weights();
-  rebuild_id_index();
-  rebuild_views();
-  policy_->invalidate();
-  return true;
 }
 
 void Mux::renormalize_weights() {
@@ -113,6 +240,53 @@ std::optional<std::size_t> Mux::index_of_id(std::uint64_t id) const {
   return it->second;
 }
 
+// --- bounds-checked accessors --------------------------------------------------
+
+net::IpAddr Mux::backend_addr(std::size_t i) const {
+  if (i >= backends_.size()) {
+    util::log_warn(kLog) << "backend_addr(" << i << ") out of range ("
+                         << backends_.size() << " backends)";
+    return net::IpAddr{};
+  }
+  return backends_[i].addr;
+}
+
+std::uint64_t Mux::backend_id(std::size_t i) const {
+  if (i >= backends_.size()) {
+    util::log_warn(kLog) << "backend_id(" << i << ") out of range ("
+                         << backends_.size() << " backends)";
+    return 0;
+  }
+  return backends_[i].id;
+}
+
+bool Mux::backend_enabled(std::size_t i) const {
+  if (i >= backends_.size()) {
+    util::log_warn(kLog) << "backend_enabled(" << i << ") out of range ("
+                         << backends_.size() << " backends)";
+    return false;
+  }
+  return backends_[i].enabled;
+}
+
+bool Mux::backend_draining(std::size_t i) const {
+  return i < backends_.size() && backends_[i].draining;
+}
+
+std::uint64_t Mux::forwarded_requests(std::size_t i) const {
+  return i < backends_.size() ? backends_[i].forwarded : 0;
+}
+
+std::uint64_t Mux::new_connections(std::size_t i) const {
+  return i < backends_.size() ? backends_[i].connections : 0;
+}
+
+std::uint64_t Mux::active_connections(std::size_t i) const {
+  return i < backends_.size() ? backends_[i].view().active_conns : 0;
+}
+
+// --- imperative weight programming ---------------------------------------------
+
 bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
   if (units.size() != backends_.size()) {
     ++rejected_programmings_;
@@ -122,7 +296,8 @@ bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
     return false;
   }
   for (std::size_t i = 0; i < backends_.size(); ++i)
-    backends_[i].weight_units = units[i] < 0 ? 0 : units[i];
+    backends_[i].weight_units =
+        backends_[i].draining ? 0 : (units[i] < 0 ? 0 : units[i]);
   rebuild_views();
   policy_->invalidate();
   return true;
@@ -151,6 +326,8 @@ void Mux::reset_counters() {
   total_forwarded_ = 0;
   no_backend_drops_ = 0;
   rejected_programmings_ = 0;
+  superseded_programs_ = 0;
+  drains_completed_ = 0;
   flows_reset_ = 0;
   flows_gced_ = 0;
 }
@@ -189,6 +366,10 @@ std::size_t Mux::gc_affinity() {
       ++it;
     }
   }
+  // The GC may have reclaimed a drainer's last flow (FIN-less clients are
+  // exactly what would otherwise wedge a graceful scale-in forever).
+  for (std::size_t i = 0; i < backends_.size();)
+    if (!maybe_complete_drain(i)) ++i;
   return reclaimed;
 }
 
@@ -219,6 +400,8 @@ void Mux::handle_request(const net::Message& msg) {
   if (it != affinity_.end()) {
     // Connection affinity: pinned regardless of weights — unless the
     // backend died since (defensive; removal drops its entries eagerly).
+    // Draining backends keep serving their pinned flows: that is the whole
+    // point of the graceful scale-in.
     const auto idx = index_of_id(it->second.backend_id);
     if (idx) {
       dip = *idx;
@@ -253,6 +436,7 @@ void Mux::handle_fin(const net::Message& msg) {
   if (b.active > 0) --b.active;
   views_[*idx].active_conns = b.active;
   net_.send(b.addr, msg);  // let the server close out the connection too
+  maybe_complete_drain(*idx);  // last pinned flow gone -> drain completes
 }
 
 }  // namespace klb::lb

@@ -7,15 +7,18 @@
 // maintain per-DIP active connection counts for (W)LC — the proxy-visible
 // signal HAProxy uses.
 //
-// Backend lifecycle: backends carry a stable id from registration to
-// removal, so the affinity table survives pool churn — indices shift when
-// a backend is removed, ids never do. Adding a backend rescales the pool
-// (newcomer gets a fair share, existing ratios preserved, units keep
-// summing to util::kWeightScale) instead of wiping controller-programmed
-// weights; removing one drops its affinity entries and rescales the rest
-// the same way (scale-in after draining to weight 0 leaves the survivors'
-// units exactly unchanged). Flows that never FIN are reclaimed by the
-// affinity GC once an idle timeout is configured.
+// Programming is transactional (see lb/pool_program.hpp): apply_program()
+// commits a whole desired pool — membership, weights, and lifecycle states
+// — atomically, and discards any transaction older than the last one
+// committed. Backends carry a stable id from registration to removal, so
+// the affinity table survives pool churn — indices shift when a backend is
+// removed, ids never do.
+//
+// Graceful scale-in is first-class: a backend programmed kDraining is
+// parked (no new connections) while its pinned flows keep being served,
+// and it auto-completes to removed the moment its last affinity entry
+// drains (FIN or idle-GC). fail_backend() stays the abrupt path: pinned
+// flows are counted as reset and their clients retry on the survivors.
 //
 // Weight changes only affect *new* connections: pinned connections drain
 // naturally, which is precisely the effect §4.7's drain-time estimation has
@@ -30,22 +33,53 @@
 #include <vector>
 
 #include "lb/policy.hpp"
+#include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
 
 namespace klb::lb {
 
-class Mux : public net::Node {
+class Mux : public net::Node, public PoolProgrammer {
  public:
-  Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy);
+  /// With attach_to_vip = false the Mux does not bind the VIP on the
+  /// fabric — a MuxPool owns the VIP and steers messages to its member
+  /// muxes directly (ECMP sharding).
+  Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
+      bool attach_to_vip = true);
   ~Mux() override;
 
   net::IpAddr vip() const { return vip_; }
   const Policy& policy() const { return *policy_; }
+  Policy& mutable_policy() { return *policy_; }
 
   /// Replace the policy (connection table survives, like a HAProxy reload).
   void set_policy(std::unique_ptr<Policy> policy);
 
-  // --- backend lifecycle -----------------------------------------------------
+  // --- transactional programming (PoolProgrammer) ----------------------------
+
+  /// Commit a whole-pool transaction immediately (the programming delay
+  /// lives in LbController). Stale versions (<= the last committed one)
+  /// are discarded whole and counted. Semantics per entry:
+  ///   kActive   — in rotation at the programmed weight (added if new),
+  ///   kDraining — parked at 0, pinned flows drain, auto-removed when the
+  ///               last affinity entry goes,
+  ///   kRemoved  — removed now (affinity dropped, clients reconnect).
+  /// A served backend the program omits is removed — unless it is already
+  /// draining, in which case the drain continues.
+  void apply_program(const PoolProgram& program) override;
+
+  std::size_t backend_count() const override { return backends_.size(); }
+  /// Active (non-draining) backends, registration order.
+  std::vector<net::IpAddr> backend_addrs() const override;
+
+  /// Version of the last committed transaction (0 = none yet).
+  std::uint64_t applied_version() const { return applied_version_; }
+  /// Transactions discarded because a newer version had already committed.
+  std::uint64_t superseded_programs() const { return superseded_programs_; }
+  /// Drains that auto-completed to removal.
+  std::uint64_t drains_completed() const { return drains_completed_; }
+  std::size_t draining_count() const;
+
+  // --- backend lifecycle (dataplane-local / direct test access) --------------
 
   /// Register a backend and return its stable id. Existing weights are
   /// rescaled — newcomer at a fair share, existing ratios preserved, units
@@ -65,23 +99,27 @@ class Mux : public net::Node {
   /// reset and retry as new flows on the survivors.
   bool fail_backend(std::size_t i);
 
-  std::size_t backend_count() const { return backends_.size(); }
-  net::IpAddr backend_addr(std::size_t i) const { return backends_[i].addr; }
-  std::uint64_t backend_id(std::size_t i) const { return backends_[i].id; }
+  /// Bounds-checked accessors: an out-of-range index is loud (warn +
+  /// sentinel), matching remove_backend's convention — never UB.
+  net::IpAddr backend_addr(std::size_t i) const;
+  std::uint64_t backend_id(std::size_t i) const;
+  bool backend_enabled(std::size_t i) const;
+  bool backend_draining(std::size_t i) const;
   /// Index currently holding stable id `id`, if the backend still exists.
   std::optional<std::size_t> index_of_id(std::uint64_t id) const;
 
   /// Program weights (grid units, util::kWeightScale = 1.0), one entry per
-  /// backend in registration order. This is the interface the LB controller
-  /// programs; KnapsackLB never calls it directly. A vector whose size does
-  /// not match backend_count() is rejected with a warning (a controller/mux
-  /// pool-size race must not half-program the pool); returns false then.
+  /// backend in registration order — the legacy imperative path, kept for
+  /// direct dataplane manipulation in tests/benches (controllers go
+  /// through apply_program). A vector whose size does not match
+  /// backend_count() is rejected with a warning; returns false then.
+  /// Draining backends stay parked at 0 regardless of the vector.
   bool set_weight_units(const std::vector<std::int64_t>& units);
   std::vector<std::int64_t> weight_units() const;
 
-  /// Administratively drain a backend (no new connections).
+  /// Administratively drain a backend (no new connections) without the
+  /// removal lifecycle — a temporary maintenance knob.
   void set_backend_enabled(std::size_t i, bool enabled);
-  bool backend_enabled(std::size_t i) const { return backends_[i].enabled; }
 
   // --- affinity table --------------------------------------------------------
 
@@ -100,15 +138,9 @@ class Mux : public net::Node {
   std::size_t dangling_affinity_count() const;
 
   // --- dataplane counters ----------------------------------------------------
-  std::uint64_t forwarded_requests(std::size_t i) const {
-    return backends_[i].forwarded;
-  }
-  std::uint64_t new_connections(std::size_t i) const {
-    return backends_[i].connections;
-  }
-  std::uint64_t active_connections(std::size_t i) const {
-    return backends_[i].view().active_conns;
-  }
+  std::uint64_t forwarded_requests(std::size_t i) const;
+  std::uint64_t new_connections(std::size_t i) const;
+  std::uint64_t active_connections(std::size_t i) const;
   std::uint64_t total_forwarded() const { return total_forwarded_; }
   std::uint64_t rejected_programmings() const { return rejected_programmings_; }
   std::uint64_t flows_reset_by_failure() const { return flows_reset_; }
@@ -125,6 +157,7 @@ class Mux : public net::Node {
     const server::DipServer* server = nullptr;
     std::int64_t weight_units = 0;
     bool enabled = true;
+    bool draining = false;  // condemned: parked until affinity empties
     std::uint64_t active = 0;
     std::uint64_t connections = 0;  // cumulative new connections
     std::uint64_t forwarded = 0;    // cumulative forwarded requests
@@ -149,12 +182,21 @@ class Mux : public net::Node {
   /// All-zero pools fall back to an equal split (traffic must go somewhere).
   void renormalize_weights();
   bool erase_backend(std::size_t i, bool failed);
+  /// Drop backend `i` and its affinity without renormalizing or rebuilding
+  /// caches — the transactional path applies weights literally and rebuilds
+  /// once per program; the imperative erase_backend wraps this.
+  void erase_backend_raw(std::size_t i, bool failed);
+  /// Remove backend `i` if it is draining with no affinity entries left.
+  /// Returns true when the backend was removed (index `i` now names the
+  /// next backend). The drain completes without resetting a single flow.
+  bool maybe_complete_drain(std::size_t i);
   void drop_affinity_for(std::uint64_t id, bool count_as_reset);
   void rebuild_id_index();
   void maybe_gc();
 
   net::Network& net_;
   net::IpAddr vip_;
+  bool attached_ = false;
   std::unique_ptr<Policy> policy_;
   util::Rng rng_;
   std::vector<Backend> backends_;
@@ -167,6 +209,9 @@ class Mux : public net::Node {
   std::uint64_t total_forwarded_ = 0;
   std::uint64_t no_backend_drops_ = 0;
   std::uint64_t rejected_programmings_ = 0;
+  std::uint64_t applied_version_ = 0;
+  std::uint64_t superseded_programs_ = 0;
+  std::uint64_t drains_completed_ = 0;
   std::uint64_t flows_reset_ = 0;
   std::uint64_t flows_gced_ = 0;
 };

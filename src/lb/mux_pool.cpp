@@ -1,0 +1,159 @@
+#include "lb/mux_pool.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace klb::lb {
+
+namespace {
+constexpr const char* kLog = "klb-muxpool";
+
+/// ECMP salt: decorrelates shard choice from the maglev table's backend
+/// choice (both start from hash_tuple).
+constexpr std::uint64_t kEcmpSalt = 0xecb99a18d7f4a7c1ull;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+MuxPool::MuxPool(net::Network& net, net::IpAddr vip, std::size_t mux_count,
+                 std::size_t min_table_size)
+    : net_(net), vip_(vip), min_table_size_(min_table_size) {
+  mux_count = std::max<std::size_t>(1, mux_count);
+  muxes_.reserve(mux_count);
+  policies_.reserve(mux_count);
+  for (std::size_t k = 0; k < mux_count; ++k) {
+    auto policy = std::make_unique<SharedMaglevPolicy>();
+    policies_.push_back(policy.get());
+    muxes_.push_back(std::make_unique<Mux>(net_, vip_, std::move(policy),
+                                           /*attach_to_vip=*/false));
+  }
+  net_.attach(vip_, this);
+}
+
+MuxPool::~MuxPool() { net_.attach(vip_, nullptr); }
+
+std::size_t MuxPool::shard_of(const net::FiveTuple& tuple) const {
+  return static_cast<std::size_t>(mix64(net::hash_tuple(tuple) ^ kEcmpSalt) %
+                                  muxes_.size());
+}
+
+const std::shared_ptr<const MaglevTable>& MuxPool::table_snapshot(
+    std::size_t k) const {
+  return policies_[k]->table_snapshot();
+}
+
+std::size_t MuxPool::backend_count() const {
+  std::size_t n = 0;
+  for (const auto& m : muxes_) n = std::max(n, m->backend_count());
+  return n;
+}
+
+std::vector<net::IpAddr> MuxPool::backend_addrs() const {
+  // The desired (non-draining) pool is identical on every member; drains
+  // may complete at different times, but those are excluded here anyway.
+  return muxes_.front()->backend_addrs();
+}
+
+void MuxPool::apply_program(const PoolProgram& program) {
+  // One version check for the whole pool: either every member commits this
+  // transaction or none does, so the members cannot diverge.
+  if (program.version <= applied_version_) {
+    ++superseded_programs_;
+    util::log_warn(kLog) << "discarding stale pool program v"
+                         << program.version << " (pool already at v"
+                         << applied_version_ << ")";
+    return;
+  }
+  applied_version_ = program.version;
+
+  for (auto& m : muxes_) m->apply_program(program);
+  publish_table();
+}
+
+void MuxPool::publish_table() {
+  // One maglev build per commit, derived from the post-apply pool state
+  // (member 0 is representative: every member applied the same programs,
+  // and draining stragglers are excluded from the table either way).
+  // Entry order follows the members' registration order, which tracks the
+  // programs' stable relative order, so the rebuild stays minimally
+  // disruptive. Ids are DIP address values — identical on every mux by
+  // construction, which is what makes one table servable by all of them.
+  const auto& m = *muxes_.front();
+  const auto units = m.weight_units();
+  std::vector<MaglevEntry> entries;
+  entries.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (m.backend_draining(i)) continue;
+    entries.push_back(MaglevEntry{m.backend_addr(i).value(), units[i]});
+  }
+  auto table = std::make_shared<MaglevTable>(min_table_size_);
+  table->build(entries);
+  ++shared_builds_;
+  for (auto* p : policies_)
+    p->set_table(table);  // pointer-equal snapshot, pool-wide
+}
+
+bool MuxPool::fail_backend(net::IpAddr dip) {
+  bool any = false;
+  for (const auto& m : muxes_) {
+    for (std::size_t i = 0; i < m->backend_count(); ++i) {
+      if (m->backend_addr(i) == dip) {
+        any = m->fail_backend(i) || any;
+        break;
+      }
+    }
+  }
+  // Rebuild the shared table now: the dead DIP's hash space redistributes
+  // to the survivors immediately (its reset flows retry as new
+  // connections), instead of blackholing until the next program commits.
+  if (any) publish_table();
+  return any;
+}
+
+std::uint64_t MuxPool::total_forwarded() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->total_forwarded();
+  return n;
+}
+
+std::uint64_t MuxPool::flows_reset_by_failure() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->flows_reset_by_failure();
+  return n;
+}
+
+std::uint64_t MuxPool::drains_completed() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->drains_completed();
+  return n;
+}
+
+std::size_t MuxPool::affinity_size() const {
+  std::size_t n = 0;
+  for (const auto& m : muxes_) n += m->affinity_size();
+  return n;
+}
+
+std::uint64_t MuxPool::new_connections_to(net::IpAddr dip) const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_)
+    for (std::size_t i = 0; i < m->backend_count(); ++i)
+      if (m->backend_addr(i) == dip) n += m->new_connections(i);
+  return n;
+}
+
+void MuxPool::on_message(const net::Message& msg) {
+  // The routers' ECMP spray: stateless per-tuple shard choice. A shard is
+  // a full Mux — affinity table, counters, drain lifecycle of its own.
+  muxes_[shard_of(msg.tuple)]->on_message(msg);
+}
+
+}  // namespace klb::lb

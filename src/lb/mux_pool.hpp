@@ -1,0 +1,102 @@
+// Multi-MUX VIP pool: N Mux instances ECMP-sharded over one VIP.
+//
+// Real L4 deployments announce a VIP from a fleet of MUXes and let the
+// routers ECMP-spray flows across them (Ananta/Maglev). Two properties
+// make that safe here:
+//
+//   1. One Maglev build per program version, shared by every mux. The
+//      pool builds a single weighted MaglevTable from each committed
+//      PoolProgram and publishes it to all members as an immutable
+//      shared_ptr<const> snapshot (pointer-equal across the pool), so any
+//      two muxes pick the same DIP for the same 5-tuple — a flow that ECMP
+//      re-shards to a different mux (router churn) still reaches its DIP
+//      even before an affinity entry exists there. This is also N-1 fewer
+//      O(table) builds per programming.
+//   2. Transactions commit pool-wide: apply_program runs the version check
+//      once and applies the same program to every member, so the members
+//      can never serve different versions.
+//
+// The ECMP hash is salted differently from the maglev hash, so shard
+// choice and backend choice stay statistically independent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lb/maglev.hpp"
+#include "lb/mux.hpp"
+#include "lb/pool_program.hpp"
+#include "net/fabric.hpp"
+
+namespace klb::lb {
+
+class MuxPool : public net::Node, public PoolProgrammer {
+ public:
+  /// Build `mux_count` muxes behind `vip`. The pool binds the VIP; the
+  /// members are detached and run the shared-snapshot maglev policy.
+  MuxPool(net::Network& net, net::IpAddr vip, std::size_t mux_count,
+          std::size_t min_table_size = MaglevTable::kDefaultMinSize);
+  ~MuxPool() override;
+
+  MuxPool(const MuxPool&) = delete;
+  MuxPool& operator=(const MuxPool&) = delete;
+
+  net::IpAddr vip() const { return vip_; }
+  std::size_t mux_count() const { return muxes_.size(); }
+  Mux& mux(std::size_t k) { return *muxes_[k]; }
+  const Mux& mux(std::size_t k) const { return *muxes_[k]; }
+
+  /// Shard index a tuple ECMP-hashes to (exposed for tests).
+  std::size_t shard_of(const net::FiveTuple& tuple) const;
+
+  /// The maglev snapshot mux `k` currently serves. Pointer-equal across
+  /// all members after every commit — the single-shared-build invariant.
+  const std::shared_ptr<const MaglevTable>& table_snapshot(std::size_t k) const;
+
+  // --- PoolProgrammer --------------------------------------------------------
+  /// Backends served by the pool (the maximum over members: a drain may
+  /// complete on one mux while another still serves pinned flows).
+  std::size_t backend_count() const override;
+  std::vector<net::IpAddr> backend_addrs() const override;
+  void apply_program(const PoolProgram& program) override;
+
+  std::uint64_t applied_version() const { return applied_version_; }
+  std::uint64_t superseded_programs() const { return superseded_programs_; }
+  /// Shared maglev builds (one per committed version, not per mux).
+  std::uint64_t shared_builds() const { return shared_builds_; }
+
+  /// Abrupt backend death observed by the dataplane (host failure): drops
+  /// `dip` from every member, counting pinned flows as reset — the
+  /// counterpart of a graceful kDraining program. Returns true if any
+  /// member still served the DIP.
+  bool fail_backend(net::IpAddr dip);
+
+  // --- aggregated dataplane counters -----------------------------------------
+  std::uint64_t total_forwarded() const;
+  std::uint64_t flows_reset_by_failure() const;
+  std::uint64_t drains_completed() const;
+  std::size_t affinity_size() const;
+  /// New connections landed on `dip` across all members.
+  std::uint64_t new_connections_to(net::IpAddr dip) const;
+
+  // --- net::Node -------------------------------------------------------------
+  void on_message(const net::Message& msg) override;
+
+ private:
+  /// Build one table from the current pool state and hand the snapshot to
+  /// every member (runs after each commit and after a dataplane-local
+  /// failure).
+  void publish_table();
+
+  net::Network& net_;
+  net::IpAddr vip_;
+  std::size_t min_table_size_;
+  std::vector<std::unique_ptr<Mux>> muxes_;
+  std::vector<SharedMaglevPolicy*> policies_;  // borrowed from muxes_
+  std::uint64_t applied_version_ = 0;
+  std::uint64_t superseded_programs_ = 0;
+  std::uint64_t shared_builds_ = 0;
+};
+
+}  // namespace klb::lb

@@ -20,39 +20,64 @@
 
 namespace klb::testbed {
 
-/// WeightInterface that records programmings and drives no dataplane.
-/// Mirrors the MUX's contract: a programming whose size does not match the
-/// pool is rejected (and counted), so churn tests catch size races.
-class SinkWeightInterface : public lb::WeightInterface {
+/// PoolProgrammer that records transactions and drives no dataplane.
+/// Mirrors the MUX's contract: a stale transaction (version <= the last
+/// committed one) is discarded whole and counted, so churn tests catch
+/// ordering races; with no pinned flows, a kDraining entry completes to
+/// removed immediately.
+class SinkDataplane : public lb::PoolProgrammer {
  public:
-  explicit SinkWeightInterface(std::size_t backends) : backends_(backends) {}
+  explicit SinkDataplane(std::vector<net::IpAddr> dips) {
+    for (const auto dip : dips)
+      backends_.push_back(Backend{dip, 0});
+  }
 
-  std::size_t backend_count() const override { return backends_; }
-  void program_weights(const std::vector<std::int64_t>& units) override {
-    if (units.size() != backends_) {
-      ++rejected_;
+  std::size_t backend_count() const override { return backends_.size(); }
+  std::vector<net::IpAddr> backend_addrs() const override {
+    std::vector<net::IpAddr> out;
+    for (const auto& b : backends_) out.push_back(b.addr);
+    return out;
+  }
+
+  void apply_program(const lb::PoolProgram& program) override {
+    if (program.version <= applied_version_) {
+      ++superseded_;
       return;
     }
-    last_units_ = units;
+    applied_version_ = program.version;
+    if (program.weights_only) {
+      for (const auto& e : program.entries)
+        for (auto& b : backends_)
+          if (b.addr == e.dip && e.state == lb::BackendState::kActive)
+            b.weight_units = e.weight_units < 0 ? 0 : e.weight_units;
+    } else {
+      backends_.clear();
+      for (const auto& e : program.entries)
+        if (e.state == lb::BackendState::kActive)
+          backends_.push_back(
+              Backend{e.dip, e.weight_units < 0 ? 0 : e.weight_units});
+    }
+    last_units_.clear();
+    for (const auto& b : backends_) last_units_.push_back(b.weight_units);
     ++programs_;
-  }
-  void set_backend_enabled(std::size_t, bool) override {}
-  void add_backend(net::IpAddr) override { ++backends_; }
-  bool remove_backend(std::size_t i) override {
-    if (i >= backends_) return false;
-    --backends_;
-    return true;
   }
 
   const std::vector<std::int64_t>& last_units() const { return last_units_; }
   std::uint64_t programs() const { return programs_; }
-  std::uint64_t rejected_programs() const { return rejected_; }
+  std::uint64_t applied_version() const { return applied_version_; }
+  std::uint64_t superseded_programs() const { return superseded_; }
 
  private:
-  std::size_t backends_;
+  struct Backend {
+    net::IpAddr addr;
+    std::int64_t weight_units = 0;
+  };
+
+  std::vector<Backend> backends_;
   std::vector<std::int64_t> last_units_;
+  std::uint64_t applied_version_ = 0;
   std::uint64_t programs_ = 0;
-  std::uint64_t rejected_ = 0;
+  std::uint64_t superseded_ = 0;
 };
 
 class SyntheticFleet {
@@ -77,7 +102,7 @@ class SyntheticFleet {
       for (std::size_t d = 0; d < dips; ++d)
         addrs.push_back(
             net::IpAddr(static_cast<std::uint32_t>(0x0a800000 + (v << 8) + d)));
-      lbs_.push_back(std::make_unique<SinkWeightInterface>(dips));
+      lbs_.push_back(std::make_unique<SinkDataplane>(addrs));
       const auto idx = coord_->add_vip(vip, addrs, store_, *lbs_.back());
       // Heterogeneous pool: per-DIP capacity 0.5-2x the fair share, total
       // capacity ~1.25x the VIP's demand so the ILP stays feasible.
@@ -93,7 +118,7 @@ class SyntheticFleet {
 
   sim::Simulation& sim() { return sim_; }
   core::MultiVipCoordinator& coordinator() { return *coord_; }
-  SinkWeightInterface& lb(std::size_t v) { return *lbs_[v]; }
+  SinkDataplane& lb(std::size_t v) { return *lbs_[v]; }
 
   void mark_all_dirty() {
     for (std::size_t v = 0; v < coord_->vip_count(); ++v)
@@ -138,7 +163,7 @@ class SyntheticFleet {
   util::SimTime round_interval_;
   std::shared_ptr<store::KvEngine> engine_;
   store::LatencyStore store_;
-  std::vector<std::unique_ptr<SinkWeightInterface>> lbs_;
+  std::vector<std::unique_ptr<SinkDataplane>> lbs_;
   std::unique_ptr<core::MultiVipCoordinator> coord_;
   std::uint32_t next_addr_ = 1;  // scale-out DIPs get addresses of their own
 };

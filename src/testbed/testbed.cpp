@@ -44,11 +44,23 @@ Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
     dips_.push_back(std::move(dip));
   }
 
-  // MUX + LB control plane.
-  mux_ = std::make_unique<lb::Mux>(*net_, vip_, lb::make_policy(cfg_.policy));
-  for (std::size_t i = 0; i < dips_.size(); ++i)
-    mux_->add_backend(dip_addrs[i], dips_[i].get());
-  lb_ctrl_ = std::make_unique<lb::LbController>(*sim_, *mux_,
+  // MUX + LB control plane. One Mux runs the configured policy; a pool
+  // ECMP-shards the VIP over mux_count members sharing one maglev build
+  // per program (the policy knob does not apply there).
+  if (cfg_.mux_count > 1) {
+    pool_ = std::make_unique<lb::MuxPool>(*net_, vip_, cfg_.mux_count);
+    lb::PoolProgram bootstrap(pool_->issue_version());
+    const auto units = util::normalize_to_units(
+        std::vector<double>(dip_addrs.size(), 1.0));
+    for (std::size_t i = 0; i < dip_addrs.size(); ++i)
+      bootstrap.add(dip_addrs[i], units[i]);
+    pool_->apply_program(bootstrap);
+  } else {
+    mux_ = std::make_unique<lb::Mux>(*net_, vip_, lb::make_policy(cfg_.policy));
+    for (std::size_t i = 0; i < dips_.size(); ++i)
+      mux_->add_backend(dip_addrs[i], dips_[i].get());
+  }
+  lb_ctrl_ = std::make_unique<lb::LbController>(*sim_, dataplane(),
                                                 cfg_.programming_delay);
 
   // Latency store (engine shared between the wire server and the typed
@@ -109,24 +121,43 @@ bool Testbed::run_until_ready(util::SimTime limit) {
 void Testbed::reset_stats() {
   for (auto& d : dips_) d->reset_stats();
   clients_->recorder().reset();
-  mux_->reset_counters();
+  if (pool_) {
+    for (std::size_t k = 0; k < pool_->mux_count(); ++k)
+      pool_->mux(k).reset_counters();
+  } else {
+    mux_->reset_counters();
+  }
 }
 
 void Testbed::set_static_weights(const std::vector<double>& weights) {
-  lb_ctrl_->program_weights(util::normalize_to_units(weights));
+  // A wrong-sized vector must stay loud: a whole-pool transaction built
+  // from it would silently decommission the unlisted DIPs.
+  if (weights.size() != dips_.size()) {
+    util::log_warn("klb-testbed")
+        << "set_static_weights: " << weights.size() << " weights for "
+        << dips_.size() << " DIPs; ignoring";
+    return;
+  }
+  const auto units = util::normalize_to_units(weights);
+  lb::PoolProgram p(lb_ctrl_->issue_version());
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    p.add(dips_[i]->address(), units[i]);
+  lb_ctrl_->apply_program(p);
 }
 
 std::vector<DipMetrics> Testbed::metrics() const {
   std::vector<DipMetrics> out;
   const auto& per_dip = clients_->recorder().per_dip();
-  const auto units = mux_->weight_units();
+  const auto units = (pool_ ? pool_->mux(0) : *mux_).weight_units();
   for (std::size_t i = 0; i < dips_.size(); ++i) {
     DipMetrics m;
     m.addr = dips_[i]->address();
     m.vm_type = specs_[i].vm.name;
     m.cpu_utilization = dips_[i]->cpu_utilization();
     m.drops = dips_[i]->dropped();
-    m.weight = util::units_to_weight(units[i]);
+    // The dataplane pool can transiently be smaller than the spec list
+    // (e.g. a drain completed); never index past its weights.
+    m.weight = i < units.size() ? util::units_to_weight(units[i]) : 0.0;
     const auto it = per_dip.find(m.addr);
     if (it != per_dip.end()) {
       m.client_latency_ms = it->second.mean();

@@ -23,6 +23,7 @@
 #include "lb/dns_lb.hpp"
 #include "lb/lb_controller.hpp"
 #include "lb/mux.hpp"
+#include "lb/mux_pool.hpp"
 #include "server/dip_server.hpp"
 #include "store/kv_server.hpp"
 #include "workload/client.hpp"
@@ -53,6 +54,10 @@ struct TestbedConfig {
   core::ControllerConfig controller;
   bool use_knapsacklb = false;
   util::SimTime programming_delay = util::SimTime::millis(200);
+  /// MUXes ECMP-sharded behind the VIP. 1 = a single Mux running `policy`;
+  /// >1 = a lb::MuxPool whose members share one maglev build per program
+  /// version (`policy` is ignored — the pool runs maglev-shared).
+  std::size_t mux_count = 1;
 };
 
 /// Per-DIP metrics snapshot for reporting.
@@ -87,7 +92,17 @@ class Testbed {
   net::Network& network() { return *net_; }
   std::size_t dip_count() const { return dips_.size(); }
   server::DipServer& dip(std::size_t i) { return *dips_[i]; }
-  lb::Mux& mux() { return *mux_; }
+  /// The single Mux, or the pool's first member (mux_count > 1) — all
+  /// members serve identical programs, so member 0 answers pool-shape
+  /// questions (weights, membership).
+  lb::Mux& mux() { return pool_ ? pool_->mux(0) : *mux_; }
+  /// The pool when mux_count > 1, else nullptr.
+  lb::MuxPool* mux_pool() { return pool_.get(); }
+  /// The dataplane behind the LB controller (the Mux or the MuxPool).
+  lb::PoolProgrammer& dataplane() {
+    return pool_ ? static_cast<lb::PoolProgrammer&>(*pool_)
+                 : static_cast<lb::PoolProgrammer&>(*mux_);
+  }
   lb::LbController& lb_controller() { return *lb_ctrl_; }
   workload::ClientPool& clients() { return *clients_; }
   klm::Klm& klm() { return *klm_; }
@@ -118,7 +133,8 @@ class Testbed {
   std::unique_ptr<net::Network> net_;
   net::IpAddr vip_;
   std::vector<std::unique_ptr<server::DipServer>> dips_;
-  std::unique_ptr<lb::Mux> mux_;
+  std::unique_ptr<lb::Mux> mux_;        // mux_count == 1
+  std::unique_ptr<lb::MuxPool> pool_;   // mux_count > 1
   std::unique_ptr<lb::LbController> lb_ctrl_;
   std::shared_ptr<store::KvEngine> kv_engine_;
   std::unique_ptr<store::KvServer> kv_server_;

@@ -219,7 +219,9 @@ TEST(Integration, DnsModeDeliversWeightedTraffic) {
     dips.push_back(std::move(d));
   }
   lb::DnsTrafficManager dns(sim, addrs, util::SimTime::seconds(5));
-  dns.program_weights({2000, 3000, 5000});
+  lb::PoolProgram program(dns.issue_version());
+  program.add(addrs[0], 2000).add(addrs[1], 3000).add(addrs[2], 5000);
+  dns.apply_program(program);
 
   workload::ClientConfig ccfg;
   ccfg.requests_per_session = 1.0;

@@ -1,6 +1,7 @@
 // LB dataplane tests: policy selection semantics (including weighted
-// distribution properties), MUX affinity/FIN accounting, control-plane
-// programming delay, and DNS traffic-manager behaviour.
+// distribution properties), MUX affinity/FIN accounting, transactional
+// pool programming (PoolProgram versions, delay, supersession), and DNS
+// traffic-manager behaviour.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -11,6 +12,7 @@
 #include "lb/lb_controller.hpp"
 #include "lb/mux.hpp"
 #include "lb/policy.hpp"
+#include "lb/pool_program.hpp"
 #include "store/latency_store.hpp"
 #include "util/weight.hpp"
 
@@ -165,22 +167,20 @@ TEST(Policy, EmptyPoolReturnsNoBackend) {
 
 // --- MUX ---------------------------------------------------------------------
 
-/// Minimal WeightInterface that records the last programming (drain tests).
-struct RecordingWeights : public WeightInterface {
-  explicit RecordingWeights(std::size_t n) : n_(n) {}
-  std::size_t backend_count() const override { return n_; }
-  void program_weights(const std::vector<std::int64_t>& units) override {
-    last_units = units;
-  }
-  void set_backend_enabled(std::size_t, bool) override {}
-  void add_backend(net::IpAddr) override { ++n_; }
-  bool remove_backend(std::size_t i) override {
-    if (i >= n_) return false;
-    --n_;
-    return true;
+/// Minimal PoolProgrammer that records the last transaction (drain tests).
+struct RecordingDataplane : public PoolProgrammer {
+  explicit RecordingDataplane(std::vector<net::IpAddr> addrs)
+      : addrs_(std::move(addrs)) {}
+  std::size_t backend_count() const override { return addrs_.size(); }
+  std::vector<net::IpAddr> backend_addrs() const override { return addrs_; }
+  void apply_program(const PoolProgram& p) override {
+    last_units.clear();
+    for (const auto& e : p.entries)
+      if (e.state == BackendState::kActive)
+        last_units.push_back(e.weight_units);
   }
   std::vector<std::int64_t> last_units;
-  std::size_t n_;
+  std::vector<net::IpAddr> addrs_;
 };
 
 class Sink : public net::Node {
@@ -364,45 +364,244 @@ TEST(Mux, RemoveLoadedBackendRescalesToFullScale) {
   EXPECT_FALSE(mux.remove_backend(7));  // out of range
 }
 
-// Membership changes apply immediately; a delayed weight programming sized
-// for the old pool must bounce off instead of half-applying.
-TEST(LbController, InFlightProgrammingRejectedAfterChurn) {
+// --- transactional programming (PoolProgram) --------------------------------
+
+// A stale transaction that commits after a newer one is discarded whole —
+// the versioned replacement for the old size-mismatch rejection.
+TEST(PoolProgram, StaleVersionDiscardedAfterCommit) {
   MuxFixture f;
   Mux mux(f.net, f.vip, make_policy("wrr"));
-  mux.add_backend(net::IpAddr{10, 1, 0, 1});
-  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+
+  PoolProgram v2(2);
+  v2.add(a, 1000).add(b, 9000);
+  mux.apply_program(v2);
+  ASSERT_EQ(mux.applied_version(), 2u);
+
+  PoolProgram v1(1);  // issued earlier, delivered late
+  v1.add(a, 7000).add(b, 3000);
+  mux.apply_program(v1);
+
+  EXPECT_EQ(mux.superseded_programs(), 1u);
+  EXPECT_EQ(mux.applied_version(), 2u);
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{1000, 9000}));
+}
+
+// Supersession holds across a membership change: a stale program listing a
+// since-removed backend must not resurrect it (or half-apply anything).
+TEST(PoolProgram, StaleVersionDiscardedAcrossMembershipChange) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2}, c{10, 1, 0, 3};
+
+  PoolProgram v1(1);
+  v1.add(a, 4000).add(b, 3000).add(c, 3000);
+  mux.apply_program(v1);
+  ASSERT_EQ(mux.backend_count(), 3u);
+
+  PoolProgram v3(3);  // newest desired pool: c is gone
+  v3.add(a, 6000).add(b, 4000);
+  mux.apply_program(v3);
+  ASSERT_EQ(mux.backend_count(), 2u);
+
+  PoolProgram v2(2);  // stale: still lists c
+  v2.add(a, 2000).add(b, 2000).add(c, 6000);
+  mux.apply_program(v2);
+
+  EXPECT_EQ(mux.superseded_programs(), 1u);
+  EXPECT_EQ(mux.backend_count(), 2u);  // c not resurrected
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{6000, 4000}));
+  EXPECT_EQ(mux.rejected_programmings(), 0u);  // nothing partial to reject
+}
+
+// A backend the program omits is removed; one listed anew is admitted —
+// membership and weights are one atomic commit.
+TEST(PoolProgram, OmittedBackendRemovedNewcomerAdmitted) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2}, c{10, 1, 0, 3};
+
+  PoolProgram v1(1);
+  v1.add(a, 5000).add(b, 5000);
+  mux.apply_program(v1);
+  const auto id_b = mux.backend_id(1);
+
+  PoolProgram v2(2);  // a leaves (omitted), c joins
+  v2.add(b, 2500).add(c, 7500);
+  mux.apply_program(v2);
+
+  ASSERT_EQ(mux.backend_count(), 2u);
+  EXPECT_EQ(mux.backend_addr(0), b);
+  EXPECT_EQ(mux.backend_addr(1), c);
+  EXPECT_EQ(mux.backend_id(0), id_b);  // stable id survives the transaction
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{2500, 7500}));
+  EXPECT_EQ(mux.dangling_affinity_count(), 0u);
+}
+
+// The old race — weights sized for the old pool landing after a membership
+// change — is structurally unreachable now: membership rides the same
+// transaction as the weights, and the newer version wins whole.
+TEST(LbController, ChurnAndWeightsCannotRace) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2}, c{10, 1, 0, 3};
+  mux.add_backend(a);
+  mux.add_backend(b);
   LbController ctrl(f.sim, mux, 200_ms);
 
-  ctrl.program_weights({7000, 3000});  // in flight...
-  ctrl.add_backend(net::IpAddr{10, 1, 0, 3});  // ...pool grows immediately
+  PoolProgram weights(ctrl.issue_version());  // weights for the 2-DIP pool...
+  weights.add(a, 7000).add(b, 3000);
+  ctrl.apply_program(weights);
+
+  PoolProgram grown(ctrl.issue_version());  // ...then a scale-out commit
+  grown.add(a, 5000).add(b, 3000).add(c, 2000);
+  ctrl.apply_program(grown);
+
   f.sim.run_all();
   EXPECT_EQ(mux.backend_count(), 3u);
-  EXPECT_EQ(mux.rejected_programmings(), 1u);
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{5000, 3000, 2000}));
+  EXPECT_EQ(mux.rejected_programmings(), 0u);
+  EXPECT_EQ(mux.superseded_programs(), 0u);  // in-order: nothing discarded
   EXPECT_EQ(sum_units(mux.weight_units()), util::kWeightScale);
 }
 
-// A delayed enable/drain must land on the backend it was aimed at, even if
-// membership churn renumbered the pool while it was in flight.
-TEST(LbController, DelayedDrainFollowsBackendAcrossChurn) {
+// Draining through a transaction: the backend is parked immediately, keeps
+// serving its pinned flow, and auto-completes to removed on the last FIN.
+TEST(Mux, DrainingBackendCompletesOnLastFin) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+  PoolProgram v1(1);
+  v1.add(a, 5000).add(b, 5000);
+  mux.apply_program(v1);
+
+  // Pin one flow per backend.
+  for (std::uint16_t p = 0; p < 8; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(1000 + p), p, 1));
+  f.sim.run_all();
+  ASSERT_GT(mux.active_connections(0), 0u);
+  const auto pinned_on_a = mux.active_connections(0);
+
+  PoolProgram v2(2);
+  v2.add(a, 0, BackendState::kDraining).add(b, util::kWeightScale);
+  mux.apply_program(v2);
+  ASSERT_EQ(mux.backend_count(), 2u);  // still serving pinned flows
+  EXPECT_TRUE(mux.backend_draining(0));
+  EXPECT_EQ(mux.weight_units()[0], 0);
+
+  // New connections all land on b while a's flows stay pinned to a.
+  for (std::uint16_t p = 0; p < 20; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(3000 + p),
+                                static_cast<std::uint64_t>(100 + p), 1));
+  f.sim.run_all();
+  EXPECT_EQ(mux.active_connections(0), pinned_on_a);
+
+  // FIN the pinned flows: the drain completes without a single reset.
+  for (std::uint16_t p = 0; p < 8; ++p) {
+    net::Message fin;
+    fin.type = net::MsgType::kFin;
+    fin.tuple = tuple_with_port(static_cast<std::uint16_t>(1000 + p));
+    f.net.send(f.vip, fin);
+  }
+  f.sim.run_all();
+  EXPECT_EQ(mux.backend_count(), 1u);
+  EXPECT_EQ(mux.backend_addr(0), b);
+  EXPECT_EQ(mux.drains_completed(), 1u);
+  EXPECT_EQ(mux.flows_reset_by_failure(), 0u);
+  EXPECT_EQ(mux.dangling_affinity_count(), 0u);
+}
+
+// A drain with no pinned flows completes within the same transaction, and
+// re-listing a draining backend as Active cancels the drain.
+TEST(Mux, DrainLifecycleEdges) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+  PoolProgram v1(1);
+  v1.add(a, 5000).add(b, 5000);
+  mux.apply_program(v1);
+
+  PoolProgram v2(2);  // no flows pinned: drain is instant
+  v2.add(a, 0, BackendState::kDraining).add(b, util::kWeightScale);
+  mux.apply_program(v2);
+  EXPECT_EQ(mux.backend_count(), 1u);
+  EXPECT_EQ(mux.drains_completed(), 1u);
+
+  // Pin a flow on b, condemn it, then change course: re-activate.
+  f.net.send(f.vip, f.request(1000, 1, 1));
+  f.sim.run_all();
+  PoolProgram v3(3);
+  v3.add(b, 0, BackendState::kDraining);
+  mux.apply_program(v3);
+  ASSERT_EQ(mux.backend_count(), 1u);
+  EXPECT_TRUE(mux.backend_draining(0));
+
+  PoolProgram v4(4);
+  v4.add(b, util::kWeightScale);
+  mux.apply_program(v4);
+  EXPECT_FALSE(mux.backend_draining(0));
+  EXPECT_TRUE(mux.backend_enabled(0));
+  EXPECT_EQ(mux.weight_units()[0], util::kWeightScale);
+}
+
+// A weights-only transaction (the drain estimator's kind) reweights the
+// backends it lists and leaves membership alone: a scale-out that raced
+// through the programming delay is not silently reverted by a stale view.
+TEST(PoolProgram, WeightsOnlyDoesNotTouchMembership) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2}, c{10, 1, 0, 3};
+  PoolProgram v1(1);
+  v1.add(a, 4000).add(b, 3000).add(c, 3000);
+  mux.apply_program(v1);
+
+  PoolProgram v2(2);  // estimator's stale 2-DIP view, weights only
+  v2.weights_only = true;
+  v2.add(a, 8000).add(b, 2000);
+  mux.apply_program(v2);
+
+  ASSERT_EQ(mux.backend_count(), 3u);  // c untouched
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{8000, 2000, 3000}));
+
+  PoolProgram v3(3);  // nor does it admit unknown DIPs
+  v3.weights_only = true;
+  v3.add(net::IpAddr{10, 1, 0, 9}, 5000);
+  mux.apply_program(v3);
+  EXPECT_EQ(mux.backend_count(), 3u);
+}
+
+// Duplicate-address backends (degenerate, but constructible through the
+// imperative API) must reconcile without UB: the first match consumes the
+// entry, the second is treated as not desired.
+TEST(PoolProgram, DuplicateAddressBackendsReconcileSafely) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1};
+  mux.add_backend(a);
+  mux.add_backend(a);  // duplicate registration
+  ASSERT_EQ(mux.backend_count(), 2u);
+
+  PoolProgram v1(1);
+  v1.add(a, util::kWeightScale);
+  mux.apply_program(v1);
+  EXPECT_EQ(mux.backend_count(), 1u);  // deduplicated, not crashed
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{util::kWeightScale}));
+}
+
+// Out-of-range accessors are loud sentinels, not UB (they used to index
+// the backing vector unchecked).
+TEST(Mux, OutOfRangeAccessorsAreSafe) {
   MuxFixture f;
   Mux mux(f.net, f.vip, make_policy("rr"));
   mux.add_backend(net::IpAddr{10, 1, 0, 1});
-  mux.add_backend(net::IpAddr{10, 1, 0, 2});
-  mux.add_backend(net::IpAddr{10, 1, 0, 3});
-  LbController ctrl(f.sim, mux, 200_ms);
-
-  ctrl.set_backend_enabled(2, false);  // aim at 10.1.0.3...
-  ctrl.remove_backend(0);              // ...pool renumbers before it lands
-  f.sim.run_all();
-  EXPECT_TRUE(mux.backend_enabled(0));   // 10.1.0.2 untouched
-  EXPECT_FALSE(mux.backend_enabled(1));  // 10.1.0.3 drained
-
-  // A drain aimed at a backend that was removed in flight is a no-op.
-  ctrl.set_backend_enabled(1, true);
-  ctrl.remove_backend(1);
-  f.sim.run_all();
-  EXPECT_EQ(mux.backend_count(), 1u);
-  EXPECT_TRUE(mux.backend_enabled(0));
+  EXPECT_EQ(mux.backend_addr(5), net::IpAddr{});
+  EXPECT_EQ(mux.backend_id(5), 0u);
+  EXPECT_FALSE(mux.backend_enabled(5));
+  EXPECT_FALSE(mux.backend_draining(5));
+  EXPECT_EQ(mux.forwarded_requests(5), 0u);
+  EXPECT_EQ(mux.new_connections(5), 0u);
+  EXPECT_EQ(mux.active_connections(5), 0u);
+  EXPECT_FALSE(mux.remove_backend(5));
 }
 
 // Regression (ISSUE 2): DrainEstimator::finish restored kWeightScale / n
@@ -413,7 +612,8 @@ TEST(DrainEstimator, RestoredEqualSplitSumsToScale) {
   sim::Simulation sim(31);
   auto engine = std::make_shared<store::KvEngine>([&sim] { return sim.now(); });
   store::LatencyStore store(engine);
-  RecordingWeights lb(3);
+  RecordingDataplane lb({net::IpAddr{10, 1, 0, 1}, net::IpAddr{10, 1, 0, 2},
+                         net::IpAddr{10, 1, 0, 3}});
 
   core::DrainEstimatorConfig cfg;
   cfg.max_load_time = 5_s;
@@ -433,32 +633,41 @@ TEST(DrainEstimator, RestoredEqualSplitSumsToScale) {
   for (const auto u : lb.last_units) EXPECT_NEAR(u, util::kWeightScale / 3, 1);
 }
 
-TEST(LbController, ProgramsAfterDelay) {
+TEST(LbController, TransactionCommitsAfterDelay) {
   MuxFixture f;
   Mux mux(f.net, f.vip, make_policy("wrr"));
-  mux.add_backend(net::IpAddr{10, 1, 0, 1});
-  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+  mux.add_backend(a);
+  mux.add_backend(b);
   LbController ctrl(f.sim, mux, 200_ms);
 
-  ctrl.program_weights({7000, 3000});
+  PoolProgram p(ctrl.issue_version());
+  p.add(a, 7000).add(b, 3000);
+  ctrl.apply_program(p);
   f.sim.run_until(100_ms);
   EXPECT_EQ(mux.weight_units()[0], util::kWeightScale / 2);  // still equal
   f.sim.run_until(300_ms);
   EXPECT_EQ(mux.weight_units()[0], 7000);
 }
 
-TEST(LbController, LaterProgrammingWins) {
+TEST(LbController, LaterTransactionWins) {
   MuxFixture f;
   Mux mux(f.net, f.vip, make_policy("wrr"));
-  mux.add_backend(net::IpAddr{10, 1, 0, 1});
-  mux.add_backend(net::IpAddr{10, 1, 0, 2});
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+  mux.add_backend(a);
+  mux.add_backend(b);
   LbController ctrl(f.sim, mux, 200_ms);
 
-  ctrl.program_weights({7000, 3000});
+  PoolProgram first(ctrl.issue_version());
+  first.add(a, 7000).add(b, 3000);
+  ctrl.apply_program(first);
   f.sim.run_until(100_ms);
-  ctrl.program_weights({1000, 9000});
+  PoolProgram second(ctrl.issue_version());
+  second.add(a, 1000).add(b, 9000);
+  ctrl.apply_program(second);
   f.sim.run_all();
   EXPECT_EQ(mux.weight_units()[0], 1000);
+  EXPECT_EQ(mux.applied_version(), second.version);
 }
 
 TEST(DnsTrafficManager, ResolvesByWeight) {
@@ -467,7 +676,9 @@ TEST(DnsTrafficManager, ResolvesByWeight) {
                                 net::IpAddr{10, 1, 0, 2},
                                 net::IpAddr{10, 1, 0, 3}};
   DnsTrafficManager dns(sim, dips);
-  dns.program_weights({2000, 3000, 5000});
+  PoolProgram p(dns.issue_version());
+  p.add(dips[0], 2000).add(dips[1], 3000).add(dips[2], 5000);
+  dns.apply_program(p);
   std::map<std::uint32_t, int> counts;
   const int n = 20'000;
   for (int i = 0; i < n; ++i) counts[dns.resolve_authoritative().value()]++;
@@ -481,10 +692,14 @@ TEST(DnsTrafficManager, CacheDelaysWeightAdherence) {
   std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
                                 net::IpAddr{10, 1, 0, 2}};
   DnsTrafficManager dns(sim, dips, 30_s);
-  dns.program_weights({util::kWeightScale, 0});
+  PoolProgram all_first(dns.issue_version());
+  all_first.add(dips[0], util::kWeightScale).add(dips[1], 0);
+  dns.apply_program(all_first);
   EXPECT_EQ(dns.resolve_cached(7), dips[0]);
   // Flip the weights: the cached stub keeps answering the old DIP...
-  dns.program_weights({0, util::kWeightScale});
+  PoolProgram all_second(dns.issue_version());
+  all_second.add(dips[0], 0).add(dips[1], util::kWeightScale);
+  dns.apply_program(all_second);
   EXPECT_EQ(dns.resolve_cached(7), dips[0]);
   EXPECT_GT(dns.cache_hits(), 0u);
   // ...until the TTL expires.
@@ -493,14 +708,94 @@ TEST(DnsTrafficManager, CacheDelaysWeightAdherence) {
   EXPECT_EQ(dns.resolve_cached(7), dips[1]);
 }
 
-TEST(DnsTrafficManager, DisabledBackendNotResolved) {
+// Regression (ISSUE 3): an all-parked or all-draining pool used to fall
+// back to dips_[0] — resolving clients onto a backend the controller had
+// deliberately taken out of rotation. Resolution now fails loudly.
+TEST(DnsTrafficManager, NoResolvableDipDropsResolution) {
   sim::Simulation sim(23);
   std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
                                 net::IpAddr{10, 1, 0, 2}};
   DnsTrafficManager dns(sim, dips);
-  dns.set_backend_enabled(0, false);
-  for (int i = 0; i < 100; ++i)
-    EXPECT_EQ(dns.resolve_authoritative(), dips[1]);
+  PoolProgram p(dns.issue_version());
+  p.add(dips[0], 0).add(dips[1], 0);  // fully parked
+  dns.apply_program(p);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(dns.resolve_authoritative(), net::IpAddr{});
+  EXPECT_EQ(dns.dropped_resolutions(), 50u);
+  // Failed resolutions are not cached: once a DIP is back, clients recover
+  // immediately instead of caching the failure for a TTL.
+  EXPECT_EQ(dns.resolve_cached(9), net::IpAddr{});
+  PoolProgram back(dns.issue_version());
+  back.add(dips[0], util::kWeightScale).add(dips[1], 0);
+  dns.apply_program(back);
+  EXPECT_EQ(dns.resolve_cached(9), dips[0]);
+}
+
+TEST(DnsTrafficManager, DrainingBackendLeavesRotationNotCaches) {
+  sim::Simulation sim(24);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2}};
+  DnsTrafficManager dns(sim, dips, 30_s);
+  PoolProgram p(dns.issue_version());
+  p.add(dips[0], util::kWeightScale).add(dips[1], 0);
+  dns.apply_program(p);
+  EXPECT_EQ(dns.resolve_cached(7), dips[0]);
+
+  // Drain DIP 0: rotation flips immediately, the cached client does not —
+  // the DNS analogue of serving a draining backend's pinned flows.
+  PoolProgram drain(dns.issue_version());
+  drain.add(dips[0], 0, BackendState::kDraining)
+      .add(dips[1], util::kWeightScale);
+  dns.apply_program(drain);
+  EXPECT_EQ(dns.resolve_authoritative(), dips[1]);
+  EXPECT_EQ(dns.resolve_cached(7), dips[0]);  // cache honoured
+  EXPECT_EQ(dns.cache_evictions(), 0u);
+  EXPECT_EQ(dns.backend_count(), 2u);
+
+  // One TTL later every cache referencing it has expired: record dropped.
+  sim.schedule_in(31_s, [] {});
+  sim.run_all();
+  EXPECT_EQ(dns.resolve_cached(7), dips[1]);
+  EXPECT_EQ(dns.backend_count(), 1u);
+}
+
+// Regression (ISSUE 3): removing a backend used to leave client cache
+// entries pointing at it for up to a TTL. kRemoved (and omission) now
+// evicts the matching entries so clients re-resolve immediately.
+TEST(DnsTrafficManager, RemovalEvictsCacheEntries) {
+  sim::Simulation sim(25);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2}};
+  DnsTrafficManager dns(sim, dips, 30_s);
+  PoolProgram p(dns.issue_version());
+  p.add(dips[0], util::kWeightScale).add(dips[1], 0);
+  dns.apply_program(p);
+  EXPECT_EQ(dns.resolve_cached(1), dips[0]);
+  EXPECT_EQ(dns.resolve_cached(2), dips[0]);
+
+  PoolProgram removed(dns.issue_version());  // dips[0] omitted: decommission
+  removed.add(dips[1], util::kWeightScale);
+  dns.apply_program(removed);
+  EXPECT_EQ(dns.cache_evictions(), 2u);
+  EXPECT_EQ(dns.resolve_cached(1), dips[1]);  // immediate, no TTL wait
+  EXPECT_EQ(dns.resolve_cached(2), dips[1]);
+  EXPECT_EQ(dns.backend_count(), 1u);
+}
+
+TEST(DnsTrafficManager, StaleProgramDiscarded) {
+  sim::Simulation sim(26);
+  std::vector<net::IpAddr> dips{net::IpAddr{10, 1, 0, 1},
+                                net::IpAddr{10, 1, 0, 2}};
+  DnsTrafficManager dns(sim, dips);
+  PoolProgram v2(2);
+  v2.add(dips[0], util::kWeightScale).add(dips[1], 0);
+  dns.apply_program(v2);
+  PoolProgram v1(1);
+  v1.add(dips[0], 0).add(dips[1], util::kWeightScale);
+  dns.apply_program(v1);
+  EXPECT_EQ(dns.superseded_programs(), 1u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(dns.resolve_authoritative(), dips[0]);
 }
 
 }  // namespace

@@ -371,8 +371,9 @@ TEST(FleetChurn, ScaleOutScaleInAndFailureKeepWeightsSound) {
   EXPECT_EQ(sink.last_units()[1], 0);
   EXPECT_EQ(sum_units(sink.last_units()), util::kWeightScale);
 
-  // No programming was ever lost to a size race.
-  EXPECT_EQ(sink.rejected_programs(), 0u);
+  // No transaction was ever discarded: the coordinator's programs commit
+  // in issue order (size races are structurally unreachable now).
+  EXPECT_EQ(sink.superseded_programs(), 0u);
 
   // Steady state after churn: a forced rerun reproduces the same weights —
   // untouched backends keep their programmed units exactly.
@@ -384,7 +385,7 @@ TEST(FleetChurn, ScaleOutScaleInAndFailureKeepWeightsSound) {
   // The neighbouring VIP never saw the churn.
   EXPECT_EQ(fleet.lb(1).backend_count(), 4u);
   EXPECT_EQ(sum_units(fleet.lb(1).last_units()), util::kWeightScale);
-  EXPECT_EQ(fleet.lb(1).rejected_programs(), 0u);
+  EXPECT_EQ(fleet.lb(1).superseded_programs(), 0u);
 }
 
 }  // namespace

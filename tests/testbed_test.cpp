@@ -76,6 +76,36 @@ TEST(Testbed, ResetStatsClearsWindows) {
   EXPECT_EQ(bed.mux().total_forwarded(), 0u);
 }
 
+// mux_count > 1 swaps the single Mux for an ECMP MuxPool behind the same
+// VIP: traffic spreads across members, static weights land on every one
+// through the one delayed transaction, and the maglev snapshots stay
+// pointer-equal pool-wide under live load.
+TEST(Testbed, MuxPoolServesTrafficEndToEnd) {
+  TestbedConfig cfg;
+  cfg.seed = 65;
+  cfg.mux_count = 3;
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  auto* pool = bed.mux_pool();
+  ASSERT_NE(pool, nullptr);
+
+  bed.set_static_weights({1.0, 2.0, 7.0});
+  bed.run_for(10_s);
+
+  for (std::size_t k = 0; k < pool->mux_count(); ++k) {
+    EXPECT_GT(pool->mux(k).total_forwarded(), 0u);
+    EXPECT_EQ(pool->mux(k).weight_units(),
+              (std::vector<std::int64_t>{1000, 2000, 7000}));
+    EXPECT_EQ(pool->table_snapshot(k), pool->table_snapshot(0));
+  }
+  const auto metrics = bed.metrics();
+  ASSERT_EQ(metrics.size(), 3u);
+  std::uint64_t requests = 0;
+  for (const auto& m : metrics) requests += m.client_requests;
+  EXPECT_GT(requests, 1000u);
+  // The heavy DIP carries visibly more than the light one.
+  EXPECT_GT(metrics[2].client_requests, 3 * metrics[0].client_requests);
+}
+
 TEST(SyntheticCurve, MatchesExplorerSemantics) {
   const auto curve = synthetic_curve(0.2, 1.5);
   ASSERT_TRUE(curve.fitted());
