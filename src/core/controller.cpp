@@ -55,6 +55,18 @@ std::size_t Controller::alive_count() const {
   return n;
 }
 
+std::optional<std::size_t> Controller::index_of(net::IpAddr addr) const {
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    if (dips_[i].addr == addr) return i;
+  return std::nullopt;
+}
+
+std::optional<double> Controller::weight_of(net::IpAddr addr) const {
+  const auto i = index_of(addr);
+  if (!i) return std::nullopt;
+  return weights_[*i];
+}
+
 bool Controller::all_ready() const {
   bool any = false;
   for (const auto& d : dips_) {
@@ -411,24 +423,34 @@ void Controller::inject_ready_curve(std::size_t i, fit::WeightLatencyCurve curve
 void Controller::program(const std::vector<double>& weights,
                          const std::vector<lb::PoolEntry>& extra) {
   weights_ = weights;
+  // A failed DIP is not part of the desired pool: restating it as a
+  // kActive entry would re-admit a corpse the dataplane already dropped
+  // (clearing its failure tombstone) — and an *enabled* weight-0 backend
+  // is still picked by the unweighted policies (RR/LC/hash). Its weight
+  // is zeroed and its entry omitted; a recovered DIP re-enters through
+  // the NeedL0 lifecycle, whose program deliberately re-lists it.
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    if (dips_[i].phase == DipPhase::kFailed) weights_[i] = 0.0;
   double total = 0.0;
-  for (const double w : weights) total += (w > 0.0 ? w : 0.0);
+  for (const double w : weights_) total += (w > 0.0 ? w : 0.0);
   // Largest-remainder normalization keeps the programmed units summing to
   // exactly kWeightScale (per-entry rounding can drift by a few units when
   // the ILP grid does not divide the scale). All-zero vectors program as
   // zeros — normalize's equal-split fallback must not resurrect a pool the
   // controller meant to park.
-  std::vector<std::int64_t> units(weights.size(), 0);
-  if (total > 0.0) units = util::normalize_to_units(weights);
-  // One transaction describes the entire desired pool — every DIP the
+  std::vector<std::int64_t> units(weights_.size(), 0);
+  if (total > 0.0) units = util::normalize_to_units(weights_);
+  // One transaction describes the entire desired pool — every live DIP the
   // controller tracks, in stable order (minimal maglev disruption), plus
   // any lifecycle riders (a draining leaver). The dataplane commits it
   // atomically; a racing membership change produces a newer version that
   // supersedes this one whole.
   lb::PoolProgram p(lb_.issue_version());
   p.entries.reserve(dips_.size() + extra.size());
-  for (std::size_t i = 0; i < dips_.size(); ++i)
+  for (std::size_t i = 0; i < dips_.size(); ++i) {
+    if (dips_[i].phase == DipPhase::kFailed) continue;
     p.add(dips_[i].addr, units[i]);
+  }
   for (const auto& e : extra) p.entries.push_back(e);
   lb_.apply_program(p);
   last_program_at_ = sim_.now();

@@ -119,6 +119,12 @@ class Controller {
   std::size_t dip_count() const { return dips_.size(); }
   net::IpAddr dip_addr(std::size_t i) const { return dips_[i].addr; }
   DipPhase phase(std::size_t i) const { return dips_[i].phase; }
+  /// Index currently tracking `addr` — pool churn shifts indices, so
+  /// anything keeping a long-lived handle to a DIP must key by address.
+  std::optional<std::size_t> index_of(net::IpAddr addr) const;
+  /// The last programmed weight for `addr` (the controller's per-address
+  /// view; nullopt for an address it does not track).
+  std::optional<double> weight_of(net::IpAddr addr) const;
   bool all_ready() const;
   const std::vector<double>& current_weights() const { return weights_; }
   const WeightExplorer& explorer(std::size_t i) const {

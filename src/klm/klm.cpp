@@ -34,6 +34,31 @@ void Klm::add_dip(net::IpAddr dip) {
 
 void Klm::remove_dip(net::IpAddr dip) {
   dips_.erase(std::remove(dips_.begin(), dips_.end(), dip), dips_.end());
+
+  // Drop every in-flight round targeting the removed DIP. Its scheduled
+  // send_probe callbacks look the round up by key and become no-ops; the
+  // probes already on the wire (or awaiting their timeout) are forgotten
+  // below, so neither a late reply nor a timeout can resurrect the round
+  // and flush a sample for a DIP nobody owns anymore.
+  bool dropped_any = false;
+  for (auto it = rounds_in_flight_.begin(); it != rounds_in_flight_.end();) {
+    if (it->second.dip == dip) {
+      ++rounds_dropped_;
+      dropped_any = true;
+      it = rounds_in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!dropped_any) return;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (rounds_in_flight_.count(it->second.round_key) == 0) {
+      net_.sim().cancel(it->second.timeout_event);
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Klm::begin_rounds() {
@@ -58,6 +83,14 @@ void Klm::begin_rounds() {
 }
 
 void Klm::probe_once(net::IpAddr dip, int n) {
+  if (n <= 0) {
+    // A want==0 round has no resolution event that could ever finish it:
+    // admitting one would leak it in rounds_in_flight_ forever. Reject.
+    ++rejected_probes_;
+    util::log_warn("klb-klm") << "probe_once(" << dip.str() << ", " << n
+                              << "): non-positive probe count rejected";
+    return;
+  }
   const std::uint64_t key = next_round_key_++;
   Round r;
   r.dip = dip;

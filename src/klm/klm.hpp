@@ -48,14 +48,32 @@ class Klm : public net::Node {
 
   /// Probe a single DIP once, out of band (used by the drain estimator and
   /// the explorer's l0 measurement). The result is appended to the store
-  /// like a regular round, with `probes` = n.
+  /// like a regular round, with `probes` = n. n <= 0 is rejected loudly: a
+  /// zero-probe round has no resolution event to ever finish it, so
+  /// admitting one would leak it in the in-flight table forever.
   void probe_once(net::IpAddr dip, int n);
 
   const KlmConfig& config() const { return cfg_; }
   std::uint64_t rounds_completed() const { return rounds_; }
 
+  /// Start measuring `dip` from the next periodic round on.
   void add_dip(net::IpAddr dip);
+  /// Stop measuring `dip` now: in-flight rounds targeting it are dropped
+  /// (their already-scheduled probe callbacks become no-ops, their pending
+  /// timeouts are cancelled), so a removed DIP can never write another
+  /// sample — stale timeout rounds for a DIP the controller no longer owns
+  /// would otherwise read as a failure of a pool member.
   void remove_dip(net::IpAddr dip);
+
+  // --- observability ---------------------------------------------------------
+  /// Rounds currently awaiting probe resolutions.
+  std::size_t rounds_in_flight() const { return rounds_in_flight_.size(); }
+  /// Probe sends/timeouts still outstanding.
+  std::size_t probes_outstanding() const { return outstanding_.size(); }
+  /// Rounds discarded by remove_dip before completion.
+  std::uint64_t rounds_dropped() const { return rounds_dropped_; }
+  /// probe_once calls rejected for a non-positive probe count.
+  std::uint64_t rejected_probe_requests() const { return rejected_probes_; }
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
@@ -95,6 +113,8 @@ class Klm : public net::Node {
   std::uint64_t next_round_key_ = 1;
   std::uint64_t next_probe_id_ = 1;
   std::uint64_t rounds_ = 0;
+  std::uint64_t rounds_dropped_ = 0;
+  std::uint64_t rejected_probes_ = 0;
 };
 
 /// Ping (ICMP / TCP SYN-ACK style) prober: exists to reproduce Fig. 5's

@@ -87,6 +87,22 @@ void Mux::apply_program(const PoolProgram& program) {
     if (it == desired.end() || it->second == nullptr) continue;
     it->second = nullptr;  // a duplicate entry admits one backend, not two
     if (e.state != BackendState::kActive) continue;  // nothing to condemn
+    const auto tomb = failed_tombstones_.find(e.dip.value());
+    if (tomb != failed_tombstones_.end()) {
+      if (program.version <= tomb->second) {
+        // Issued before the failure was observed: a stale view of the
+        // pool, not a deliberate resurrection. Admitting it would steer
+        // the dead DIP's hash share into a black hole until the next
+        // post-failure commit.
+        ++stale_failed_admissions_;
+        util::log_warn(kLog)
+            << "program v" << program.version << " re-lists failed backend "
+            << e.dip.str() << " (condemned at v" << tomb->second
+            << "); skipping entry";
+        continue;
+      }
+      failed_tombstones_.erase(tomb);  // post-failure program: readmit
+    }
     Backend b;
     b.id = next_backend_id_++;
     b.addr = e.dip;
@@ -152,6 +168,7 @@ bool Mux::maybe_complete_drain(std::size_t i) {
 
 std::uint64_t Mux::add_backend(net::IpAddr dip,
                                const server::DipServer* server) {
+  failed_tombstones_.erase(dip.value());  // imperative re-add is deliberate
   Backend b;
   b.id = next_backend_id_++;
   b.addr = dip;
@@ -177,7 +194,17 @@ std::uint64_t Mux::add_backend(net::IpAddr dip,
 
 bool Mux::remove_backend(std::size_t i) { return erase_backend(i, false); }
 
-bool Mux::fail_backend(std::size_t i) { return erase_backend(i, true); }
+bool Mux::fail_backend(std::size_t i,
+                       std::optional<std::uint64_t> condemned_until_version) {
+  if (i >= backends_.size()) return false;
+  // Tombstone the address against every transaction issued up to the
+  // failure observation: one of them may still be riding the programming
+  // delay, and committing it must not resurrect the corpse.
+  condemn(backends_[i].addr,
+          condemned_until_version ? *condemned_until_version
+                                  : issued_versions());
+  return erase_backend(i, true);
+}
 
 bool Mux::erase_backend(std::size_t i, bool failed) {
   if (i >= backends_.size()) return false;
@@ -330,6 +357,7 @@ void Mux::reset_counters() {
   drains_completed_ = 0;
   flows_reset_ = 0;
   flows_gced_ = 0;
+  stale_failed_admissions_ = 0;
 }
 
 void Mux::rebuild_views() {

@@ -96,8 +96,25 @@ class Mux : public net::Node, public PoolProgrammer {
 
   /// Abrupt backend death (host failure): like remove_backend but the
   /// pinned flows are counted as reset — their clients see a connection
-  /// reset and retry as new flows on the survivors.
-  bool fail_backend(std::size_t i);
+  /// reset and retry as new flows on the survivors. The address is also
+  /// tombstoned at `condemned_until_version` (default: every version this
+  /// dataplane's sequence has issued so far; a MuxPool passes its own
+  /// counter): a transaction issued at or before that version predates the
+  /// failure observation, so its entry cannot re-admit the corpse at its
+  /// old weight while riding out the programming delay — that would
+  /// blackhole the dead DIP's hash space until the next post-failure
+  /// commit. A transaction issued after the failure re-admits normally
+  /// (a deliberate resurrection) and clears the tombstone.
+  bool fail_backend(std::size_t i,
+                    std::optional<std::uint64_t> condemned_until_version =
+                        std::nullopt);
+
+  /// Record the failure tombstone alone (see fail_backend) without
+  /// touching any backend — a MuxPool uses it to keep members that do not
+  /// currently serve the address in agreement with those that do.
+  void condemn(net::IpAddr addr, std::uint64_t until_version) {
+    failed_tombstones_[addr.value()] = until_version;
+  }
 
   /// Bounds-checked accessors: an out-of-range index is loud (warn +
   /// sentinel), matching remove_backend's convention — never UB.
@@ -145,6 +162,11 @@ class Mux : public net::Node, public PoolProgrammer {
   std::uint64_t rejected_programmings() const { return rejected_programmings_; }
   std::uint64_t flows_reset_by_failure() const { return flows_reset_; }
   std::uint64_t flows_gced_idle() const { return flows_gced_; }
+  /// Program entries skipped because they would have re-admitted a failed
+  /// backend from a transaction issued before the failure was observed.
+  std::uint64_t stale_failed_admissions() const {
+    return stale_failed_admissions_;
+  }
   void reset_counters();
 
   // --- net::Node -------------------------------------------------------------
@@ -203,6 +225,10 @@ class Mux : public net::Node, public PoolProgrammer {
   std::vector<BackendView> views_;  // policy-facing cache, index-aligned
   std::unordered_map<std::uint64_t, std::size_t> id_index_;
   std::unordered_map<net::FiveTuple, Affinity> affinity_;
+  /// Failed address -> highest version issued when the failure was
+  /// observed. Programs at or below that version cannot re-admit the
+  /// address (they predate the failure); newer programs clear the entry.
+  std::unordered_map<std::uint32_t, std::uint64_t> failed_tombstones_;
   util::SimTime affinity_idle_ = util::SimTime::zero();
   std::uint64_t next_backend_id_ = 1;
   std::uint64_t requests_since_gc_ = 0;
@@ -214,6 +240,7 @@ class Mux : public net::Node, public PoolProgrammer {
   std::uint64_t drains_completed_ = 0;
   std::uint64_t flows_reset_ = 0;
   std::uint64_t flows_gced_ = 0;
+  std::uint64_t stale_failed_admissions_ = 0;
 };
 
 }  // namespace klb::lb

@@ -102,14 +102,24 @@ void MuxPool::publish_table() {
 }
 
 bool MuxPool::fail_backend(net::IpAddr dip) {
+  // Tombstone against the POOL's version sequence (members never issue
+  // their own): every member refuses the same set of pre-failure
+  // transactions, so they cannot diverge on whether the corpse is served.
+  const auto condemned = issued_versions();
   bool any = false;
   for (const auto& m : muxes_) {
+    bool served = false;
     for (std::size_t i = 0; i < m->backend_count(); ++i) {
       if (m->backend_addr(i) == dip) {
-        any = m->fail_backend(i) || any;
+        served = true;
+        any = m->fail_backend(i, condemned) || any;
         break;
       }
     }
+    // A member not serving the DIP (e.g. its drain completed there first)
+    // still records the tombstone, so all members agree on which
+    // in-flight transactions are allowed to re-admit the address.
+    if (!served) m->condemn(dip, condemned);
   }
   // Rebuild the shared table now: the dead DIP's hash space redistributes
   // to the survivors immediately (its reset flows retry as new
@@ -136,6 +146,12 @@ std::uint64_t MuxPool::drains_completed() const {
   return n;
 }
 
+std::size_t MuxPool::draining_count() const {
+  std::size_t n = 0;
+  for (const auto& m : muxes_) n += m->draining_count();
+  return n;
+}
+
 std::size_t MuxPool::affinity_size() const {
   std::size_t n = 0;
   for (const auto& m : muxes_) n += m->affinity_size();
@@ -147,6 +163,12 @@ std::uint64_t MuxPool::new_connections_to(net::IpAddr dip) const {
   for (const auto& m : muxes_)
     for (std::size_t i = 0; i < m->backend_count(); ++i)
       if (m->backend_addr(i) == dip) n += m->new_connections(i);
+  return n;
+}
+
+std::uint64_t MuxPool::stale_failed_admissions() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->stale_failed_admissions();
   return n;
 }
 

@@ -76,9 +76,15 @@ class MuxPool : public net::Node, public PoolProgrammer {
   std::uint64_t total_forwarded() const;
   std::uint64_t flows_reset_by_failure() const;
   std::uint64_t drains_completed() const;
+  /// Backends still parked in the draining state, summed over members (a
+  /// drain completes per member as its pinned flows empty).
+  std::size_t draining_count() const;
   std::size_t affinity_size() const;
   /// New connections landed on `dip` across all members.
   std::uint64_t new_connections_to(net::IpAddr dip) const;
+  /// Stale pre-failure program entries refused pool-wide (see
+  /// Mux::stale_failed_admissions).
+  std::uint64_t stale_failed_admissions() const;
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;

@@ -71,6 +71,11 @@ std::optional<LatencySample> LatencyStore::latest(net::IpAddr vip,
   return samples.front();
 }
 
+bool LatencyStore::forget(net::IpAddr vip, net::IpAddr dip) {
+  const auto result = engine_->execute({"DEL", key_for(vip, dip)});
+  return result.type == net::RespValue::Type::kInteger && result.integer > 0;
+}
+
 std::vector<LatencySample> LatencyStore::recent(net::IpAddr vip,
                                                 net::IpAddr dip,
                                                 std::size_t n) const {

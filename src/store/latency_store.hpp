@@ -55,6 +55,11 @@ class LatencyStore {
   std::vector<LatencySample> recent(net::IpAddr vip, net::IpAddr dip,
                                     std::size_t n) const;
 
+  /// Deregister a DIP: delete its sample history (scale-in/failure — a
+  /// later tenant of the address must not inherit the leaver's samples).
+  /// Returns true when there was history to delete.
+  bool forget(net::IpAddr vip, net::IpAddr dip);
+
   static std::string key_for(net::IpAddr vip, net::IpAddr dip);
 
  private:

@@ -1,7 +1,9 @@
 #include "testbed/testbed.hpp"
 
 #include <cmath>
+#include <unordered_map>
 
+#include "util/logging.hpp"
 #include "util/weight.hpp"
 
 namespace klb::testbed {
@@ -33,16 +35,11 @@ Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
 
   // DIPs.
   std::vector<net::IpAddr> dip_addrs;
-  for (std::size_t i = 0; i < specs_.size(); ++i) {
-    auto dip_cfg = cfg_.dip;
-    dip_cfg.vm = specs_[i].vm;
-    auto dip = std::make_unique<server::DipServer>(
-        *net_, kDipBase.next(static_cast<std::uint32_t>(i)), dip_cfg);
-    dip->set_capacity_factor(specs_[i].capacity_factor);
-    dip->set_stolen_cores(specs_[i].stolen_cores);
-    dip_addrs.push_back(dip->address());
-    dips_.push_back(std::move(dip));
+  for (const auto& spec : specs_) {
+    dips_.push_back(make_dip(spec));
+    dip_addrs.push_back(dips_.back()->address());
   }
+  desired_weights_.assign(dips_.size(), 1.0);  // equal split until programmed
 
   // MUX + LB control plane. One Mux runs the configured policy; a pool
   // ECMP-shards the VIP over mux_count members sharing one maglev build
@@ -129,6 +126,135 @@ void Testbed::reset_stats() {
   }
 }
 
+std::unique_ptr<server::DipServer> Testbed::make_dip(const DipSpec& spec) {
+  auto dip_cfg = cfg_.dip;
+  dip_cfg.vm = spec.vm;
+  auto dip = std::make_unique<server::DipServer>(
+      *net_, kDipBase.next(next_dip_offset_++), dip_cfg);
+  dip->set_capacity_factor(spec.capacity_factor);
+  dip->set_stolen_cores(spec.stolen_cores);
+  return dip;
+}
+
+std::optional<std::size_t> Testbed::index_of(net::IpAddr addr) const {
+  for (std::size_t i = 0; i < dips_.size(); ++i)
+    if (dips_[i]->address() == addr) return i;
+  return std::nullopt;
+}
+
+std::size_t Testbed::scale_out(DipSpec spec) {
+  auto dip = make_dip(spec);
+  const auto addr = dip->address();
+  specs_.push_back(spec);
+  dips_.push_back(std::move(dip));
+  // Fair share relative to the incumbents: the mean of their desired
+  // weights (an all-parked pool hands the newcomer a unit weight).
+  double mean = 1.0;
+  if (!desired_weights_.empty()) {
+    double sum = 0.0;
+    for (const double w : desired_weights_) sum += w;
+    if (sum > 0.0) mean = sum / static_cast<double>(desired_weights_.size());
+  }
+  desired_weights_.push_back(mean);
+  klm_->add_dip(addr);  // probed from the next KLM round on
+  if (controller_) {
+    // One transaction admits the newcomer parked at 0; it enters the
+    // NeedL0 -> Exploring -> Ready lifecycle and the ILP folds it in once
+    // its curve fits — traffic keeps flowing off the incumbents meanwhile.
+    controller_->add_dip(addr);
+  } else {
+    program_live_pool(std::nullopt);
+  }
+  refresh_offered_load();
+  util::log_info("klb-testbed")
+      << "scale-out: DIP " << addr.str() << " (" << spec.vm.name
+      << ") joined; live pool " << dips_.size();
+  return dips_.size() - 1;
+}
+
+bool Testbed::scale_in(std::size_t i) {
+  if (i >= dips_.size()) {
+    util::log_warn("klb-testbed") << "scale_in(" << i << ") out of range ("
+                                  << dips_.size() << " live DIPs)";
+    return false;
+  }
+  const auto addr = dips_[i]->address();
+  // Deregister measurement first: a probe round racing the drain must not
+  // write samples for a DIP the controller no longer owns.
+  klm_->remove_dip(addr);
+  lat_store_->forget(vip_, addr);
+  // The server keeps running until Testbed destruction: the dataplane
+  // serves its pinned flows to completion (that is the graceful part).
+  retired_dips_.push_back(std::move(dips_[i]));
+  dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
+  specs_.erase(specs_.begin() + static_cast<std::ptrdiff_t>(i));
+  desired_weights_.erase(desired_weights_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+  if (controller_) {
+    if (const auto ci = controller_->index_of(addr))
+      controller_->remove_dip(*ci);
+  } else {
+    program_live_pool(addr);
+  }
+  refresh_offered_load();
+  util::log_info("klb-testbed") << "scale-in: DIP " << addr.str()
+                                << " draining; live pool " << dips_.size();
+  return true;
+}
+
+bool Testbed::fail_dip(std::size_t i) {
+  if (i >= dips_.size()) {
+    util::log_warn("klb-testbed") << "fail_dip(" << i << ") out of range ("
+                                  << dips_.size() << " live DIPs)";
+    return false;
+  }
+  const auto addr = dips_[i]->address();
+  dips_[i]->set_alive(false);
+  klm_->remove_dip(addr);
+  lat_store_->forget(vip_, addr);
+  // Dataplane first: the dead DIP's share redistributes to the survivors
+  // immediately (its pinned flows are counted as reset; clients retry).
+  if (pool_) {
+    pool_->fail_backend(addr);
+  } else {
+    for (std::size_t k = 0; k < mux_->backend_count(); ++k) {
+      if (mux_->backend_addr(k) == addr) {
+        mux_->fail_backend(k);
+        break;
+      }
+    }
+  }
+  // Ops-feed report: faster than waiting for a §4.5 probe blackout.
+  if (controller_) {
+    if (const auto ci = controller_->index_of(addr))
+      controller_->mark_failed(*ci);
+  }
+  retired_dips_.push_back(std::move(dips_[i]));
+  dips_.erase(dips_.begin() + static_cast<std::ptrdiff_t>(i));
+  specs_.erase(specs_.begin() + static_cast<std::ptrdiff_t>(i));
+  desired_weights_.erase(desired_weights_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+  refresh_offered_load();
+  util::log_info("klb-testbed") << "failure: DIP " << addr.str()
+                                << " down; live pool " << dips_.size();
+  return true;
+}
+
+void Testbed::program_live_pool(std::optional<net::IpAddr> draining_leaver) {
+  const auto norm = util::normalize_to_units(desired_weights_);
+  lb::PoolProgram p(lb_ctrl_->issue_version());
+  for (std::size_t k = 0; k < dips_.size(); ++k)
+    p.add(dips_[k]->address(), norm[k]);
+  if (draining_leaver) p.add(*draining_leaver, 0, lb::BackendState::kDraining);
+  lb_ctrl_->apply_program(p);
+}
+
+void Testbed::refresh_offered_load() {
+  if (!cfg_.rescale_load_on_churn) return;
+  offered_rps_ = cfg_.load_fraction * healthy_capacity_rps();
+  clients_->set_pattern(workload::TrafficPattern(offered_rps_));
+}
+
 void Testbed::set_static_weights(const std::vector<double>& weights) {
   // A wrong-sized vector must stay loud: a whole-pool transaction built
   // from it would silently decommission the unlisted DIPs.
@@ -138,6 +264,7 @@ void Testbed::set_static_weights(const std::vector<double>& weights) {
         << dips_.size() << " DIPs; ignoring";
     return;
   }
+  desired_weights_ = weights;
   const auto units = util::normalize_to_units(weights);
   lb::PoolProgram p(lb_ctrl_->issue_version());
   for (std::size_t i = 0; i < dips_.size(); ++i)
@@ -148,16 +275,27 @@ void Testbed::set_static_weights(const std::vector<double>& weights) {
 std::vector<DipMetrics> Testbed::metrics() const {
   std::vector<DipMetrics> out;
   const auto& per_dip = clients_->recorder().per_dip();
-  const auto units = (pool_ ? pool_->mux(0) : *mux_).weight_units();
+  // Join the dataplane's weights by DIP address: after any membership
+  // change the dataplane's registration order and the live spec list
+  // diverge, so a positional join would attribute weights to the wrong
+  // DIP. Draining leftovers are parked at 0 and not part of the live pool.
+  const auto& m0 = mux0();
+  const auto units = m0.weight_units();
+  std::unordered_map<std::uint32_t, double> weight_by_addr;
+  for (std::size_t k = 0; k < units.size(); ++k) {
+    if (m0.backend_draining(k)) continue;
+    weight_by_addr[m0.backend_addr(k).value()] = util::units_to_weight(units[k]);
+  }
   for (std::size_t i = 0; i < dips_.size(); ++i) {
     DipMetrics m;
     m.addr = dips_[i]->address();
     m.vm_type = specs_[i].vm.name;
     m.cpu_utilization = dips_[i]->cpu_utilization();
     m.drops = dips_[i]->dropped();
-    // The dataplane pool can transiently be smaller than the spec list
-    // (e.g. a drain completed); never index past its weights.
-    m.weight = i < units.size() ? util::units_to_weight(units[i]) : 0.0;
+    // A live DIP the dataplane does not serve yet (admission still in the
+    // programming delay) reads weight 0 rather than someone else's.
+    const auto wit = weight_by_addr.find(m.addr.value());
+    m.weight = wit != weight_by_addr.end() ? wit->second : 0.0;
     const auto it = per_dip.find(m.addr);
     if (it != per_dip.end()) {
       m.client_latency_ms = it->second.mean();

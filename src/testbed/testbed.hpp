@@ -58,6 +58,12 @@ struct TestbedConfig {
   /// >1 = a lb::MuxPool whose members share one maglev build per program
   /// version (`policy` is ignored — the pool runs maglev-shared).
   std::size_t mux_count = 1;
+  /// Recompute the offered load (load_fraction x live healthy capacity)
+  /// after every scale_out/scale_in/fail_dip, so the load tracks the pool
+  /// the way a front-door autoscaler would. false keeps the offered rate
+  /// fixed at construction-time capacity — the paper's figures hold load
+  /// constant through failures.
+  bool rescale_load_on_churn = true;
 };
 
 /// Per-DIP metrics snapshot for reporting.
@@ -115,6 +121,43 @@ class Testbed {
   /// core count" baselines.
   void set_static_weights(const std::vector<double>& weights);
 
+  // --- live pool churn --------------------------------------------------------
+  // The paper's headline scenarios (Fig. 15 failures, Fig. 16 capacity
+  // change) happen on a live pool. These ops run at virtual-run time, while
+  // traffic flows: they construct/tear down the DipServer, register or
+  // deregister the DIP with the KLM prober and the latency store, and drive
+  // the controller (when enabled) so membership, weights, and measurement
+  // all move through the same transactional path the dataplane serves.
+
+  /// Scale-out: bring up a fresh DipServer on a never-reused address, start
+  /// probing it, and admit it to the pool. With KnapsackLB on, the newcomer
+  /// enters the NeedL0 -> Exploring -> Ready lifecycle and is folded into
+  /// the ILP once its curve fits; without, it joins at a fair share of the
+  /// current weights. Returns the new DIP's live index.
+  std::size_t scale_out(DipSpec spec);
+
+  /// Graceful scale-in of live DIP `i`: the dataplane parks it (kDraining),
+  /// keeps serving its pinned flows, and completes the removal when the
+  /// last one drains — zero flows reset. The server keeps running until the
+  /// Testbed is destroyed so in-flight work finishes; KLM and the latency
+  /// store forget the DIP immediately. Returns false for an out-of-range
+  /// index.
+  bool scale_in(std::size_t i);
+
+  /// Abrupt failure of live DIP `i` (host death): the server stops
+  /// answering, the dataplane drops it now (its pinned flows are counted
+  /// as reset, clients retry on survivors), and the controller is told via
+  /// the ops feed (mark_failed) instead of waiting out a probe blackout.
+  /// Returns false for an out-of-range index.
+  bool fail_dip(std::size_t i);
+
+  /// Live index of the DIP serving `addr`, if it is in the live pool.
+  std::optional<std::size_t> index_of(net::IpAddr addr) const;
+
+  /// Servers removed from the live pool but kept constructed (drainers
+  /// serving pinned flows out; failed hosts that no longer answer).
+  std::size_t retired_count() const { return retired_dips_.size(); }
+
   // --- metrics ---------------------------------------------------------------
   std::vector<DipMetrics> metrics() const;
   /// Mean client latency over the current window.
@@ -126,6 +169,19 @@ class Testbed {
   double offered_rps() const { return offered_rps_; }
 
  private:
+  /// Build one DipServer from a spec on the next fresh address.
+  std::unique_ptr<server::DipServer> make_dip(const DipSpec& spec);
+  /// No-controller reprogramming: restate the (already mutated) live pool
+  /// at its desired weights in one transaction, with `draining_leaver`
+  /// appended as a kDraining rider. Emitted from the testbed's own desired
+  /// view, never read back from the dataplane — a back-to-back churn op
+  /// must not restate the pre-commit state of a program still riding the
+  /// programming delay (that would, e.g., resurrect a drainer as Active).
+  void program_live_pool(std::optional<net::IpAddr> draining_leaver);
+  /// Re-derive offered load from the live spec list (rescale_load_on_churn).
+  void refresh_offered_load();
+  const lb::Mux& mux0() const { return pool_ ? pool_->mux(0) : *mux_; }
+
   std::vector<DipSpec> specs_;
   TestbedConfig cfg_;
 
@@ -133,6 +189,15 @@ class Testbed {
   std::unique_ptr<net::Network> net_;
   net::IpAddr vip_;
   std::vector<std::unique_ptr<server::DipServer>> dips_;
+  /// Scaled-in or failed servers, parked until destruction: a drainer must
+  /// keep serving its pinned flows, and a failed host must stay bound (and
+  /// silent) rather than free its address for reuse.
+  std::vector<std::unique_ptr<server::DipServer>> retired_dips_;
+  std::uint32_t next_dip_offset_ = 0;  // addresses are never reused
+  /// Desired weights for the live pool (index-aligned with dips_), used by
+  /// the no-controller programming path; with KnapsackLB on, the
+  /// controller owns the weights and this is only bookkeeping.
+  std::vector<double> desired_weights_;
   std::unique_ptr<lb::Mux> mux_;        // mux_count == 1
   std::unique_ptr<lb::MuxPool> pool_;   // mux_count > 1
   std::unique_ptr<lb::LbController> lb_ctrl_;

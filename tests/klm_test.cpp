@@ -108,6 +108,88 @@ TEST(Klm, ProbeOnceReportsSingleRound) {
   EXPECT_EQ(sample->probes, 5u);
 }
 
+// Removing a DIP mid-round must drop the round outright: its scheduled
+// probes become no-ops and its pending timeouts are cancelled, so no stale
+// (all-timeout) sample is ever written for a DIP nobody owns anymore.
+TEST(Klm, RemoveDipMidRoundWritesNoStaleSample) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  dip.set_alive(false);  // every probe of the round would time out
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(300_ms);  // mid-round: some probes sent, none resolved
+  EXPECT_EQ(klm.rounds_in_flight(), 1u);
+  EXPECT_GT(klm.probes_outstanding(), 0u);
+
+  klm.remove_dip(dip.address());
+  EXPECT_EQ(klm.rounds_in_flight(), 0u);
+  EXPECT_EQ(klm.probes_outstanding(), 0u);
+  EXPECT_EQ(klm.rounds_dropped(), 1u);
+
+  f.sim.run_until(5_s);  // all former timeouts would have fired by now
+  klm.stop();
+  EXPECT_TRUE(f.lat_store.recent(f.vip, dip.address(), 10).empty());
+  EXPECT_EQ(klm.rounds_completed(), 0u);
+}
+
+// A removed DIP's in-flight probes must not resurrect the round via a late
+// reply either: the live-DIP variant of the test above.
+TEST(Klm, RemoveDipMidRoundIgnoresLateReplies) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(200_ms);
+  klm.remove_dip(dip.address());
+  f.sim.run_until(3_s);
+  klm.stop();
+  EXPECT_TRUE(f.lat_store.recent(f.vip, dip.address(), 10).empty());
+  EXPECT_EQ(klm.rounds_in_flight(), 0u);
+}
+
+// probe_once with a non-positive count would insert a round no resolution
+// event can ever finish — it must be rejected, not leaked in flight.
+TEST(Klm, ProbeOnceRejectsNonPositiveCount) {
+  Fixture f;
+  server::DipServer dip(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip.address()},
+          f.store_addr, fast_cfg());
+  klm.probe_once(dip.address(), 0);
+  klm.probe_once(dip.address(), -5);
+  EXPECT_EQ(klm.rounds_in_flight(), 0u);
+  EXPECT_EQ(klm.rejected_probe_requests(), 2u);
+  f.sim.run_all();
+  EXPECT_TRUE(f.lat_store.recent(f.vip, dip.address(), 10).empty());
+
+  klm.probe_once(dip.address(), 3);  // sane requests still work
+  f.sim.run_all();
+  const auto sample = f.lat_store.latest(f.vip, dip.address());
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->probes, 3u);
+}
+
+// A DIP added mid-run joins the next periodic round.
+TEST(Klm, AddDipMidRunStartsProbingNextRound) {
+  Fixture f;
+  server::DipServer dip1(f.net, net::IpAddr{10, 1, 0, 1}, {});
+  server::DipServer dip2(f.net, net::IpAddr{10, 1, 0, 2}, {});
+  Klm klm(f.net, net::IpAddr{10, 3, 0, 1}, f.vip, {dip1.address()},
+          f.store_addr, fast_cfg());
+  klm.start();
+  f.sim.run_until(1200_ms);  // round 1 (dip1 only) is over
+  EXPECT_TRUE(f.lat_store.recent(f.vip, dip2.address(), 10).empty());
+
+  klm.add_dip(dip2.address());
+  f.sim.run_until(2900_ms);  // round 2 fires at 2 s and completes
+  klm.stop();
+  const auto samples = f.lat_store.recent(f.vip, dip2.address(), 10);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.front().probes, 20u);
+  EXPECT_EQ(samples.front().timeouts, 0u);
+}
+
 TEST(Klm, AddRemoveDip) {
   Fixture f;
   server::DipServer dip1(f.net, net::IpAddr{10, 1, 0, 1}, {});

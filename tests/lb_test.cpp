@@ -368,6 +368,44 @@ TEST(Mux, RemoveLoadedBackendRescalesToFullScale) {
 
 // A stale transaction that commits after a newer one is discarded whole —
 // the versioned replacement for the old size-mismatch rejection.
+// A failure observed by the dataplane outranks transactions issued before
+// the observation: an in-flight pre-failure program (version above the
+// last applied one, but issued before fail_backend ran) must not
+// resurrect the dead backend at its old weight — that would blackhole the
+// corpse's maglev/WRR share until the next post-failure commit. A program
+// issued after the failure re-admits it deliberately.
+TEST(PoolProgram, PreFailureProgramCannotResurrectFailedBackend) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+
+  PoolProgram v1(mux.issue_version());
+  v1.add(a, 5000).add(b, 5000);
+  mux.apply_program(v1);
+
+  // v2 is issued (and would normally ride the programming delay)...
+  PoolProgram v2(mux.issue_version());
+  v2.add(a, 4000).add(b, 6000);
+  // ...then the dataplane observes a's death before v2 commits.
+  ASSERT_TRUE(mux.fail_backend(0));
+  ASSERT_EQ(mux.backend_count(), 1u);
+
+  mux.apply_program(v2);  // late commit of the pre-failure view
+  EXPECT_EQ(mux.stale_failed_admissions(), 1u);
+  EXPECT_EQ(mux.backend_count(), 1u);  // the corpse stays out...
+  EXPECT_EQ(mux.backend_addr(0), b);
+  EXPECT_EQ(mux.weight_units(),
+            (std::vector<std::int64_t>{6000}));  // ...the rest applies
+
+  // A program issued after the failure may resurrect the address.
+  PoolProgram v3(mux.issue_version());
+  v3.add(b, 8000).add(a, 2000);
+  mux.apply_program(v3);
+  EXPECT_EQ(mux.backend_count(), 2u);
+  EXPECT_EQ(mux.stale_failed_admissions(), 1u);
+  EXPECT_EQ(mux.weight_units(), (std::vector<std::int64_t>{8000, 2000}));
+}
+
 TEST(PoolProgram, StaleVersionDiscardedAfterCommit) {
   MuxFixture f;
   Mux mux(f.net, f.vip, make_policy("wrr"));

@@ -106,6 +106,98 @@ TEST(Testbed, MuxPoolServesTrafficEndToEnd) {
   EXPECT_GT(metrics[2].client_requests, 3 * metrics[0].client_requests);
 }
 
+// After churn the dataplane's registration order ([A(draining), B, C, D])
+// diverges from the live spec list ([B, C, D]) — a positional weight join
+// would hand every DIP its neighbour's weight. metrics() must key by
+// address and report only the live pool.
+TEST(TestbedChurn, MetricsStayAddressKeyedThroughChurn) {
+  TestbedConfig cfg;
+  cfg.seed = 66;
+  cfg.policy = "wrr";
+  cfg.load_fraction = 0.0;  // quiescent: the test drives one manual flow
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+
+  // Park everything except DIP A so the manual flow deterministically pins
+  // there; the flow never FINs, so A's drain below stays pending.
+  bed.set_static_weights({1.0, 0.0, 0.0});
+  bed.run_for(1_s);
+  net::Message req;
+  req.type = net::MsgType::kHttpRequest;
+  req.tuple.src_ip = net::IpAddr{10, 2, 0, 1};
+  req.tuple.dst_ip = bed.vip();
+  req.tuple.src_port = 50'000;
+  req.tuple.dst_port = 80;
+  req.conn_id = 9'999;
+  req.req_id = 1;
+  net::HttpRequest http;
+  http.method = "GET";
+  http.target = "/work";
+  req.payload = http.serialize();
+  bed.network().send(bed.vip(), req);
+  bed.run_for(1_s);
+  ASSERT_EQ(bed.mux().affinity_size(), 1u);
+  ASSERT_EQ(bed.mux().new_connections(0), 1u);
+
+  bed.set_static_weights({1.0, 2.0, 7.0});
+  bed.run_for(1_s);
+
+  const auto a_addr = bed.dip(0).address();
+  ASSERT_TRUE(bed.scale_in(0));                    // A drains (flow pinned)
+  const auto new_idx = bed.scale_out(DipSpec{});   // D joins in the same breath
+  const auto new_addr = bed.dip(new_idx).address();
+  bed.run_for(1_s);  // programming delay elapses; A still draining
+
+  ASSERT_EQ(bed.mux().draining_count(), 1u);
+  const auto metrics = bed.metrics();
+  ASSERT_EQ(metrics.size(), 3u);
+  double sum = 0.0;
+  for (const auto& m : metrics) {
+    sum += m.weight;
+    EXPECT_NE(m.addr, a_addr);  // the leaver is not part of the live report
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // B and C keep their 2:7 ratio; the newcomer joined at the mean share.
+  EXPECT_NEAR(metrics[1].weight / metrics[0].weight, 3.5, 0.01);
+  EXPECT_EQ(metrics[2].addr, new_addr);
+  EXPECT_NEAR(metrics[2].weight, 4.5 / 13.5, 0.01);
+
+  // index_of tracks the live list, not registration order.
+  EXPECT_FALSE(bed.index_of(a_addr).has_value());
+  EXPECT_EQ(bed.index_of(new_addr), std::optional<std::size_t>{2});
+  EXPECT_EQ(bed.retired_count(), 1u);
+}
+
+TEST(TestbedChurn, CapacityAndOfferedLoadTrackLiveList) {
+  TestbedConfig cfg;
+  cfg.seed = 67;
+  Testbed bed(three_dip_specs(1.0, 1.0, 1.0), cfg);
+  const double per_core = 1000.0 / 3.0;
+  EXPECT_NEAR(bed.healthy_capacity_rps(), 3 * per_core, 1e-6);
+  EXPECT_NEAR(bed.offered_rps(), 0.70 * 3 * per_core, 1e-6);
+
+  DipSpec f8;
+  f8.vm = server::kF8sv2;
+  const auto idx = bed.scale_out(f8);
+  EXPECT_EQ(idx, 3u);
+  EXPECT_NEAR(bed.healthy_capacity_rps(), (3 + 8 * 1.18) * per_core, 1e-6);
+  EXPECT_NEAR(bed.offered_rps(), 0.70 * bed.healthy_capacity_rps(), 1e-6);
+
+  ASSERT_TRUE(bed.fail_dip(0));
+  EXPECT_EQ(bed.dip_count(), 3u);
+  EXPECT_NEAR(bed.healthy_capacity_rps(), (2 + 8 * 1.18) * per_core, 1e-6);
+  EXPECT_NEAR(bed.offered_rps(), 0.70 * bed.healthy_capacity_rps(), 1e-6);
+
+  EXPECT_FALSE(bed.fail_dip(99));  // out of range is loud, not UB
+
+  // Fixed-load mode: the construction-time offered rate survives churn.
+  TestbedConfig fixed = cfg;
+  fixed.rescale_load_on_churn = false;
+  Testbed bed2(three_dip_specs(1.0, 1.0, 1.0), fixed);
+  const double offered0 = bed2.offered_rps();
+  bed2.scale_out(f8);
+  EXPECT_NEAR(bed2.offered_rps(), offered0, 1e-9);
+}
+
 TEST(SyntheticCurve, MatchesExplorerSemantics) {
   const auto curve = synthetic_curve(0.2, 1.5);
   ASSERT_TRUE(curve.fitted());
