@@ -1,0 +1,237 @@
+// Multi-threaded MUX hot-path bench (ISSUE 5): drives the real
+// Mux::handle_request/handle_fin packet path from 1/2/4 worker threads and
+// reports picks/sec, comparing the sharded FlowTable (+ per-shard flow
+// cache) against the old monolithic single-map design (1 shard, no cache —
+// every packet behind one lock).
+//
+// Workload: each thread owns a disjoint flow space; per round, each flow
+// opens (policy pick / flow-cache pick), sends `requests_per_flow - 1`
+// pinned requests (affinity hits), and FINs. Rounds >= 2 make reconnecting
+// tuples exercise the flow cache. The fabric runs in blackhole mode (the
+// event queue is single-threaded); the pool is membership-stable, per the
+// Mux threading contract.
+//
+// Always verifies counter conservation after every run — with concurrent
+// shards, a lost update shows up as a forwarded/connection/affinity
+// mismatch — and exits non-zero on violation. In --short mode (the CI
+// smoke) it additionally fails if multi-threaded throughput on the sharded
+// table regresses below 0.9x the single-threaded baseline (skipped on
+// single-core machines, where extra threads cannot help; like
+// bench_fleet_multivip, the headline scaling needs real cores).
+//
+// Usage: bench_mux_hotpath [--short] [flows_per_thread] [requests_per_flow]
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lb/mux.hpp"
+#include "lb/policy.hpp"
+#include "lb/pool_program.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+#include "testbed/report.hpp"
+#include "util/weight.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kDips = 64;
+const klb::net::IpAddr kVip{10, 0, 0, 1};
+
+klb::net::FiveTuple flow_tuple(unsigned thread, std::uint64_t flow) {
+  klb::net::FiveTuple t;
+  t.src_ip = klb::net::IpAddr(
+      static_cast<std::uint32_t>(0x0a020000 + (thread << 12) + flow / 50'000));
+  t.dst_ip = kVip;
+  t.src_port = static_cast<std::uint16_t>(10'000 + flow % 50'000);
+  t.dst_port = 80;
+  return t;
+}
+
+struct RunResult {
+  double rate = 0.0;  // handled requests (picks) per second, all threads
+  std::uint64_t cache_hits = 0;
+  bool ok = true;
+};
+
+RunResult run_one(std::size_t shards, std::size_t cache_slots,
+                  unsigned threads, std::uint64_t flows,
+                  std::uint64_t requests_per_flow, std::uint64_t rounds) {
+  klb::sim::Simulation sim(7);
+  klb::net::Network net(sim);
+  net.set_blackhole(true);  // workers must not touch the event queue
+  klb::lb::Mux mux(net, kVip, klb::lb::make_policy("maglev"),
+                   /*attach_to_vip=*/true,
+                   klb::lb::FlowTableConfig{shards, cache_slots});
+  klb::lb::PoolProgram pool(1);
+  for (std::size_t d = 0; d < kDips; ++d)
+    pool.add(klb::net::IpAddr(static_cast<std::uint32_t>(0x0a010000 + d)),
+             klb::util::kWeightScale / kDips);
+  mux.apply_program(pool);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      klb::net::Message msg;
+      for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t f = 0; f < flows; ++f) {
+          msg.tuple = flow_tuple(w, f);
+          msg.type = klb::net::MsgType::kHttpRequest;
+          for (std::uint64_t q = 0; q < requests_per_flow; ++q)
+            mux.on_message(msg);
+          msg.type = klb::net::MsgType::kFin;
+          mux.on_message(msg);
+        }
+      }
+    });
+  }
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto dt = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunResult res;
+  const auto expect_requests =
+      static_cast<std::uint64_t>(threads) * flows * requests_per_flow * rounds;
+  const auto expect_conns =
+      static_cast<std::uint64_t>(threads) * flows * rounds;
+  res.rate = dt > 0 ? static_cast<double>(expect_requests) / dt : 0.0;
+  res.cache_hits = mux.flow_table().stats().cache_hits;
+
+  // Counter conservation: with concurrent shards, any lost update or
+  // leaked pin breaks one of these exactly.
+  std::uint64_t conns = 0, active = 0;
+  for (std::size_t d = 0; d < kDips; ++d) {
+    conns += mux.new_connections(d);
+    active += mux.active_connections(d);
+  }
+  auto check = [&res](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "INVARIANT VIOLATED: " << what << "\n";
+      res.ok = false;
+    }
+  };
+  check(mux.total_forwarded() == expect_requests,
+        "total_forwarded == requests sent (" +
+            std::to_string(mux.total_forwarded()) + " vs " +
+            std::to_string(expect_requests) + ")");
+  check(conns == expect_conns, "new connections == flows opened (" +
+                                   std::to_string(conns) + " vs " +
+                                   std::to_string(expect_conns) + ")");
+  check(active == 0, "no active connections after all FINs (" +
+                         std::to_string(active) + " left)");
+  check(mux.affinity_size() == 0, "affinity empty after all FINs (" +
+                                      std::to_string(mux.affinity_size()) +
+                                      " left)");
+  check(mux.dangling_affinity_count() == 0, "no dangling affinity entries");
+  check(mux.no_backend_drops() == 0, "no refused connections");
+  return res;
+}
+
+RunResult best_of(int reps, std::size_t shards, std::size_t cache_slots,
+                  unsigned threads, std::uint64_t flows,
+                  std::uint64_t requests_per_flow, std::uint64_t rounds) {
+  RunResult best;
+  for (int i = 0; i < reps; ++i) {
+    const auto r =
+        run_one(shards, cache_slots, threads, flows, requests_per_flow, rounds);
+    if (!r.ok) return r;
+    if (r.rate > best.rate) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool short_mode = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::uint64_t flows = 20'000;
+  std::uint64_t requests_per_flow = 4;
+  std::vector<std::uint64_t> positional;
+  for (const auto& a : args) {
+    if (a == "--short") {
+      short_mode = true;
+    } else if (!a.empty() && a.size() <= 18 &&
+               a.find_first_not_of("0123456789") == std::string::npos) {
+      positional.push_back(std::stoull(a));
+    } else {
+      std::cerr << "unknown argument '" << a << "'\nusage: bench_mux_hotpath"
+                << " [--short] [flows_per_thread] [requests_per_flow]\n";
+      return 2;
+    }
+  }
+  if (!positional.empty()) flows = positional[0];
+  if (positional.size() > 1) requests_per_flow = positional[1];
+  if (short_mode) flows = std::min<std::uint64_t>(flows, 8'000);
+  const std::uint64_t rounds = 3;
+  const int reps = short_mode ? 3 : 2;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const klb::lb::FlowTableConfig sharded{};  // production default
+  std::vector<unsigned> thread_counts{1, 2, 4};
+  if (short_mode) {
+    thread_counts = {1};
+    if (hw >= 2) thread_counts.push_back(std::min(4u, hw));
+  }
+
+  klb::testbed::banner("MUX hot path: sharded flow table vs single map (" +
+                       std::to_string(kDips) + " DIPs, maglev, " +
+                       std::to_string(requests_per_flow) + " req/flow)");
+  std::cout << "hardware threads: " << hw << ", flow-table shards: "
+            << klb::lb::FlowTable(sharded).shard_count() << "\n\n";
+
+  klb::testbed::Table table({"threads", "single-map picks/s", "sharded picks/s",
+                             "sharded/single", "scaling vs 1T"});
+  bool ok = true;
+  double sharded_1t = 0.0, sharded_multi = 0.0;
+  for (const auto t : thread_counts) {
+    const auto base =
+        best_of(reps, 1, 0, t, flows, requests_per_flow, rounds);
+    const auto shard = best_of(reps, sharded.shard_count,
+                               sharded.cache_slots_per_shard, t, flows,
+                               requests_per_flow, rounds);
+    ok = ok && base.ok && shard.ok;
+    if (t == 1) sharded_1t = shard.rate;
+    if (t > 1) sharded_multi = std::max(sharded_multi, shard.rate);
+    table.row({std::to_string(t),
+               klb::testbed::fmt(base.rate / 1e6, 2) + "M",
+               klb::testbed::fmt(shard.rate / 1e6, 2) + "M",
+               klb::testbed::fmt(shard.rate / std::max(1.0, base.rate), 2) +
+                   "x",
+               klb::testbed::fmt(shard.rate / std::max(1.0, sharded_1t), 2) +
+                   "x"});
+  }
+  table.print();
+  std::cout << "\nAffinity hits and cached picks bypass the pick lock; only "
+               "fresh policy picks serialize.\n";
+
+  if (!ok) {
+    std::cerr << "FAIL: hot-path counter invariants violated\n";
+    return 1;
+  }
+  if (short_mode && hw >= 2 && sharded_multi > 0.0) {
+    if (sharded_multi < 0.9 * sharded_1t) {
+      std::cerr << "FAIL: multi-threaded sharded throughput ("
+                << sharded_multi / 1e6 << "M/s) regressed below 0.9x the "
+                << "single-threaded baseline (" << sharded_1t / 1e6
+                << "M/s)\n";
+      return 1;
+    }
+    std::cout << "short-mode scaling gate passed ("
+              << klb::testbed::fmt(sharded_multi / sharded_1t, 2)
+              << "x at " << thread_counts.back() << " threads)\n";
+  } else if (short_mode) {
+    std::cout << "short-mode scaling gate skipped (single-core machine)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "lb/flow_table.hpp"
+
+#include <algorithm>
+
+namespace klb::lb {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(FlowTableConfig cfg)
+    : shards_(round_up_pow2(std::max<std::size_t>(1, cfg.shard_count))) {
+  shard_mask_ = shards_.size() - 1;
+  cache_enabled_ = cfg.cache_slots_per_shard > 0;
+  if (cache_enabled_) {
+    const auto slots = round_up_pow2(cfg.cache_slots_per_shard);
+    cache_mask_ = slots - 1;
+    for (auto& s : shards_) s.cache.resize(slots);
+  }
+}
+
+FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
+  const auto h = net::hash_tuple(t);
+  auto& s = shards_[shard_index(h)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.flows.find(t);
+  if (it != s.flows.end()) {
+    it->second.last_seen = now;
+    return FlowHit{FlowHit::Kind::kAffinity, it->second.backend_id};
+  }
+  if (cache_enabled_) {
+    const auto& slot = s.cache[cache_index(h)];
+    if (slot.epoch == epoch_.load(std::memory_order_relaxed) &&
+        slot.tuple == t) {
+      ++s.cache_hits;
+      return FlowHit{FlowHit::Kind::kCachedPick, slot.backend_id};
+    }
+    ++s.cache_misses;
+  }
+  return FlowHit{};
+}
+
+std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
+                                                     std::uint64_t backend_id,
+                                                     util::SimTime now,
+                                                     bool cache_pick) {
+  const auto h = net::hash_tuple(t);
+  auto& s = shards_[shard_index(h)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto [it, inserted] = s.flows.emplace(t, Flow{backend_id, now});
+  if (!inserted) return {it->second.backend_id, false};
+  ++s.inserts;
+  if (cache_enabled_ && cache_pick) {
+    auto& slot = s.cache[cache_index(h)];
+    slot.tuple = t;
+    slot.backend_id = backend_id;
+    slot.epoch = epoch_.load(std::memory_order_relaxed);
+  }
+  return {backend_id, true};
+}
+
+std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
+  auto& s = shards_[shard_of(t)];
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.flows.find(t);
+  if (it == s.flows.end()) return std::nullopt;
+  const auto id = it->second.backend_id;
+  s.flows.erase(it);
+  ++s.erases;
+  return id;
+}
+
+std::size_t FlowTable::erase_backend(std::uint64_t backend_id) {
+  std::size_t dropped = 0;
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (auto it = s.flows.begin(); it != s.flows.end();) {
+      if (it->second.backend_id == backend_id) {
+        it = s.flows.erase(it);
+        ++s.erases;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+std::size_t FlowTable::gc_shard(
+    std::size_t k, util::SimTime now, util::SimTime idle,
+    const std::function<bool(std::uint64_t)>& alive,
+    const std::function<void(std::uint64_t, bool)>& reclaimed) {
+  auto& s = shards_[k & shard_mask_];
+  // (backend_id, dead) per reclaimed flow, gathered under the lock and
+  // reported after it drops — the callback may reenter the table or take
+  // caller-side locks without deadlocking against the packet path.
+  std::vector<std::pair<std::uint64_t, bool>> gone;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (auto it = s.flows.begin(); it != s.flows.end();) {
+      const bool dead = !alive(it->second.backend_id);
+      const bool idled = idle > util::SimTime::zero() &&
+                         it->second.last_seen + idle < now;
+      if (dead || idled) {
+        gone.emplace_back(it->second.backend_id, dead);
+        it = s.flows.erase(it);
+        ++s.gc_reclaimed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (reclaimed)
+    for (const auto& [id, dead] : gone) reclaimed(id, dead);
+  return gone.size();
+}
+
+std::size_t FlowTable::gc(
+    util::SimTime now, util::SimTime idle,
+    const std::function<bool(std::uint64_t)>& alive,
+    const std::function<void(std::uint64_t, bool)>& reclaimed) {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < shards_.size(); ++k)
+    n += gc_shard(k, now, idle, alive, reclaimed);
+  return n;
+}
+
+std::size_t FlowTable::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.flows.size();
+  }
+  return n;
+}
+
+std::size_t FlowTable::shard_size(std::size_t k) const {
+  const auto& s = shards_[k & shard_mask_];
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.flows.size();
+}
+
+void FlowTable::for_each(
+    const std::function<void(const net::FiveTuple&, std::uint64_t,
+                             util::SimTime)>& fn) const {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [tuple, flow] : s.flows)
+      fn(tuple, flow.backend_id, flow.last_seen);
+  }
+}
+
+FlowTableStats FlowTable::stats() const {
+  FlowTableStats out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    out.entries += s.flows.size();
+    out.inserts += s.inserts;
+    out.erases += s.erases;
+    out.gc_reclaimed += s.gc_reclaimed;
+    out.cache_hits += s.cache_hits;
+    out.cache_misses += s.cache_misses;
+  }
+  out.pick_invalidations = pick_invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace klb::lb

@@ -1,0 +1,187 @@
+// Sharded connection-affinity table + per-shard flow cache for the MUX
+// hot path (ISSUE 5 / ROADMAP item c).
+//
+// The per-packet MUX path is: tuple hash -> affinity lookup -> (on miss)
+// policy pick -> pin. A single monolithic unordered_map serializes every
+// packet of every core behind one structure; a FlowTable splits the flow
+// space into a power-of-two number of shards, chosen by the tuple hash,
+// each with its own mutex, map, counters, and flow cache. Two cores only
+// contend when their packets hash to the same shard, so lookup/insert/FIN
+// throughput scales with cores — the per-core state-scaling problem the
+// stateful-vs-stateless LB literature (and XLB's in-kernel path) optimize.
+//
+// The flow cache is a small per-shard direct-mapped array of recent
+// (tuple -> backend id) pick results, consulted on an affinity miss before
+// the policy runs: a tuple that reconnects shortly after its FIN re-pins
+// without re-entering the (serialized) policy pick. Cached picks carry the
+// epoch they were stored under; every pool mutation bumps the table epoch
+// (Mux::apply_program, fail_backend, weight changes), so a cached pick can
+// never resurrect a tombstoned or reweighted backend — the whole cache
+// invalidates in O(1).
+//
+// Thread-safety: every public operation is safe to call concurrently.
+// GC sweeps are shard-local: gc_shard(k) holds only shard k's lock, so an
+// inline sweep from the packet path never stalls the other shards, and the
+// reclaim callback runs after the lock is released (callers may reenter
+// the table or take their own locks from it).
+//
+// Per-shard counters (inserts, erases, GC reclaims, cache hits/misses) are
+// only aggregated on read — the hot path never touches a shared counter
+// cache line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "util/time.hpp"
+
+namespace klb::lb {
+
+struct FlowTableConfig {
+  /// Rounded up to a power of two. One shard degenerates to the old
+  /// monolithic single-map table (the bench baseline).
+  std::size_t shard_count = 16;
+  /// Direct-mapped flow-cache slots per shard, rounded up to a power of
+  /// two. 0 disables the cache.
+  std::size_t cache_slots_per_shard = 256;
+};
+
+/// Aggregated per-shard counters (one lock per shard held briefly on read).
+struct FlowTableStats {
+  std::size_t entries = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t gc_reclaimed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t pick_invalidations = 0;  // epoch bumps
+};
+
+/// Result of the combined affinity-then-cache lookup (one lock acquisition).
+struct FlowHit {
+  enum class Kind : std::uint8_t {
+    kMiss,        // unknown tuple: run the policy
+    kAffinity,    // pinned flow (last_seen touched)
+    kCachedPick,  // no pin, but a fresh cached pick for this tuple
+  };
+  Kind kind = Kind::kMiss;
+  std::uint64_t backend_id = 0;
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(FlowTableConfig cfg = {});
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(const net::FiveTuple& t) const {
+    return shard_index(net::hash_tuple(t));
+  }
+
+  /// Affinity lookup with last-seen touch; on miss, probe the flow cache.
+  FlowHit lookup(const net::FiveTuple& t, util::SimTime now);
+
+  /// Pin `t` to `backend_id` unless it is already pinned (a concurrent
+  /// packet of the same tuple may have won the race). Returns the owning
+  /// backend id and whether this call inserted it. With `cache_pick` the
+  /// pick is also stored in the shard's flow cache under the current epoch.
+  std::pair<std::uint64_t, bool> try_insert(const net::FiveTuple& t,
+                                            std::uint64_t backend_id,
+                                            util::SimTime now,
+                                            bool cache_pick);
+
+  /// Unpin `t`, returning the backend it was pinned to (FIN path).
+  std::optional<std::uint64_t> erase(const net::FiveTuple& t);
+
+  /// Drop every flow pinned to `backend_id` (backend removal/failure).
+  /// Returns the number of flows dropped.
+  std::size_t erase_backend(std::uint64_t backend_id);
+
+  /// Reclaim dead flows (backend fails `alive`) and — when `idle` is
+  /// positive — flows idle since before `now - idle`, in shard `k` only.
+  /// `alive` runs under the shard lock and must not reenter the table;
+  /// `reclaimed(backend_id, dead)` runs per reclaimed flow *after* the
+  /// lock is released, so it may reenter the table or take caller locks.
+  std::size_t gc_shard(std::size_t k, util::SimTime now, util::SimTime idle,
+                       const std::function<bool(std::uint64_t)>& alive,
+                       const std::function<void(std::uint64_t, bool)>&
+                           reclaimed = nullptr);
+
+  /// Full sweep: gc_shard over every shard (still one shard lock at a time).
+  std::size_t gc(util::SimTime now, util::SimTime idle,
+                 const std::function<bool(std::uint64_t)>& alive,
+                 const std::function<void(std::uint64_t, bool)>& reclaimed =
+                     nullptr);
+
+  /// Invalidate every cached pick pool-wide in O(1) (epoch bump). Called
+  /// by the Mux on every pool mutation so a cached pick can never
+  /// resurrect a removed, failed, drained, or reweighted backend.
+  void invalidate_picks() {
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    pick_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t size() const;
+  std::size_t shard_size(std::size_t k) const;
+
+  /// Visit every flow as (tuple, backend_id, last_seen). Holds each shard's
+  /// lock during its callbacks — test/diagnostic use; do not reenter the
+  /// table from `fn`.
+  void for_each(const std::function<void(const net::FiveTuple&, std::uint64_t,
+                                         util::SimTime)>& fn) const;
+
+  FlowTableStats stats() const;
+
+ private:
+  struct Flow {
+    std::uint64_t backend_id = 0;
+    util::SimTime last_seen = util::SimTime::zero();
+  };
+
+  struct CacheSlot {
+    net::FiveTuple tuple;
+    std::uint64_t backend_id = 0;
+    std::uint64_t epoch = 0;  // 0 = never written (live epochs start at 1)
+  };
+
+  /// Own cache line per shard: the mutex and map of one shard must not
+  /// false-share with its neighbours.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<net::FiveTuple, Flow> flows;
+    std::vector<CacheSlot> cache;
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t gc_reclaimed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  };
+
+  /// Shard choice uses the hash's top bits: the low bits feed the affinity
+  /// map buckets and the maglev table index, so shard choice stays
+  /// decorrelated from both.
+  std::size_t shard_index(std::uint64_t h) const {
+    return static_cast<std::size_t>(h >> 48) & shard_mask_;
+  }
+  std::size_t cache_index(std::uint64_t h) const {
+    return static_cast<std::size_t>(h >> 16) & cache_mask_;
+  }
+
+  std::size_t shard_mask_ = 0;
+  std::size_t cache_mask_ = 0;  // meaningful only when cache_enabled_
+  bool cache_enabled_ = false;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> pick_invalidations_{0};
+};
+
+}  // namespace klb::lb

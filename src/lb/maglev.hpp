@@ -92,7 +92,11 @@ class MaglevPolicy : public Policy {
 
   std::string name() const override { return "maglev"; }
   bool weighted() const override { return true; }
-  void invalidate() override { dirty_ = true; }
+  bool pick_is_tuple_deterministic() const override { return true; }
+  void invalidate() override {
+    Policy::invalidate();
+    dirty_ = true;
+  }
 
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>& backends,
@@ -125,7 +129,11 @@ class SharedMaglevPolicy : public Policy {
  public:
   std::string name() const override { return "maglev-shared"; }
   bool weighted() const override { return true; }
-  void invalidate() override { index_dirty_ = true; }
+  bool pick_is_tuple_deterministic() const override { return true; }
+  void invalidate() override {
+    Policy::invalidate();
+    index_dirty_ = true;
+  }
 
   /// Publish a new snapshot (pool-wide, once per program version).
   void set_table(std::shared_ptr<const MaglevTable> table) {

@@ -1,6 +1,8 @@
 #include "lb/mux.hpp"
 
+#include <algorithm>
 #include <numeric>
+#include <tuple>
 
 #include "util/logging.hpp"
 #include "util/weight.hpp"
@@ -9,15 +11,20 @@ namespace klb::lb {
 
 namespace {
 constexpr const char* kLog = "klb-mux";
-/// Inline idle-flow sweeps run at most once per this many requests, so the
-/// GC amortizes to O(1) per packet.
+/// Inline idle-flow sweeps are amortized so the whole table is covered
+/// once per this many forwarded requests (one shard per trigger), keeping
+/// the GC O(1)-ish per packet and shard-local.
 constexpr std::uint64_t kGcRequestInterval = 4096;
 }  // namespace
 
 Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
-         bool attach_to_vip)
+         bool attach_to_vip, FlowTableConfig flow_cfg)
     : net_(net), vip_(vip), attached_(attach_to_vip),
-      policy_(std::move(policy)), rng_(net.sim().rng().fork()) {
+      policy_(std::move(policy)), rng_(net.sim().rng().fork()),
+      flows_(flow_cfg) {
+  policy_uses_conns_ = policy_->uses_connection_counts();
+  policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
+  policy_weighted_ = policy_->weighted();
   if (attached_) net_.attach(vip_, this);
 }
 
@@ -27,7 +34,20 @@ Mux::~Mux() {
 
 void Mux::set_policy(std::unique_ptr<Policy> policy) {
   policy_ = std::move(policy);
+  policy_uses_conns_ = policy_->uses_connection_counts();
+  policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
+  policy_weighted_ = policy_->weighted();
+  // Re-snapshot the views: active_conns is only kept fresh while a
+  // connection-count policy is installed, so a switch *to* one must not
+  // inherit counts staled under the previous policy.
+  rebuild_views();
+  // The old policy's cached picks are meaningless under the new one.
+  invalidate_pick_state();
+}
+
+void Mux::invalidate_pick_state() {
   policy_->invalidate();
+  flows_.invalidate_picks();
 }
 
 // --- transactional programming -------------------------------------------------
@@ -121,8 +141,8 @@ void Mux::apply_program(const PoolProgram& program) {
   // A drain with no pinned flows completes in the same transaction.
   for (std::size_t i = 0; i < backends_.size();) {
     auto& b = backends_[i];
-    if (b.draining && b.active == 0) {
-      ++drains_completed_;
+    if (b.draining && b.active.load(std::memory_order_relaxed) == 0) {
+      drains_completed_.fetch_add(1, std::memory_order_relaxed);
       erase_backend_raw(i, /*failed=*/false);
     } else {
       ++i;
@@ -133,7 +153,7 @@ void Mux::apply_program(const PoolProgram& program) {
   // there is nothing to rescale (unlike the imperative churn ops below).
   rebuild_id_index();
   rebuild_views();
-  policy_->invalidate();
+  invalidate_pick_state();
 }
 
 std::vector<net::IpAddr> Mux::backend_addrs() const {
@@ -153,14 +173,16 @@ std::size_t Mux::draining_count() const {
 
 bool Mux::maybe_complete_drain(std::size_t i) {
   if (i >= backends_.size()) return false;
-  if (!backends_[i].draining || backends_[i].active > 0) return false;
-  ++drains_completed_;
+  if (!backends_[i].draining ||
+      backends_[i].active.load(std::memory_order_relaxed) > 0)
+    return false;
+  drains_completed_.fetch_add(1, std::memory_order_relaxed);
   util::log_info(kLog) << "backend " << backends_[i].addr.str()
                        << " drained; completing removal";
   erase_backend_raw(i, /*failed=*/false);
   rebuild_id_index();
   rebuild_views();
-  policy_->invalidate();
+  invalidate_pick_state();
   return true;
 }
 
@@ -188,7 +210,7 @@ std::uint64_t Mux::add_backend(net::IpAddr dip,
   renormalize_weights();
   rebuild_id_index();
   rebuild_views();
-  policy_->invalidate();
+  invalidate_pick_state();
   return b.id;
 }
 
@@ -212,7 +234,7 @@ bool Mux::erase_backend(std::size_t i, bool failed) {
   renormalize_weights();
   rebuild_id_index();
   rebuild_views();
-  policy_->invalidate();
+  invalidate_pick_state();
   return true;
 }
 
@@ -221,7 +243,8 @@ void Mux::erase_backend_raw(std::size_t i, bool failed) {
   if (failed) {
     util::log_warn(kLog) << "backend " << backends_[i].addr.str()
                          << " failed; resetting "
-                         << backends_[i].active << " pinned flows";
+                         << backends_[i].active.load(std::memory_order_relaxed)
+                         << " pinned flows";
   }
   drop_affinity_for(id, failed);
   backends_.erase(backends_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -245,13 +268,15 @@ void Mux::renormalize_weights() {
 }
 
 void Mux::drop_affinity_for(std::uint64_t id, bool count_as_reset) {
-  for (auto it = affinity_.begin(); it != affinity_.end();) {
-    if (it->second.backend_id == id) {
-      if (count_as_reset) ++flows_reset_;
-      it = affinity_.erase(it);
-    } else {
-      ++it;
-    }
+  const auto n = flows_.erase_backend(id);
+  if (n == 0) return;
+  if (count_as_reset) {
+    flows_reset_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    // Graceful-path abrupt drop (transactional kRemoved, omission, or an
+    // imperative remove): not a failure reset, not a drained-to-zero —
+    // without its own counter these flows vanish from every metric.
+    flows_dropped_.fetch_add(n, std::memory_order_relaxed);
   }
 }
 
@@ -301,15 +326,21 @@ bool Mux::backend_draining(std::size_t i) const {
 }
 
 std::uint64_t Mux::forwarded_requests(std::size_t i) const {
-  return i < backends_.size() ? backends_[i].forwarded : 0;
+  return i < backends_.size()
+             ? backends_[i].forwarded.load(std::memory_order_relaxed)
+             : 0;
 }
 
 std::uint64_t Mux::new_connections(std::size_t i) const {
-  return i < backends_.size() ? backends_[i].connections : 0;
+  return i < backends_.size()
+             ? backends_[i].connections.load(std::memory_order_relaxed)
+             : 0;
 }
 
 std::uint64_t Mux::active_connections(std::size_t i) const {
-  return i < backends_.size() ? backends_[i].view().active_conns : 0;
+  return i < backends_.size()
+             ? backends_[i].active.load(std::memory_order_relaxed)
+             : 0;
 }
 
 // --- imperative weight programming ---------------------------------------------
@@ -326,7 +357,7 @@ bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
     backends_[i].weight_units =
         backends_[i].draining ? 0 : (units[i] < 0 ? 0 : units[i]);
   rebuild_views();
-  policy_->invalidate();
+  invalidate_pick_state();
   return true;
 }
 
@@ -337,26 +368,41 @@ std::vector<std::int64_t> Mux::weight_units() const {
   return out;
 }
 
-void Mux::set_backend_enabled(std::size_t i, bool enabled) {
-  if (i < backends_.size()) {
-    backends_[i].enabled = enabled;
-    views_[i].enabled = enabled;
-    policy_->invalidate();
+bool Mux::set_backend_enabled(std::size_t i, bool enabled) {
+  if (i >= backends_.size()) {
+    util::log_warn(kLog) << "set_backend_enabled(" << i << ") out of range ("
+                         << backends_.size() << " backends)";
+    return false;
   }
+  if (enabled && backends_[i].draining) {
+    // Enabling a drainer would leave `draining && enabled`: it keeps
+    // accepting new connections, so its affinity never empties and the
+    // promised auto-removal never completes. Cancel the drain explicitly
+    // (re-list kActive in a PoolProgram) instead.
+    util::log_warn(kLog) << "refusing to enable draining backend "
+                         << backends_[i].addr.str()
+                         << " (cancel the drain via a pool program instead)";
+    return false;
+  }
+  backends_[i].enabled = enabled;
+  views_[i].enabled = enabled;
+  invalidate_pick_state();
+  return true;
 }
 
 void Mux::reset_counters() {
   for (auto& b : backends_) {
-    b.connections = 0;
-    b.forwarded = 0;
+    b.connections.store(0, std::memory_order_relaxed);
+    b.forwarded.store(0, std::memory_order_relaxed);
   }
-  total_forwarded_ = 0;
-  no_backend_drops_ = 0;
+  total_forwarded_.store(0, std::memory_order_relaxed);
+  no_backend_drops_.store(0, std::memory_order_relaxed);
+  drains_completed_.store(0, std::memory_order_relaxed);
+  flows_reset_.store(0, std::memory_order_relaxed);
+  flows_gced_.store(0, std::memory_order_relaxed);
+  flows_dropped_.store(0, std::memory_order_relaxed);
   rejected_programmings_ = 0;
   superseded_programs_ = 0;
-  drains_completed_ = 0;
-  flows_reset_ = 0;
-  flows_gced_ = 0;
   stale_failed_admissions_ = 0;
 }
 
@@ -366,34 +412,36 @@ void Mux::rebuild_views() {
   for (const auto& b : backends_) views_.push_back(b.view());
 }
 
+void Mux::refresh_view_active(std::size_t i) {
+  // Only the LC family reads active_conns from the views; for everyone
+  // else skipping the patch keeps FINs off the pick mutex entirely.
+  if (!policy_uses_conns_) return;
+  std::lock_guard<std::mutex> lk(pick_mutex_);
+  if (i < views_.size())
+    views_[i].active_conns = backends_[i].active.load(std::memory_order_relaxed);
+}
+
 std::size_t Mux::dangling_affinity_count() const {
   std::size_t n = 0;
-  for (const auto& [tuple, aff] : affinity_)
-    if (id_index_.count(aff.backend_id) == 0) ++n;
+  flows_.for_each([&](const net::FiveTuple&, std::uint64_t id, util::SimTime) {
+    if (id_index_.count(id) == 0) ++n;
+  });
   return n;
 }
 
-std::size_t Mux::gc_affinity() {
-  std::size_t reclaimed = 0;
+std::size_t Mux::gc_shard(std::size_t k) {
   const auto now = net_.sim().now();
-  for (auto it = affinity_.begin(); it != affinity_.end();) {
-    const auto idx = index_of_id(it->second.backend_id);
-    const bool dead = !idx.has_value();
-    const bool idle = affinity_idle_ > util::SimTime::zero() &&
-                      it->second.last_seen + affinity_idle_ < now;
-    if (dead || idle) {
-      if (!dead) {  // a live backend loses a flow that never FIN'd
-        auto& b = backends_[*idx];
-        if (b.active > 0) --b.active;
-        views_[*idx].active_conns = b.active;
-      }
-      ++flows_gced_;
-      ++reclaimed;
-      it = affinity_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  const auto reclaimed = flows_.gc_shard(
+      k, now, affinity_idle_,
+      [this](std::uint64_t id) { return id_index_.count(id) > 0; },
+      // Runs after the shard lock drops (FlowTable contract), so taking
+      // the pick mutex inside refresh_view_active cannot deadlock against
+      // a concurrent pick -> pin.
+      [this](std::uint64_t id, bool dead) {
+        flows_gced_.fetch_add(1, std::memory_order_relaxed);
+        if (dead) return;  // a live backend loses a flow that never FIN'd
+        if (const auto idx = index_of_id(id)) release_connection(*idx);
+      });
   // The GC may have reclaimed a drainer's last flow (FIN-less clients are
   // exactly what would otherwise wedge a graceful scale-in forever).
   for (std::size_t i = 0; i < backends_.size();)
@@ -401,11 +449,26 @@ std::size_t Mux::gc_affinity() {
   return reclaimed;
 }
 
+std::size_t Mux::gc_affinity() {
+  std::size_t reclaimed = 0;
+  for (std::size_t k = 0; k < flows_.shard_count(); ++k)
+    reclaimed += gc_shard(k);
+  return reclaimed;
+}
+
 void Mux::maybe_gc() {
   if (affinity_idle_ <= util::SimTime::zero()) return;
-  if (++requests_since_gc_ < kGcRequestInterval) return;
-  requests_since_gc_ = 0;
-  gc_affinity();
+  // One shard per trigger: the whole table is covered once per
+  // kGcRequestInterval forwarded requests, but no single packet ever pays
+  // for more than one shard's sweep.
+  const auto interval =
+      std::max<std::uint64_t>(1, kGcRequestInterval / flows_.shard_count());
+  if (requests_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 <
+      interval)
+    return;
+  requests_since_gc_.store(0, std::memory_order_relaxed);
+  gc_shard(gc_cursor_.fetch_add(1, std::memory_order_relaxed) %
+           flows_.shard_count());
 }
 
 void Mux::on_message(const net::Message& msg) {
@@ -421,49 +484,104 @@ void Mux::on_message(const net::Message& msg) {
   }
 }
 
+void Mux::forward(std::size_t i, const net::Message& msg) {
+  backends_[i].forwarded.fetch_add(1, std::memory_order_relaxed);
+  total_forwarded_.fetch_add(1, std::memory_order_relaxed);
+  net_.send(backends_[i].addr, msg);  // original tuple preserved (encap)
+}
+
 void Mux::handle_request(const net::Message& msg) {
   maybe_gc();
-  std::size_t dip = kNoBackend;
-  const auto it = affinity_.find(msg.tuple);
-  if (it != affinity_.end()) {
+  const auto now = net_.sim().now();
+  auto hit = flows_.lookup(msg.tuple, now);
+  if (hit.kind == FlowHit::Kind::kAffinity) {
     // Connection affinity: pinned regardless of weights — unless the
     // backend died since (defensive; removal drops its entries eagerly).
     // Draining backends keep serving their pinned flows: that is the whole
     // point of the graceful scale-in.
-    const auto idx = index_of_id(it->second.backend_id);
-    if (idx) {
-      dip = *idx;
-      it->second.last_seen = net_.sim().now();
-    } else {
-      affinity_.erase(it);
+    if (const auto idx = index_of_id(hit.backend_id)) {
+      forward(*idx, msg);
+      return;
+    }
+    flows_.erase(msg.tuple);
+    hit = FlowHit{};
+  }
+
+  // New connection. A fresh cached pick short-circuits the policy for
+  // tuple-deterministic policies (hash, maglev) — any pool mutation since
+  // the pick was cached bumped the epoch, so a hit can only name a
+  // still-current choice; the index checks below are defensive.
+  std::size_t dip = kNoBackend;
+  std::uint64_t id = 0;
+  if (hit.kind == FlowHit::Kind::kCachedPick && policy_caches_picks_) {
+    if (const auto idx = index_of_id(hit.backend_id)) {
+      const auto& b = backends_[*idx];
+      if (b.enabled && !b.draining &&
+          (b.weight_units > 0 || !policy_weighted_)) {
+        dip = *idx;
+        id = hit.backend_id;
+      }
     }
   }
+  std::uint64_t owner = 0;
+  bool fresh = false;
+  bool pinned = false;
   if (dip == kNoBackend) {
+    std::lock_guard<std::mutex> lk(pick_mutex_);
     dip = policy_->pick(msg.tuple, views_, rng_);
     if (dip == kNoBackend) {
-      ++no_backend_drops_;
+      no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
       return;  // connection refused; client times out
     }
-    affinity_[msg.tuple] = Affinity{backends_[dip].id, net_.sim().now()};
-    ++backends_[dip].active;
-    ++backends_[dip].connections;
-    views_[dip].active_conns = backends_[dip].active;
+    id = backends_[dip].id;
+    if (policy_uses_conns_) {
+      // LC-family: pin and account *inside* the pick critical section
+      // (pick mutex -> shard mutex is the legal order), so the next pick
+      // already sees this connection — releasing first would let
+      // concurrent opens herd onto the same least-loaded backend.
+      std::tie(owner, fresh) =
+          flows_.try_insert(msg.tuple, id, now, policy_caches_picks_);
+      if (fresh) {
+        backends_[dip].connections.fetch_add(1, std::memory_order_relaxed);
+        views_[dip].active_conns =
+            backends_[dip].active.fetch_add(1, std::memory_order_relaxed) + 1;
+      }
+      pinned = true;
+    }
   }
-  ++backends_[dip].forwarded;
-  ++total_forwarded_;
-  net_.send(backends_[dip].addr, msg);  // original tuple preserved (encap)
+  if (!pinned) {
+    std::tie(owner, fresh) =
+        flows_.try_insert(msg.tuple, id, now, policy_caches_picks_);
+    if (fresh) {
+      backends_[dip].connections.fetch_add(1, std::memory_order_relaxed);
+      backends_[dip].active.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!fresh) {
+    // A concurrent packet of the same tuple pinned it first; honour the
+    // winner (single-threaded drive never takes this branch).
+    if (const auto idx = index_of_id(owner)) dip = *idx;
+  }
+  forward(dip, msg);
+}
+
+void Mux::release_connection(std::size_t i) {
+  auto& b = backends_[i];
+  auto cur = b.active.load(std::memory_order_relaxed);
+  while (cur > 0 &&
+         !b.active.compare_exchange_weak(cur, cur - 1,
+                                         std::memory_order_relaxed)) {
+  }
+  refresh_view_active(i);
 }
 
 void Mux::handle_fin(const net::Message& msg) {
-  const auto it = affinity_.find(msg.tuple);
-  if (it == affinity_.end()) return;
-  const auto idx = index_of_id(it->second.backend_id);
-  affinity_.erase(it);
+  const auto id = flows_.erase(msg.tuple);
+  if (!id) return;
+  const auto idx = index_of_id(*id);
   if (!idx) return;  // backend removed while the flow was live
-  auto& b = backends_[*idx];
-  if (b.active > 0) --b.active;
-  views_[*idx].active_conns = b.active;
-  net_.send(b.addr, msg);  // let the server close out the connection too
+  release_connection(*idx);
+  net_.send(backends_[*idx].addr, msg);  // let the server close out too
   maybe_complete_drain(*idx);  // last pinned flow gone -> drain completes
 }
 

@@ -1,37 +1,60 @@
 // The MUX: the L4 LB dataplane instance.
 //
-// A Mux owns a VIP, keeps the connection-affinity table (5-tuple -> stable
-// backend id), applies the configured policy to new connections, and
-// forwards requests to DIPs with the original tuple preserved (encap +
+// A Mux owns a VIP, keeps the connection-affinity state (5-tuple -> stable
+// backend id) in a sharded FlowTable with a per-shard flow cache (see
+// lb/flow_table.hpp), applies the configured policy to new connections,
+// and forwards requests to DIPs with the original tuple preserved (encap +
 // direct server return, per Fig. 1). FINs flow through the MUX so it can
 // maintain per-DIP active connection counts for (W)LC — the proxy-visible
 // signal HAProxy uses.
+//
+// Threading (ISSUE 5): the packet path — handle_request/handle_fin via
+// on_message — is safe to drive concurrently from multiple threads over a
+// membership-stable pool with no draining members (a drainer's last FIN
+// completes the drain inline, which is a pool mutation — park drains on
+// the control thread before resuming concurrent drive, exactly like any
+// other lifecycle op). Affinity state contends only per shard;
+// per-backend counters are relaxed atomics aggregated on read; policy
+// picks (and the shared RNG they draw from) serialize on a single pick
+// mutex, which the flow cache and affinity hits bypass. Control-path
+// operations (apply_program, add/remove/fail_backend, weight changes, GC
+// configuration) mutate the backend vector and the policy and must be
+// serialized against the packet path by the caller — the simulator's
+// single-threaded event loop does this by construction; a multithreaded
+// driver (bench/mux_hotpath.cpp) must quiesce packets around programming,
+// exactly like a real dataplane swapping its config generation.
 //
 // Programming is transactional (see lb/pool_program.hpp): apply_program()
 // commits a whole desired pool — membership, weights, and lifecycle states
 // — atomically, and discards any transaction older than the last one
 // committed. Backends carry a stable id from registration to removal, so
-// the affinity table survives pool churn — indices shift when a backend is
-// removed, ids never do.
+// the affinity state survives pool churn — indices shift when a backend is
+// removed, ids never do. Every pool mutation bumps the flow-cache epoch: a
+// cached pick can never resurrect a removed, failed, or reweighted DIP.
 //
 // Graceful scale-in is first-class: a backend programmed kDraining is
 // parked (no new connections) while its pinned flows keep being served,
 // and it auto-completes to removed the moment its last affinity entry
-// drains (FIN or idle-GC). fail_backend() stays the abrupt path: pinned
-// flows are counted as reset and their clients retry on the survivors.
+// drains (FIN or idle-GC) — the per-backend active count makes completion
+// shard-local, no cross-shard scan. fail_backend() stays the abrupt path:
+// pinned flows are counted as reset and their clients retry on the
+// survivors.
 //
 // Weight changes only affect *new* connections: pinned connections drain
 // naturally, which is precisely the effect §4.7's drain-time estimation has
 // to wait out.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "lb/flow_table.hpp"
 #include "lb/policy.hpp"
 #include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
@@ -42,9 +65,11 @@ class Mux : public net::Node, public PoolProgrammer {
  public:
   /// With attach_to_vip = false the Mux does not bind the VIP on the
   /// fabric — a MuxPool owns the VIP and steers messages to its member
-  /// muxes directly (ECMP sharding).
+  /// muxes directly (ECMP sharding). `flow_cfg` sizes the sharded flow
+  /// table (a 1-shard, 0-cache config reproduces the old monolithic map —
+  /// the bench baseline).
   Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
-      bool attach_to_vip = true);
+      bool attach_to_vip = true, FlowTableConfig flow_cfg = {});
   ~Mux() override;
 
   net::IpAddr vip() const { return vip_; }
@@ -76,7 +101,9 @@ class Mux : public net::Node, public PoolProgrammer {
   /// Transactions discarded because a newer version had already committed.
   std::uint64_t superseded_programs() const { return superseded_programs_; }
   /// Drains that auto-completed to removal.
-  std::uint64_t drains_completed() const { return drains_completed_; }
+  std::uint64_t drains_completed() const {
+    return drains_completed_.load(std::memory_order_relaxed);
+  }
   std::size_t draining_count() const;
 
   // --- backend lifecycle (dataplane-local / direct test access) --------------
@@ -134,34 +161,64 @@ class Mux : public net::Node, public PoolProgrammer {
   bool set_weight_units(const std::vector<std::int64_t>& units);
   std::vector<std::int64_t> weight_units() const;
 
-  /// Administratively drain a backend (no new connections) without the
-  /// removal lifecycle — a temporary maintenance knob.
-  void set_backend_enabled(std::size_t i, bool enabled);
+  /// Administratively park (enabled = false) or unpark a backend without
+  /// the removal lifecycle — a temporary maintenance knob. Enabling a
+  /// *draining* backend is refused (warn + false): the drainer would keep
+  /// accepting new connections while `draining` still promises auto-removal
+  /// on empty, so it could never complete (ISSUE 5). Cancelling a drain is
+  /// an explicit act: re-list the backend kActive in a PoolProgram.
+  /// Returns false for an out-of-range index too.
+  bool set_backend_enabled(std::size_t i, bool enabled);
 
-  // --- affinity table --------------------------------------------------------
+  // --- affinity state --------------------------------------------------------
 
   /// Enable idle-flow GC: affinity entries with no request for `idle` are
   /// reclaimed (flows that never FIN). Zero (the default) disables it.
-  /// Sweeps run inline every few thousand forwarded requests and on
-  /// explicit gc_affinity() calls.
+  /// Inline sweeps run one shard at a time, amortized so the whole table
+  /// is covered every ~few thousand forwarded requests; explicit
+  /// gc_affinity() calls sweep everything.
   void set_affinity_idle_timeout(util::SimTime idle) { affinity_idle_ = idle; }
 
-  /// Sweep now; returns the number of entries reclaimed.
+  /// Sweep every shard now; returns the number of entries reclaimed.
   std::size_t gc_affinity();
 
-  std::size_t affinity_size() const { return affinity_.size(); }
+  std::size_t affinity_size() const { return flows_.size(); }
   /// Entries whose backend no longer exists. Always 0 — removal drops them
   /// eagerly — but tests assert it after churn.
   std::size_t dangling_affinity_count() const;
+
+  /// The sharded affinity table (shard/cache introspection for tests and
+  /// benches).
+  const FlowTable& flow_table() const { return flows_; }
 
   // --- dataplane counters ----------------------------------------------------
   std::uint64_t forwarded_requests(std::size_t i) const;
   std::uint64_t new_connections(std::size_t i) const;
   std::uint64_t active_connections(std::size_t i) const;
-  std::uint64_t total_forwarded() const { return total_forwarded_; }
+  std::uint64_t total_forwarded() const {
+    return total_forwarded_.load(std::memory_order_relaxed);
+  }
+  /// New connections refused because the policy had no usable backend
+  /// (clients see a timeout). The testbed asserts this stays zero through
+  /// steady phases (ISSUE 5 — it used to be counted but unreadable).
+  std::uint64_t no_backend_drops() const {
+    return no_backend_drops_.load(std::memory_order_relaxed);
+  }
   std::uint64_t rejected_programmings() const { return rejected_programmings_; }
-  std::uint64_t flows_reset_by_failure() const { return flows_reset_; }
-  std::uint64_t flows_gced_idle() const { return flows_gced_; }
+  std::uint64_t flows_reset_by_failure() const {
+    return flows_reset_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flows_gced_idle() const {
+    return flows_gced_.load(std::memory_order_relaxed);
+  }
+  /// Pinned flows dropped by an abrupt *graceful-path* removal — a
+  /// transactional kRemoved, omission from a non-weights-only program, or
+  /// an imperative remove_backend — as opposed to reset-by-failure or
+  /// drained-to-zero. Invisible before ISSUE 5: these flows vanished from
+  /// every metric.
+  std::uint64_t flows_dropped_by_removal() const {
+    return flows_dropped_.load(std::memory_order_relaxed);
+  }
   /// Program entries skipped because they would have re-admitted a failed
   /// backend from a transaction issued before the failure was observed.
   std::uint64_t stale_failed_admissions() const {
@@ -180,26 +237,51 @@ class Mux : public net::Node, public PoolProgrammer {
     std::int64_t weight_units = 0;
     bool enabled = true;
     bool draining = false;  // condemned: parked until affinity empties
-    std::uint64_t active = 0;
-    std::uint64_t connections = 0;  // cumulative new connections
-    std::uint64_t forwarded = 0;    // cumulative forwarded requests
+    // Packet-path counters: relaxed atomics so concurrent shards never
+    // lose an update; aggregated/read on the control path.
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> connections{0};  // cumulative new connections
+    std::atomic<std::uint64_t> forwarded{0};    // cumulative forwarded requests
+
+    Backend() = default;
+    Backend(const Backend& o) { *this = o; }
+    Backend& operator=(const Backend& o) {
+      id = o.id;
+      addr = o.addr;
+      server = o.server;
+      weight_units = o.weight_units;
+      enabled = o.enabled;
+      draining = o.draining;
+      active.store(o.active.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      connections.store(o.connections.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      forwarded.store(o.forwarded.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
 
     BackendView view() const {
-      return BackendView{addr, weight_units, enabled, active, server};
+      return BackendView{addr, weight_units, enabled,
+                         active.load(std::memory_order_relaxed), server};
     }
-  };
-
-  struct Affinity {
-    std::uint64_t backend_id = 0;
-    util::SimTime last_seen = util::SimTime::zero();
   };
 
   void handle_request(const net::Message& msg);
   void handle_fin(const net::Message& msg);
+  void forward(std::size_t i, const net::Message& msg);
+  /// Decrement backend `i`'s active count (never below zero) and, for
+  /// connection-count policies, refresh its policy view under the pick
+  /// mutex.
+  void release_connection(std::size_t i);
+  void refresh_view_active(std::size_t i);
   /// Refresh the cached policy view of the pool. Rebuilt on pool mutations
   /// (O(n), as the mutations already are); the per-packet pick path only
   /// patches active_conns in place, so a pick stays O(policy), not O(n).
   void rebuild_views();
+  /// Drop per-pool pick state: the policy's caches and every cached flow
+  /// pick (epoch bump). Called on every pool mutation.
+  void invalidate_pick_state();
   /// Rescale all weights to sum kWeightScale, preserving current ratios.
   /// All-zero pools fall back to an equal split (traffic must go somewhere).
   void renormalize_weights();
@@ -215,31 +297,46 @@ class Mux : public net::Node, public PoolProgrammer {
   void drop_affinity_for(std::uint64_t id, bool count_as_reset);
   void rebuild_id_index();
   void maybe_gc();
+  /// Sweep one flow-table shard (dead + idle entries) and complete any
+  /// drain the sweep emptied.
+  std::size_t gc_shard(std::size_t k);
 
   net::Network& net_;
   net::IpAddr vip_;
   bool attached_ = false;
   std::unique_ptr<Policy> policy_;
   util::Rng rng_;
+  /// Serializes policy picks (stateful policies + the shared RNG) and
+  /// every views_ access on the packet path. Lock order: pick_mutex_ may
+  /// be followed by a shard mutex (pick -> pin), never the reverse —
+  /// FlowTable callbacks that reenter the Mux run after the shard lock
+  /// drops (see FlowTable::gc_shard).
+  std::mutex pick_mutex_;
+  // Policy traits cached at install time: no virtual dispatch per packet.
+  bool policy_uses_conns_ = false;    // Policy::uses_connection_counts
+  bool policy_caches_picks_ = false;  // Policy::pick_is_tuple_deterministic
+  bool policy_weighted_ = false;      // Policy::weighted
   std::vector<Backend> backends_;
   std::vector<BackendView> views_;  // policy-facing cache, index-aligned
   std::unordered_map<std::uint64_t, std::size_t> id_index_;
-  std::unordered_map<net::FiveTuple, Affinity> affinity_;
+  FlowTable flows_;
   /// Failed address -> highest version issued when the failure was
   /// observed. Programs at or below that version cannot re-admit the
   /// address (they predate the failure); newer programs clear the entry.
   std::unordered_map<std::uint32_t, std::uint64_t> failed_tombstones_;
   util::SimTime affinity_idle_ = util::SimTime::zero();
   std::uint64_t next_backend_id_ = 1;
-  std::uint64_t requests_since_gc_ = 0;
-  std::uint64_t total_forwarded_ = 0;
-  std::uint64_t no_backend_drops_ = 0;
+  std::atomic<std::uint64_t> requests_since_gc_{0};
+  std::atomic<std::uint64_t> gc_cursor_{0};  // next shard the inline GC sweeps
+  std::atomic<std::uint64_t> total_forwarded_{0};
+  std::atomic<std::uint64_t> no_backend_drops_{0};
+  std::atomic<std::uint64_t> drains_completed_{0};
+  std::atomic<std::uint64_t> flows_reset_{0};
+  std::atomic<std::uint64_t> flows_gced_{0};
+  std::atomic<std::uint64_t> flows_dropped_{0};
   std::uint64_t rejected_programmings_ = 0;
   std::uint64_t applied_version_ = 0;
   std::uint64_t superseded_programs_ = 0;
-  std::uint64_t drains_completed_ = 0;
-  std::uint64_t flows_reset_ = 0;
-  std::uint64_t flows_gced_ = 0;
   std::uint64_t stale_failed_admissions_ = 0;
 };
 

@@ -140,6 +140,18 @@ std::uint64_t MuxPool::flows_reset_by_failure() const {
   return n;
 }
 
+std::uint64_t MuxPool::no_backend_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->no_backend_drops();
+  return n;
+}
+
+std::uint64_t MuxPool::flows_dropped_by_removal() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->flows_dropped_by_removal();
+  return n;
+}
+
 std::uint64_t MuxPool::drains_completed() const {
   std::uint64_t n = 0;
   for (const auto& m : muxes_) n += m->drains_completed();

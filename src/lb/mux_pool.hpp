@@ -75,6 +75,12 @@ class MuxPool : public net::Node, public PoolProgrammer {
   // --- aggregated dataplane counters -----------------------------------------
   std::uint64_t total_forwarded() const;
   std::uint64_t flows_reset_by_failure() const;
+  /// New connections refused pool-wide (no usable backend on the owning
+  /// shard's member) — the testbed's no-drop invariant reads this.
+  std::uint64_t no_backend_drops() const;
+  /// Pinned flows dropped by abrupt graceful-path removals pool-wide (see
+  /// Mux::flows_dropped_by_removal).
+  std::uint64_t flows_dropped_by_removal() const;
   std::uint64_t drains_completed() const;
   /// Backends still parked in the draining state, summed over members (a
   /// drain completes per member as its pinned flows empty).

@@ -8,28 +8,28 @@
 
 namespace klb::lb {
 
-namespace {
-
-/// Indices of enabled backends (weighted policies additionally require a
-/// positive weight).
-std::vector<std::size_t> usable(const std::vector<BackendView>& backends,
-                                bool need_weight) {
-  std::vector<std::size_t> out;
-  out.reserve(backends.size());
-  for (std::size_t i = 0; i < backends.size(); ++i) {
-    if (!backends[i].enabled) continue;
-    if (need_weight && backends[i].weight_units <= 0) continue;
-    out.push_back(i);
+const std::vector<std::size_t>& Policy::usable(
+    const std::vector<BackendView>& backends, bool need_weight) {
+  if (usable_dirty_ || backends.size() != usable_pool_size_ ||
+      need_weight != usable_need_weight_) {
+    usable_.clear();
+    usable_.reserve(backends.size());
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      if (!backends[i].enabled) continue;
+      if (need_weight && backends[i].weight_units <= 0) continue;
+      usable_.push_back(i);
+    }
+    usable_pool_size_ = backends.size();
+    usable_need_weight_ = need_weight;
+    usable_dirty_ = false;
   }
-  return out;
+  return usable_;
 }
-
-}  // namespace
 
 std::size_t RoundRobin::pick(const net::FiveTuple&,
                              const std::vector<BackendView>& backends,
                              util::Rng&) {
-  const auto idx = usable(backends, /*need_weight=*/false);
+  const auto& idx = usable(backends, /*need_weight=*/false);
   if (idx.empty()) return kNoBackend;
   return idx[counter_++ % idx.size()];
 }
@@ -37,12 +37,27 @@ std::size_t RoundRobin::pick(const net::FiveTuple&,
 std::size_t SmoothWeightedRoundRobin::pick(
     const net::FiveTuple&, const std::vector<BackendView>& backends,
     util::Rng&) {
-  if (current_.size() != backends.size()) current_.assign(backends.size(), 0);
+  const auto& idx = usable(backends, /*need_weight=*/true);
+  if (membership_dirty_ || current_.size() != backends.size()) {
+    // Credits are index-keyed: reset them whenever the index -> backend
+    // mapping changed (any membership difference, same-size swaps
+    // included), but keep them across pure reweights so the smoothing
+    // stays smooth through controller reprogramming.
+    bool changed = members_.size() != backends.size();
+    for (std::size_t i = 0; !changed && i < backends.size(); ++i)
+      changed = members_[i] != backends[i].addr.value();
+    if (changed) {
+      current_.assign(backends.size(), 0);
+      members_.resize(backends.size());
+      for (std::size_t i = 0; i < backends.size(); ++i)
+        members_[i] = backends[i].addr.value();
+    }
+    membership_dirty_ = false;
+  }
 
   std::int64_t total = 0;
   std::size_t best = kNoBackend;
-  for (std::size_t i = 0; i < backends.size(); ++i) {
-    if (!backends[i].enabled || backends[i].weight_units <= 0) continue;
+  for (const auto i : idx) {
     current_[i] += backends[i].weight_units;
     total += backends[i].weight_units;
     if (best == kNoBackend || current_[i] > current_[best]) best = i;
@@ -55,29 +70,29 @@ std::size_t SmoothWeightedRoundRobin::pick(
 std::size_t LeastConnection::pick(const net::FiveTuple&,
                                   const std::vector<BackendView>& backends,
                                   util::Rng& rng) {
-  const auto idx = usable(backends, /*need_weight=*/false);
+  const auto& idx = usable(backends, /*need_weight=*/false);
   if (idx.empty()) return kNoBackend;
   std::uint64_t best_conns = std::numeric_limits<std::uint64_t>::max();
-  std::vector<std::size_t> ties;
+  ties_.clear();
   for (const auto i : idx) {
     if (backends[i].active_conns < best_conns) {
       best_conns = backends[i].active_conns;
-      ties.clear();
-      ties.push_back(i);
+      ties_.clear();
+      ties_.push_back(i);
     } else if (backends[i].active_conns == best_conns) {
-      ties.push_back(i);
+      ties_.push_back(i);
     }
   }
-  return ties[rng.uniform_int(static_cast<std::uint64_t>(ties.size()))];
+  return ties_[rng.uniform_int(static_cast<std::uint64_t>(ties_.size()))];
 }
 
 std::size_t WeightedLeastConnection::pick(
     const net::FiveTuple&, const std::vector<BackendView>& backends,
     util::Rng& rng) {
-  const auto idx = usable(backends, /*need_weight=*/true);
+  const auto& idx = usable(backends, /*need_weight=*/true);
   if (idx.empty()) return kNoBackend;
   double best_score = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> ties;
+  ties_.clear();
   for (const auto i : idx) {
     // +1 so empty backends still differentiate by weight.
     const double score =
@@ -85,19 +100,19 @@ std::size_t WeightedLeastConnection::pick(
         static_cast<double>(backends[i].weight_units);
     if (score < best_score - 1e-12) {
       best_score = score;
-      ties.clear();
-      ties.push_back(i);
+      ties_.clear();
+      ties_.push_back(i);
     } else if (score <= best_score + 1e-12) {
-      ties.push_back(i);
+      ties_.push_back(i);
     }
   }
-  return ties[rng.uniform_int(static_cast<std::uint64_t>(ties.size()))];
+  return ties_[rng.uniform_int(static_cast<std::uint64_t>(ties_.size()))];
 }
 
 std::size_t RandomPolicy::pick(const net::FiveTuple&,
                                const std::vector<BackendView>& backends,
                                util::Rng& rng) {
-  const auto idx = usable(backends, /*need_weight=*/false);
+  const auto& idx = usable(backends, /*need_weight=*/false);
   if (idx.empty()) return kNoBackend;
   return idx[rng.uniform_int(static_cast<std::uint64_t>(idx.size()))];
 }
@@ -105,19 +120,22 @@ std::size_t RandomPolicy::pick(const net::FiveTuple&,
 std::size_t WeightedRandom::pick(const net::FiveTuple&,
                                  const std::vector<BackendView>& backends,
                                  util::Rng& rng) {
-  const auto idx = usable(backends, /*need_weight=*/true);
+  const auto& idx = usable(backends, /*need_weight=*/true);
   if (idx.empty()) return kNoBackend;
-  std::vector<double> weights(idx.size());
-  for (std::size_t k = 0; k < idx.size(); ++k)
-    weights[k] = static_cast<double>(backends[idx[k]].weight_units);
-  const auto k = rng.weighted_index(weights);
+  if (weights_dirty_ || weights_.size() != idx.size()) {
+    weights_.resize(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      weights_[k] = static_cast<double>(backends[idx[k]].weight_units);
+    weights_dirty_ = false;
+  }
+  const auto k = rng.weighted_index(weights_);
   return k < idx.size() ? idx[k] : kNoBackend;
 }
 
 std::size_t PowerOfTwoCpu::pick(const net::FiveTuple&,
                                 const std::vector<BackendView>& backends,
                                 util::Rng& rng) {
-  const auto idx = usable(backends, /*need_weight=*/false);
+  const auto& idx = usable(backends, /*need_weight=*/false);
   if (idx.empty()) return kNoBackend;
   if (idx.size() == 1) return idx[0];
   const auto a = idx[rng.uniform_int(static_cast<std::uint64_t>(idx.size()))];
@@ -133,7 +151,7 @@ std::size_t PowerOfTwoCpu::pick(const net::FiveTuple&,
 std::size_t HashTuple::pick(const net::FiveTuple& tuple,
                             const std::vector<BackendView>& backends,
                             util::Rng&) {
-  const auto idx = usable(backends, /*need_weight=*/false);
+  const auto& idx = usable(backends, /*need_weight=*/false);
   if (idx.empty()) return kNoBackend;
   return idx[net::hash_tuple(tuple) % idx.size()];
 }

@@ -5,6 +5,14 @@
 // unweighted and (where supported) weighted flavours. A policy picks a
 // backend for each *new* connection; existing connections stay pinned by
 // the MUX's affinity table.
+//
+// Picks are hot-path calls: the base class caches the usable-index list
+// (enabled backends, positive weight where required) and rebuilds it only
+// on invalidate() or a pool-size change, so a steady-state pick never
+// heap-allocates (ISSUE 5). The Mux calls invalidate() on every pool
+// mutation; direct users that mutate their BackendView vector (tests,
+// benches) must do the same — a size change is detected automatically, a
+// pure weight/enable change is not.
 #pragma once
 
 #include <cstdint>
@@ -42,15 +50,37 @@ class Policy {
   virtual std::string name() const = 0;
   /// true when the policy honours programmed weights.
   virtual bool weighted() const { return false; }
+  /// true when picks read the MUX-tracked connection counts (LC family):
+  /// the MUX keeps the policy views' active_conns fresh only then, and
+  /// never serves such a policy's picks from the flow cache (a cached
+  /// choice would bypass the live-load balancing).
+  virtual bool uses_connection_counts() const { return false; }
+  /// true when the pick is a pure function of the 5-tuple for a fixed pool
+  /// (hash, maglev): only then may the MUX serve repeat tuples from its
+  /// flow cache — for rotation/random policies a cached pick would skew
+  /// the distribution the policy exists to produce.
+  virtual bool pick_is_tuple_deterministic() const { return false; }
   /// Choose a backend index for a new connection, or kNoBackend.
   virtual std::size_t pick(const net::FiveTuple& tuple,
                            const std::vector<BackendView>& backends,
                            util::Rng& rng) = 0;
-  /// The backend pool changed (weights, membership, enable bits). Policies
-  /// that precompute per-pool state (maglev's lookup table) rebuild lazily
-  /// on the next pick; stateless policies ignore it. The Mux calls this on
-  /// every pool mutation.
-  virtual void invalidate() {}
+  /// The backend pool changed (weights, membership, enable bits). Drops
+  /// the cached usable list; overrides that keep extra per-pool state
+  /// (maglev's table, WRR's smoothing credits) must chain up.
+  virtual void invalidate() { usable_dirty_ = true; }
+
+ protected:
+  /// Indices of enabled backends (positive weight too when `need_weight`),
+  /// cached across picks — rebuilt only after invalidate() or when the
+  /// pool size changed. Returns a reference: no per-pick allocation.
+  const std::vector<std::size_t>& usable(
+      const std::vector<BackendView>& backends, bool need_weight);
+
+ private:
+  std::vector<std::size_t> usable_;
+  std::size_t usable_pool_size_ = 0;
+  bool usable_need_weight_ = false;
+  bool usable_dirty_ = true;
 };
 
 /// Factory by policy name: "rr", "wrr", "lc", "wlc", "random", "wrandom",
@@ -71,16 +101,28 @@ class RoundRobin : public Policy {
 };
 
 /// Nginx-style smooth weighted round robin. With equal weights this
-/// degenerates to plain RR; weight updates take effect on the next pick.
+/// degenerates to plain RR; weight updates take effect on the next pick
+/// (smoothing credits survive a pure reweight, like nginx's). Membership
+/// is re-checked after invalidate(): credits are index-keyed, so carrying
+/// them across a membership change used to hand a departed backend's
+/// accumulated credit to whichever newcomer inherited its index — the
+/// same-size transactional swap made that invisible to the old
+/// size-only reset (ISSUE 5).
 class SmoothWeightedRoundRobin : public Policy {
  public:
   std::string name() const override { return "wrr"; }
   bool weighted() const override { return true; }
+  void invalidate() override {
+    Policy::invalidate();
+    membership_dirty_ = true;
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 
  private:
   std::vector<std::int64_t> current_;
+  std::vector<std::uint32_t> members_;  // addr per index, aligned with current_
+  bool membership_dirty_ = true;
 };
 
 /// Least connection: fewest MUX-tracked active connections wins; random
@@ -88,8 +130,12 @@ class SmoothWeightedRoundRobin : public Policy {
 class LeastConnection : public Policy {
  public:
   std::string name() const override { return "lc"; }
+  bool uses_connection_counts() const override { return true; }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
+
+ private:
+  std::vector<std::size_t> ties_;  // scratch, reused across picks
 };
 
 /// Weighted least connection (HAProxy semantics): fewest conns/weight.
@@ -97,8 +143,12 @@ class WeightedLeastConnection : public Policy {
  public:
   std::string name() const override { return "wlc"; }
   bool weighted() const override { return true; }
+  bool uses_connection_counts() const override { return true; }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
+
+ private:
+  std::vector<std::size_t> ties_;  // scratch, reused across picks
 };
 
 /// Uniform random over enabled backends.
@@ -114,8 +164,16 @@ class WeightedRandom : public Policy {
  public:
   std::string name() const override { return "wrandom"; }
   bool weighted() const override { return true; }
+  void invalidate() override {
+    Policy::invalidate();
+    weights_dirty_ = true;
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
+
+ private:
+  std::vector<double> weights_;  // aligned with the cached usable list
+  bool weights_dirty_ = true;
 };
 
 /// Power-of-two-choices on CPU utilization (§6.2's P2): sample two distinct
@@ -131,6 +189,7 @@ class PowerOfTwoCpu : public Policy {
 class HashTuple : public Policy {
  public:
   std::string name() const override { return "hash"; }
+  bool pick_is_tuple_deterministic() const override { return true; }
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>&, util::Rng&) override;
 };

@@ -13,6 +13,7 @@
 // return (DIP responds straight to the client).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -73,10 +74,25 @@ class Network {
 
   bool attached(IpAddr addr) const { return nodes_.count(addr) > 0; }
 
+  /// Blackhole mode (benches): drop every send() before it touches the
+  /// event queue or the fabric RNG — both are single-threaded — so the MUX
+  /// packet path can be driven from worker threads (bench/mux_hotpath.cpp).
+  /// Dropped messages are counted in messages_blackholed().
+  void set_blackhole(bool on) {
+    blackhole_.store(on, std::memory_order_relaxed);
+  }
+  std::uint64_t messages_blackholed() const {
+    return blackholed_.load(std::memory_order_relaxed);
+  }
+
   /// Deliver `msg` to the node bound to `to` after the fabric latency.
   /// Messages to unbound addresses vanish (host unreachable) — callers
   /// discover this via their own timeouts, like real probes do.
   void send(IpAddr to, Message msg) {
+    if (blackhole_.load(std::memory_order_relaxed)) {
+      blackholed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     ++sent_;
     const auto delay =
         cfg_.base_latency +
@@ -101,6 +117,8 @@ class Network {
   FabricConfig cfg_;
   util::Rng rng_;
   std::unordered_map<IpAddr, Node*> nodes_;
+  std::atomic<bool> blackhole_{false};
+  std::atomic<std::uint64_t> blackholed_{0};
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_unreachable_ = 0;
 };

@@ -306,6 +306,25 @@ std::vector<DipMetrics> Testbed::metrics() const {
   return out;
 }
 
+DataplaneMetrics Testbed::dataplane_metrics() const {
+  DataplaneMetrics out;
+  const auto add = [&out](const lb::Mux& m) {
+    out.flows_reset_by_failure += m.flows_reset_by_failure();
+    out.flows_gced_idle += m.flows_gced_idle();
+    out.flows_dropped_by_removal += m.flows_dropped_by_removal();
+    out.no_backend_drops += m.no_backend_drops();
+    out.drains_completed += m.drains_completed();
+    out.stale_failed_admissions += m.stale_failed_admissions();
+    out.affinity_entries += m.affinity_size();
+  };
+  if (pool_) {
+    for (std::size_t k = 0; k < pool_->mux_count(); ++k) add(pool_->mux(k));
+  } else {
+    add(*mux_);
+  }
+  return out;
+}
+
 double Testbed::overall_latency_ms() const {
   return clients_->recorder().overall().mean();
 }

@@ -66,6 +66,21 @@ struct TestbedConfig {
   bool rescale_load_on_churn = true;
 };
 
+/// Pool-level dataplane lifecycle counters, aggregated over every MUX
+/// behind the VIP (one Mux, or all MuxPool members). These are the flows
+/// that do NOT show up in per-DIP metrics: reset by failure, reclaimed by
+/// idle-GC, dropped by an abrupt removal (ISSUE 5 — previously invisible),
+/// or refused because no backend was usable.
+struct DataplaneMetrics {
+  std::uint64_t flows_reset_by_failure = 0;
+  std::uint64_t flows_gced_idle = 0;
+  std::uint64_t flows_dropped_by_removal = 0;
+  std::uint64_t no_backend_drops = 0;
+  std::uint64_t drains_completed = 0;
+  std::uint64_t stale_failed_admissions = 0;
+  std::size_t affinity_entries = 0;
+};
+
 /// Per-DIP metrics snapshot for reporting.
 struct DipMetrics {
   net::IpAddr addr;
@@ -160,6 +175,8 @@ class Testbed {
 
   // --- metrics ---------------------------------------------------------------
   std::vector<DipMetrics> metrics() const;
+  /// Pool-level lifecycle counters (see DataplaneMetrics).
+  DataplaneMetrics dataplane_metrics() const;
   /// Mean client latency over the current window.
   double overall_latency_ms() const;
   double overall_p99_ms() const;

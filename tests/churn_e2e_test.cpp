@@ -56,6 +56,10 @@ TEST(ChurnE2E, ScaleOutDrainAndFailUnderLiveTraffic) {
     EXPECT_GT(pool->new_connections_to(new_addr), 0u);
   }
   EXPECT_EQ(pool->flows_reset_by_failure(), 0u);
+  // Steady no-drop invariant (ISSUE 5 — the counter existed but was
+  // unreadable): scale-out must never leave a new connection without a
+  // usable backend, pool-wide.
+  EXPECT_EQ(pool->no_backend_drops(), 0u);
 
   // --- Phase B: rolling graceful scale-in ------------------------------
   const auto resets_before_drain = pool->flows_reset_by_failure();
@@ -74,6 +78,10 @@ TEST(ChurnE2E, ScaleOutDrainAndFailUnderLiveTraffic) {
   EXPECT_EQ(bed.clients().recorder().timeouts(), timeouts_before_drain);
   // Traffic kept flowing through the drains.
   EXPECT_GT(bed.clients().recorder().overall().count(), goodput_before_drain);
+  // Rolling drains are graceful end to end: no connection was ever refused
+  // and no pinned flow was abruptly dropped by a removal.
+  EXPECT_EQ(pool->no_backend_drops(), 0u);
+  EXPECT_EQ(pool->flows_dropped_by_removal(), 0u);
 
   // --- Phase C: abrupt failure ----------------------------------------
   const auto dead_addr = bed.dip(1).address();
@@ -119,6 +127,19 @@ TEST(ChurnE2E, ScaleOutDrainAndFailUnderLiveTraffic) {
   }
   EXPECT_NEAR(sum, 1.0, 1e-3);
 
+  // Pool-level lifecycle accounting, through the testbed's aggregate view:
+  // the whole scenario reset exactly the dead DIP's flows, dropped none by
+  // abrupt removal, and never refused a connection (the failure's maglev
+  // rebuild redistributes the corpse's hash space in the same step).
+  const auto dm = bed.dataplane_metrics();
+  EXPECT_EQ(dm.flows_dropped_by_removal, 0u);
+  EXPECT_EQ(dm.no_backend_drops, 0u);
+  // Exactly the dead DIP's pinned flows (captured before fail_dip), on top
+  // of whatever the pre-failure phases had already reset (zero, asserted
+  // above) — the independent expectation, not the pool's own sum.
+  EXPECT_EQ(dm.flows_reset_by_failure, resets_before_fail + dead_active);
+  EXPECT_EQ(dm.drains_completed, 2 * pool->mux_count());
+
   const auto successes = bed.clients().recorder().overall().count();
   const auto timeouts = bed.clients().recorder().timeouts();
   EXPECT_GT(successes, 10'000u);
@@ -151,6 +172,8 @@ TEST(ChurnE2E, NoControllerChurnKeepsPoolConsistent) {
   bed.run_for(10_s);
   EXPECT_EQ(pool->draining_count(), 0u);
   EXPECT_EQ(pool->flows_reset_by_failure(), 0u);
+  EXPECT_EQ(pool->no_backend_drops(), 0u);
+  EXPECT_EQ(pool->flows_dropped_by_removal(), 0u);
 
   ASSERT_TRUE(bed.fail_dip(0));
   bed.run_for(10_s);

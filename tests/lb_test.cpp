@@ -582,6 +582,125 @@ TEST(Mux, DrainLifecycleEdges) {
   EXPECT_EQ(mux.weight_units()[0], util::kWeightScale);
 }
 
+// Regression (ISSUE 5): set_backend_enabled(i, true) used to silently
+// re-enable a draining backend, leaving `draining && enabled` — the
+// drainer kept accepting new connections, so its affinity never emptied
+// and the promised auto-removal never completed. It is now refused.
+TEST(Mux, EnablingDrainingBackendIsRefused) {
+  MuxFixture f;
+  Mux mux(f.net, f.vip, make_policy("wrr"));
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2};
+  PoolProgram v1(1);
+  v1.add(a, 5000).add(b, 5000);
+  mux.apply_program(v1);
+
+  // Pin flows, then drain a.
+  for (std::uint16_t p = 0; p < 16; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(1000 + p), p, 1));
+  f.sim.run_all();
+  ASSERT_GT(mux.active_connections(0), 0u);
+  PoolProgram v2(2);
+  v2.add(a, 0, BackendState::kDraining).add(b, util::kWeightScale);
+  mux.apply_program(v2);
+  ASSERT_TRUE(mux.backend_draining(0));
+
+  EXPECT_FALSE(mux.set_backend_enabled(0, true));
+  EXPECT_TRUE(mux.backend_draining(0));   // still condemned
+  EXPECT_FALSE(mux.backend_enabled(0));   // still parked
+
+  // New connections still avoid the drainer...
+  const auto conns_a = mux.new_connections(0);
+  for (std::uint16_t p = 0; p < 10; ++p)
+    f.net.send(f.vip, f.request(static_cast<std::uint16_t>(3000 + p),
+                                static_cast<std::uint64_t>(100 + p), 1));
+  f.sim.run_all();
+  EXPECT_EQ(mux.new_connections(0), conns_a);
+
+  // ...and the drain still auto-completes on the last FIN.
+  for (std::uint16_t p = 0; p < 16; ++p) {
+    net::Message fin;
+    fin.type = net::MsgType::kFin;
+    fin.tuple = tuple_with_port(static_cast<std::uint16_t>(1000 + p));
+    f.net.send(f.vip, fin);
+  }
+  f.sim.run_all();
+  EXPECT_EQ(mux.backend_count(), 1u);
+  EXPECT_EQ(mux.drains_completed(), 1u);
+  EXPECT_EQ(mux.flows_reset_by_failure(), 0u);
+
+  // The maintenance knob still works on healthy backends, loudly bounded.
+  EXPECT_TRUE(mux.set_backend_enabled(0, false));
+  EXPECT_TRUE(mux.set_backend_enabled(0, true));
+  EXPECT_FALSE(mux.set_backend_enabled(7, true));  // out of range
+}
+
+// Regression (ISSUE 5): smooth-WRR credits are index-keyed, and only a
+// pool-*size* change used to reset them — a same-size membership swap (one
+// removed + one admitted in a single transaction) handed the departed
+// backend's accumulated smoothing credit to the newcomer at its index.
+TEST(Policy, SmoothWrrSameSizeSwapResetsCredits) {
+  SmoothWeightedRoundRobin seasoned;
+  util::Rng rng(1);
+  auto backends = make_backends({7500, 2500});
+  for (int i = 0; i < 3; ++i)
+    seasoned.pick(tuple_with_port(0), backends, rng);  // mid-cycle credit
+
+  // Same-size swap: index 1's backend is replaced by a newcomer.
+  backends[1].addr = net::IpAddr{10, 1, 0, 99};
+  seasoned.invalidate();
+
+  // The seasoned policy must now pick exactly like a fresh one: the
+  // newcomer starts at zero credit instead of inheriting the leaver's.
+  SmoothWeightedRoundRobin fresh;
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(seasoned.pick(tuple_with_port(0), backends, rng),
+              fresh.pick(tuple_with_port(0), backends, rng))
+        << "diverged at pick " << i;
+}
+
+// The same corruption through the transactional path: a one-commit swap
+// (B out, C in, same pool size) must leave the dataplane's WRR in the
+// same state as a pool that never knew B.
+TEST(Mux, TransactionalSameSizeSwapResetsWrrState) {
+  MuxFixture f;
+  Mux seasoned(f.net, f.vip, make_policy("wrr"), /*attach_to_vip=*/false);
+  Mux fresh(f.net, f.vip, make_policy("wrr"), /*attach_to_vip=*/false);
+  const net::IpAddr a{10, 1, 0, 1}, b{10, 1, 0, 2}, c{10, 1, 0, 3};
+
+  PoolProgram v1(1);
+  v1.add(a, 7500).add(b, 2500);
+  seasoned.apply_program(v1);
+  for (std::uint16_t p = 0; p < 3; ++p) {  // accumulate smoothing credit
+    net::Message m;
+    m.type = net::MsgType::kHttpRequest;
+    m.tuple = tuple_with_port(static_cast<std::uint16_t>(500 + p));
+    seasoned.on_message(m);
+  }
+
+  PoolProgram v2(2);  // same-size swap: b leaves, c joins at b's share
+  v2.add(a, 7500).add(c, 2500);
+  seasoned.apply_program(v2);
+  PoolProgram w1(1);
+  w1.add(a, 7500).add(c, 2500);
+  fresh.apply_program(w1);
+
+  const auto base_a = seasoned.new_connections(0);  // pre-swap history
+  const auto base_c = seasoned.new_connections(1);
+  for (std::uint16_t p = 0; p < 20; ++p) {
+    net::Message m;
+    m.type = net::MsgType::kHttpRequest;
+    m.tuple = tuple_with_port(static_cast<std::uint16_t>(2000 + p));
+    seasoned.on_message(m);
+    fresh.on_message(m);
+    // Identical pick sequences <=> identical per-backend tallies at every
+    // step (the newcomer inherited nothing).
+    ASSERT_EQ(seasoned.new_connections(0) - base_a, fresh.new_connections(0))
+        << "diverged at connection " << p;
+    ASSERT_EQ(seasoned.new_connections(1) - base_c, fresh.new_connections(1))
+        << "diverged at connection " << p;
+  }
+}
+
 // A weights-only transaction (the drain estimator's kind) reweights the
 // backends it lists and leaves membership alone: a scale-out that raced
 // through the programming delay is not silently reverted by a stale view.
