@@ -5,9 +5,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "testbed/report.hpp"
@@ -202,6 +207,153 @@ inline std::vector<double> core_weights(const std::vector<testbed::DipSpec>& spe
   std::vector<double> w;
   for (const auto& s : specs) w.push_back(static_cast<double>(s.vm.cores));
   return w;
+}
+
+// --- machine-readable bench results (BENCH_*.json) ---------------------------
+//
+// Every Release bench-smoke run in CI emits its headline numbers through
+// this tiny JSON value type and commits them to the repo root, so
+// BENCH_mux_hotpath.json / BENCH_fig16_churn.json track PR-over-PR
+// performance. Deliberately minimal: objects keep insertion order (stable
+// diffs), doubles round-trip via max_digits-ish formatting, NaN/inf
+// degrade to 0 (JSON has no spelling for them).
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}  // NOLINT(google-explicit-constructor)
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}  // NOLINT
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Json(std::uint64_t v)  // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}       // NOLINT
+  Json(unsigned v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Json(const char* v) : kind_(Kind::kString), str_(v) {}  // NOLINT
+  Json(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+
+  /// Object member (insertion-ordered; a repeated key overwrites).
+  Json& set(const std::string& key, Json value) {
+    for (auto& [k, v] : members_) {
+      if (k == key) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& push(Json value) {
+    items_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string dump(int indent = 2) const {
+    std::ostringstream out;
+    write(out, indent, 0);
+    return out.str();
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kNumber, kString, kObject, kArray };
+  explicit Json(Kind k) : kind_(k) {}
+
+  static void escape(std::ostream& out, const std::string& s) {
+    out << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                << "0123456789abcdef"[c & 0xf];
+          } else {
+            out << c;
+          }
+      }
+    }
+    out << '"';
+  }
+
+  void write(std::ostream& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              static_cast<std::size_t>(depth + 1),
+                          ' ');
+    const std::string close_pad(
+        static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+        ' ');
+    switch (kind_) {
+      case Kind::kNull: out << "null"; break;
+      case Kind::kBool: out << (bool_ ? "true" : "false"); break;
+      case Kind::kInt: out << int_; break;
+      case Kind::kNumber: {
+        if (!std::isfinite(num_)) {
+          out << 0;
+          break;
+        }
+        std::ostringstream num;
+        num.precision(12);
+        num << num_;
+        out << num.str();
+        break;
+      }
+      case Kind::kString: escape(out, str_); break;
+      case Kind::kObject: {
+        if (members_.empty()) {
+          out << "{}";
+          break;
+        }
+        out << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out << pad;
+          escape(out, members_[i].first);
+          out << ": ";
+          members_[i].second.write(out, indent, depth + 1);
+          out << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        out << close_pad << "}";
+        break;
+      }
+      case Kind::kArray: {
+        if (items_.empty()) {
+          out << "[]";
+          break;
+        }
+        out << "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          out << pad;
+          items_[i].write(out, indent, depth + 1);
+          out << (i + 1 < items_.size() ? ",\n" : "\n");
+        }
+        out << close_pad << "]";
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+/// Write `value` to `path` with a trailing newline. Returns false (with a
+/// stderr note) on I/O failure so benches can exit non-zero.
+inline bool write_json_file(const std::string& path, const Json& value) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << value.dump() << "\n";
+  return static_cast<bool>(out);
 }
 
 

@@ -58,7 +58,21 @@ PhaseStats measure_phase(testbed::Testbed& bed, lb::MuxPool& pool,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool short_mode = argc > 1 && std::string(argv[1]) == "--short";
+  bool short_mode = false;
+  std::string json_path;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--short") {
+      short_mode = true;
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else {
+      std::cerr << "unknown argument '" << args[i]
+                << "'\nusage: bench_fig16_dynamic_churn [--short] "
+                   "[--json PATH]\n";
+      return 2;
+    }
+  }
   std::cout << "Fig. 16 (dynamic): live pool churn under traffic"
             << (short_mode ? " [short mode]" : "") << "\n";
 
@@ -190,5 +204,39 @@ int main(int argc, char** argv) {
                "mostly on the high-capacity survivors. Here the same\n"
                "controller does both on a pool that grows, drains, and "
                "fails mid-run.\n";
+
+  if (!json_path.empty()) {
+    const auto dm = bed.dataplane_metrics();
+    auto json = bench::Json::object();
+    json.set("bench", "fig16_dynamic_churn")
+        .set("mode", short_mode ? "short" : "full")
+        .set("live_dips", bed.dip_count())
+        .set("mux_count", cfg.mux_count)
+        .set("offered_rps", bed.offered_rps());
+    auto phases_json = bench::Json::array();
+    for (const auto& s : phases)
+      phases_json.push(bench::Json::object()
+                           .set("phase", s.name)
+                           .set("live_dips", s.live_dips)
+                           .set("goodput_rps", s.goodput_rps)
+                           .set("mean_ms", s.mean_ms)
+                           .set("p99_ms", s.p99_ms)
+                           .set("timeouts", s.timeouts)
+                           .set("flows_reset", s.flows_reset)
+                           .set("drains_completed", s.drains_completed));
+    json.set("phases", std::move(phases_json));
+    json.set("dataplane",
+             bench::Json::object()
+                 .set("flows_reset_by_failure", dm.flows_reset_by_failure)
+                 .set("drains_completed", dm.drains_completed)
+                 .set("no_backend_drops", dm.no_backend_drops)
+                 .set("stale_failed_admissions", dm.stale_failed_admissions)
+                 .set("generations_published", dm.generations_published)
+                 .set("generations_retired", dm.generations_retired)
+                 .set("pending_retired_generations",
+                      dm.pending_retired_generations));
+    json.set("failures", failures);
+    if (!bench::write_json_file(json_path, json)) return 1;
+  }
   return failures == 0 ? 0 : 1;
 }

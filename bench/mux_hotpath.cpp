@@ -1,4 +1,4 @@
-// Multi-threaded MUX hot-path bench (ISSUE 5): drives the real
+// Multi-threaded MUX hot-path bench (ISSUE 5 + ISSUE 6): drives the real
 // Mux::handle_request/handle_fin packet path from 1/2/4 worker threads and
 // reports picks/sec, comparing the sharded FlowTable (+ per-shard flow
 // cache) against the old monolithic single-map design (1 shard, no cache —
@@ -8,8 +8,21 @@
 // opens (policy pick / flow-cache pick), sends `requests_per_flow - 1`
 // pinned requests (affinity hits), and FINs. Rounds >= 2 make reconnecting
 // tuples exercise the flow cache. The fabric runs in blackhole mode (the
-// event queue is single-threaded); the pool is membership-stable, per the
-// Mux threading contract.
+// event queue is single-threaded).
+//
+// --churn (ISSUE 6) additionally measures pool-generation publication under
+// fire: a committer thread applies full PoolPrograms (rotated weights) and
+// enable/disable flips at a fixed cadence while the worker threads sustain
+// traffic. Each phase runs twice per thread count — once with the committer
+// idle (the "before the generation switch" stable baseline) and once with
+// it committing — and verifies, beyond counter conservation: zero
+// no-backend drops, every retired generation reclaimed (retired ==
+// published - 1, nothing pending), and the epoch floor caught up (no
+// reader left pinned). In --short mode it gates programs/s >= 100 and
+// churn throughput >= 0.9x the stable baseline at 2+ threads — at worker
+// counts that leave the committer its own core (skipped entirely on
+// single-core machines). In churn mode these gates replace the stable
+// scaling gate, keeping the mode meaningful under TSan.
 //
 // Always verifies counter conservation after every run — with concurrent
 // shards, a lost update shows up as a forwarded/connection/affinity
@@ -19,17 +32,25 @@
 // single-core machines, where extra threads cannot help; like
 // bench_fleet_multivip, the headline scaling needs real cores).
 //
-// Usage: bench_mux_hotpath [--short] [flows_per_thread] [requests_per_flow]
+// --json PATH writes every measured number as BENCH-style JSON (see
+// bench_common.hpp) for the CI perf trajectory.
+//
+// Usage: bench_mux_hotpath [--short] [--churn] [--json PATH]
+//                          [flows_per_thread] [requests_per_flow]
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "lb/maglev.hpp"
 #include "lb/mux.hpp"
 #include "lb/policy.hpp"
+#include "lb/pool_generation.hpp"
 #include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulation.hpp"
@@ -150,23 +171,196 @@ RunResult best_of(int reps, std::size_t shards, std::size_t cache_slots,
   return best;
 }
 
+// --- churn phase (ISSUE 6): commits racing the packet path -------------------
+
+struct ChurnResult {
+  double rate = 0.0;              // picks/sec across all worker threads
+  double programs_per_sec = 0.0;  // committed PoolPrograms/sec (0 if idle)
+  std::uint64_t generations_published = 0;
+  std::uint64_t generations_retired = 0;
+  bool ok = true;
+};
+
+// Drives `threads` workers over their flow spaces for ~duration_sec wall
+// seconds. With `commit`, a committer thread concurrently applies a full
+// PoolProgram (same 64 members, rotated weights) every ~1ms and flips one
+// backend's enable bit every 4th commit — every commit publishes a fresh
+// immutable PoolGeneration and retires the old one through the epoch
+// domain. Membership is stable, so counter conservation stays exact even
+// though the generation under the packet path changes hundreds of times
+// per second.
+ChurnResult run_churn_phase(unsigned threads, std::uint64_t flows,
+                            std::uint64_t requests_per_flow,
+                            double duration_sec, bool commit) {
+  klb::sim::Simulation sim(7);
+  klb::net::Network net(sim);
+  net.set_blackhole(true);
+  const auto live0 = klb::lb::PoolGeneration::live_count();
+
+  ChurnResult res;
+  auto check = [&res](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "INVARIANT VIOLATED: " << what << "\n";
+      res.ok = false;
+    }
+  };
+  {
+    // A smaller maglev table than the production default keeps each
+    // commit's rebuild cheap enough to sustain hundreds of programs/sec
+    // even under TSan; pick cost is table-size independent.
+    klb::lb::Mux mux(net, kVip, std::make_unique<klb::lb::MaglevPolicy>(4099),
+                     /*attach_to_vip=*/true, klb::lb::FlowTableConfig{});
+    auto make_program = [&mux](std::uint64_t rotation) {
+      klb::lb::PoolProgram p(mux.issue_version());
+      for (std::size_t d = 0; d < kDips; ++d) {
+        const auto units = static_cast<std::int64_t>(
+            klb::util::kWeightScale / kDips + ((d + rotation) % 8) * 16);
+        p.add(klb::net::IpAddr(static_cast<std::uint32_t>(0x0a010000 + d)),
+              units);
+      }
+      return p;
+    };
+    mux.apply_program(make_program(0));
+
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> rounds(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        klb::net::Message msg;
+        do {
+          for (std::uint64_t f = 0; f < flows; ++f) {
+            msg.tuple = flow_tuple(w, f);
+            msg.type = klb::net::MsgType::kHttpRequest;
+            for (std::uint64_t q = 0; q < requests_per_flow; ++q)
+              mux.on_message(msg);
+            msg.type = klb::net::MsgType::kFin;
+            mux.on_message(msg);
+          }
+          ++rounds[w];
+        } while (!stop.load(std::memory_order_acquire));
+      });
+    }
+
+    std::uint64_t commits = 1;  // the initial program above
+    std::thread committer;
+    if (commit) {
+      committer = std::thread([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        std::size_t disabled = kDips;  // kDips = none disabled
+        while (!stop.load(std::memory_order_acquire)) {
+          mux.apply_program(make_program(commits));
+          ++commits;
+          if (commits % 4 == 0) {
+            // At most one backend disabled at a time; ids are stable, so
+            // the shared per-backend counters keep conservation exact.
+            if (disabled < kDips) mux.set_backend_enabled(disabled, true);
+            disabled = (commits / 4) % kDips;
+            mux.set_backend_enabled(disabled, false);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (disabled < kDips) mux.set_backend_enabled(disabled, true);
+      });
+    }
+
+    const auto t0 = Clock::now();
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration_sec));
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    if (committer.joinable()) committer.join();
+    const auto dt = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    // No reader is pinned anymore: one poll must drain the retired list.
+    mux.poll();
+
+    std::uint64_t total_rounds = 0;
+    for (const auto r : rounds) total_rounds += r;
+    const std::uint64_t sent = total_rounds * flows * requests_per_flow;
+    const std::uint64_t opened = total_rounds * flows;
+    res.rate = dt > 0 ? static_cast<double>(sent) / dt : 0.0;
+    res.programs_per_sec =
+        commit && dt > 0 ? static_cast<double>(commits) / dt : 0.0;
+    res.generations_published = mux.generations_published();
+    res.generations_retired = mux.generations_retired();
+
+    std::uint64_t conns = 0, active = 0;
+    for (std::size_t d = 0; d < kDips; ++d) {
+      conns += mux.new_connections(d);
+      active += mux.active_connections(d);
+    }
+    check(mux.total_forwarded() == sent,
+          "churn: total_forwarded == requests sent (" +
+              std::to_string(mux.total_forwarded()) + " vs " +
+              std::to_string(sent) + ")");
+    check(conns == opened, "churn: new connections == flows opened (" +
+                               std::to_string(conns) + " vs " +
+                               std::to_string(opened) + ")");
+    check(active == 0, "churn: no active connections after all FINs (" +
+                           std::to_string(active) + " left)");
+    check(mux.affinity_size() == 0, "churn: affinity empty after all FINs");
+    check(mux.dangling_affinity_count() == 0,
+          "churn: no dangling affinity entries");
+    check(mux.no_backend_drops() == 0,
+          "churn: zero no-backend drops under churn (" +
+              std::to_string(mux.no_backend_drops()) + " dropped)");
+    // Generation lifecycle: everything retired was reclaimed (no reader
+    // left pinned, no generation leaked), and only the current one lives.
+    check(mux.pending_retired_generations() == 0,
+          "churn: retired generations all reclaimed after poll (" +
+              std::to_string(mux.pending_retired_generations()) +
+              " pending)");
+    check(mux.generations_retired() == mux.generations_published() - 1,
+          "churn: generations retired == published - 1 (" +
+              std::to_string(mux.generations_retired()) + " vs " +
+              std::to_string(mux.generations_published()) + " published)");
+    check(mux.oldest_live_epoch() == mux.current_epoch(),
+          "churn: no reader pinned below the current epoch");
+    check(mux.debug_check_generation(),
+          "churn: current generation self-check");
+    check(klb::lb::PoolGeneration::live_count() == live0 + 1,
+          "churn: exactly the current generation object alive (" +
+              std::to_string(klb::lb::PoolGeneration::live_count() - live0) +
+              ")");
+  }
+  // Mux destroyed: its last generation must go too — a use-after-retire
+  // bug would show up here as a leaked (or double-freed) snapshot.
+  check(klb::lb::PoolGeneration::live_count() == live0,
+        "churn: all generations destroyed with the Mux");
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool short_mode = false;
+  bool churn_mode = false;
+  std::string json_path;
   std::vector<std::string> args(argv + 1, argv + argc);
   std::uint64_t flows = 20'000;
   std::uint64_t requests_per_flow = 4;
   std::vector<std::uint64_t> positional;
-  for (const auto& a : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto& a = args[i];
     if (a == "--short") {
       short_mode = true;
+    } else if (a == "--churn") {
+      churn_mode = true;
+    } else if (a == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
     } else if (!a.empty() && a.size() <= 18 &&
                a.find_first_not_of("0123456789") == std::string::npos) {
       positional.push_back(std::stoull(a));
     } else {
       std::cerr << "unknown argument '" << a << "'\nusage: bench_mux_hotpath"
-                << " [--short] [flows_per_thread] [requests_per_flow]\n";
+                << " [--short] [--churn] [--json PATH]"
+                << " [flows_per_thread] [requests_per_flow]\n";
       return 2;
     }
   }
@@ -190,6 +384,15 @@ int main(int argc, char** argv) {
   std::cout << "hardware threads: " << hw << ", flow-table shards: "
             << klb::lb::FlowTable(sharded).shard_count() << "\n\n";
 
+  auto json = klb::bench::Json::object();
+  json.set("bench", "mux_hotpath")
+      .set("mode", short_mode ? "short" : "full")
+      .set("hardware_threads", hw)
+      .set("dips", kDips)
+      .set("flows_per_thread", flows)
+      .set("requests_per_flow", requests_per_flow);
+  auto json_stable = klb::bench::Json::array();
+
   klb::testbed::Table table({"threads", "single-map picks/s", "sharded picks/s",
                              "sharded/single", "scaling vs 1T"});
   bool ok = true;
@@ -210,14 +413,107 @@ int main(int argc, char** argv) {
                    "x",
                klb::testbed::fmt(shard.rate / std::max(1.0, sharded_1t), 2) +
                    "x"});
+    json_stable.push(klb::bench::Json::object()
+                         .set("threads", t)
+                         .set("single_map_picks_per_sec", base.rate)
+                         .set("sharded_picks_per_sec", shard.rate)
+                         .set("cache_hits", shard.cache_hits));
   }
   table.print();
   std::cout << "\nAffinity hits and cached picks bypass the pick lock; only "
                "fresh policy picks serialize.\n";
+  json.set("stable", std::move(json_stable));
+
+  // --- churn phase: generation publication racing the packet path ---------
+  bool churn_gate_fail = false;
+  int churn_gates_checked = 0;
+  if (churn_mode) {
+    const double duration_sec = short_mode ? 1.0 : 2.5;
+    const auto churn_flows = std::min<std::uint64_t>(flows, 2'000);
+    // The committer is a real thread: gates only fire at worker counts
+    // that leave it a core (t + 1 <= hw), so an oversubscribed runner
+    // measures timesharing, not a regression, and is exempt.
+    std::vector<unsigned> churn_counts{1, 2, 4};
+    if (short_mode) {
+      churn_counts = {1};
+      if (hw >= 2) churn_counts.push_back(2);
+    }
+    std::cout << "\n";
+    klb::testbed::banner(
+        "Pool churn: PoolPrograms committing while traffic flows (" +
+        std::to_string(churn_flows) + " flows/thread, ~" +
+        klb::testbed::fmt(duration_sec, 1) + "s per phase)");
+    klb::testbed::Table churn_table({"threads", "stable picks/s",
+                                     "churn picks/s", "churn/stable",
+                                     "programs/s", "generations"});
+    auto json_churn = klb::bench::Json::array();
+    for (const auto t : churn_counts) {
+      const auto stable = run_churn_phase(t, churn_flows, requests_per_flow,
+                                          duration_sec, /*commit=*/false);
+      const auto churned = run_churn_phase(t, churn_flows, requests_per_flow,
+                                           duration_sec, /*commit=*/true);
+      ok = ok && stable.ok && churned.ok;
+      const double ratio = churned.rate / std::max(1.0, stable.rate);
+      churn_table.row({std::to_string(t),
+                       klb::testbed::fmt(stable.rate / 1e6, 2) + "M",
+                       klb::testbed::fmt(churned.rate / 1e6, 2) + "M",
+                       klb::testbed::fmt(ratio, 2) + "x",
+                       klb::testbed::fmt(churned.programs_per_sec, 0),
+                       std::to_string(churned.generations_published)});
+      json_churn.push(
+          klb::bench::Json::object()
+              .set("threads", t)
+              .set("stable_picks_per_sec", stable.rate)
+              .set("churn_picks_per_sec", churned.rate)
+              .set("churn_over_stable", ratio)
+              .set("programs_per_sec", churned.programs_per_sec)
+              .set("generations_published", churned.generations_published)
+              .set("generations_retired", churned.generations_retired));
+      if (short_mode && hw >= 2 && t + 1 <= hw) {
+        ++churn_gates_checked;
+        if (churned.programs_per_sec < 100.0) {
+          std::cerr << "FAIL: committed only "
+                    << klb::testbed::fmt(churned.programs_per_sec, 0)
+                    << " programs/s under traffic (gate: >= 100/s)\n";
+          churn_gate_fail = true;
+        }
+        if (t >= 2 && ratio < 0.9) {
+          std::cerr << "FAIL: churn throughput at " << t << " threads ("
+                    << churned.rate / 1e6 << "M/s) regressed below 0.9x the "
+                    << "stable-pool baseline (" << stable.rate / 1e6
+                    << "M/s)\n";
+          churn_gate_fail = true;
+        }
+      }
+    }
+    churn_table.print();
+    std::cout << "\nEvery commit publishes an immutable generation; workers "
+                 "pin it epoch-style and never block on the committer.\n";
+    if (churn_gates_checked > 0 && !churn_gate_fail) {
+      std::cout << "churn gates passed (>= 100 programs/s; churn >= 0.9x "
+                   "stable at 2+ threads with a spare core)\n";
+    } else if (short_mode && churn_gates_checked == 0) {
+      std::cout << "churn gates skipped (needs a spare core for the "
+                   "committer)\n";
+    }
+    json.set("churn", std::move(json_churn));
+  }
+
+  if (!json_path.empty() &&
+      !klb::bench::write_json_file(json_path, json))
+    return 1;
 
   if (!ok) {
     std::cerr << "FAIL: hot-path counter invariants violated\n";
     return 1;
+  }
+  if (churn_gate_fail) return 1;
+  if (churn_mode) {
+    // In churn mode the churn gates carry the regression question; the
+    // stable single-vs-multi gate is skipped so the mode stays meaningful
+    // under sanitizer instrumentation (where raw scaling is distorted but
+    // same-instrumentation churn/stable ratios are not).
+    return 0;
   }
   if (short_mode && hw >= 2 && sharded_multi > 0.0) {
     if (sharded_multi < 0.9 * sharded_1t) {

@@ -83,6 +83,9 @@ void Controller::tick(bool allow_ilp) {
 
 bool Controller::tick_prepare() {
   ++rounds_;
+  // Dataplane maintenance rides the controller tick: complete drains the
+  // packet path flagged, reclaim retired pool generations.
+  lb_.poll();
   process_samples();
   maybe_refresh();
 

@@ -49,7 +49,8 @@ FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
 std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
                                                      std::uint64_t backend_id,
                                                      util::SimTime now,
-                                                     bool cache_pick) {
+                                                     bool cache_pick,
+                                                     std::uint64_t pick_epoch) {
   const auto h = net::hash_tuple(t);
   auto& s = shards_[shard_index(h)];
   std::lock_guard<std::mutex> lk(s.mu);
@@ -60,7 +61,8 @@ std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
     auto& slot = s.cache[cache_index(h)];
     slot.tuple = t;
     slot.backend_id = backend_id;
-    slot.epoch = epoch_.load(std::memory_order_relaxed);
+    slot.epoch =
+        pick_epoch != 0 ? pick_epoch : epoch_.load(std::memory_order_relaxed);
   }
   return {backend_id, true};
 }

@@ -93,11 +93,15 @@ class FlowTable {
   /// Pin `t` to `backend_id` unless it is already pinned (a concurrent
   /// packet of the same tuple may have won the race). Returns the owning
   /// backend id and whether this call inserted it. With `cache_pick` the
-  /// pick is also stored in the shard's flow cache under the current epoch.
+  /// pick is also stored in the shard's flow cache, stamped `pick_epoch`
+  /// (0 = the table's current epoch). A generation-based Mux passes the
+  /// epoch of the generation the pick was computed against, so a straggler
+  /// thread still reading a retired generation writes cache entries that
+  /// are already invalid — never a stale pick served as fresh.
   std::pair<std::uint64_t, bool> try_insert(const net::FiveTuple& t,
                                             std::uint64_t backend_id,
-                                            util::SimTime now,
-                                            bool cache_pick);
+                                            util::SimTime now, bool cache_pick,
+                                            std::uint64_t pick_epoch = 0);
 
   /// Unpin `t`, returning the backend it was pinned to (FIN path).
   std::optional<std::uint64_t> erase(const net::FiveTuple& t);
@@ -127,6 +131,16 @@ class FlowTable {
   /// resurrect a removed, failed, drained, or reweighted backend.
   void invalidate_picks() {
     epoch_.fetch_add(1, std::memory_order_relaxed);
+    pick_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Jump the pick epoch to `epoch` (a generation sequence number). Lets
+  /// the Mux key cached picks to its generation sequence: entries written
+  /// under an older generation miss, and a straggler's try_insert with
+  /// that older pick_epoch is born invalid. Callers must pass strictly
+  /// increasing values.
+  void set_pick_epoch(std::uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_relaxed);
     pick_invalidations_.fetch_add(1, std::memory_order_relaxed);
   }
 

@@ -47,6 +47,11 @@ class LbController : public PoolProgrammer {
   /// stay totally ordered.
   std::uint64_t issue_version() override { return dataplane_.issue_version(); }
 
+  /// Maintenance passes straight through — deferred drain completion and
+  /// generation reclamation happen in the dataplane, not in the delay
+  /// decorator.
+  void poll() override { dataplane_.poll(); }
+
   util::SimTime programming_delay() const { return delay_; }
   PoolProgrammer& dataplane() { return dataplane_; }
 

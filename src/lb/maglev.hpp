@@ -88,7 +88,7 @@ class MaglevTable {
 class MaglevPolicy : public Policy {
  public:
   explicit MaglevPolicy(std::size_t min_table_size = MaglevTable::kDefaultMinSize)
-      : table_(min_table_size) {}
+      : table_(min_table_size), min_table_size_(min_table_size) {}
 
   std::string name() const override { return "maglev"; }
   bool weighted() const override { return true; }
@@ -96,6 +96,17 @@ class MaglevPolicy : public Policy {
   void invalidate() override {
     Policy::invalidate();
     dirty_ = true;
+  }
+  /// Fresh same-sized instance, not a copy: the table is derived state
+  /// that prepare()/the next pick rebuilds, and copying O(table) slots per
+  /// generation publish would put a 65k memcpy on the control path.
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<MaglevPolicy>(min_table_size_);
+  }
+  /// Eager build on the control plane so the first pick after a
+  /// generation publish doesn't pay the O(table) fill under the pick lock.
+  void prepare(const std::vector<BackendView>& backends) override {
+    rebuild(backends);
   }
 
   std::size_t pick(const net::FiveTuple& tuple,
@@ -108,6 +119,7 @@ class MaglevPolicy : public Policy {
   void rebuild(const std::vector<BackendView>& backends);
 
   MaglevTable table_;
+  std::size_t min_table_size_ = MaglevTable::kDefaultMinSize;
   bool dirty_ = true;
   std::size_t cached_count_ = 0;
 };
@@ -133,6 +145,17 @@ class SharedMaglevPolicy : public Policy {
   void invalidate() override {
     Policy::invalidate();
     index_dirty_ = true;
+  }
+  /// Copying is cheap and correct here: the table is an immutable shared
+  /// snapshot (the clone aliases it) and the id->index cache rebuilds.
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<SharedMaglevPolicy>(*this);
+  }
+  void prepare(const std::vector<BackendView>& backends) override {
+    index_by_id_.clear();
+    for (std::size_t i = 0; i < backends.size(); ++i)
+      index_by_id_[backends[i].addr.value()] = i;
+    index_dirty_ = false;
   }
 
   /// Publish a new snapshot (pool-wide, once per program version).

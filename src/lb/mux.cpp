@@ -4,6 +4,7 @@
 #include <numeric>
 #include <tuple>
 
+#include "lb/maglev.hpp"
 #include "util/logging.hpp"
 #include "util/weight.hpp"
 
@@ -20,11 +21,12 @@ constexpr std::uint64_t kGcRequestInterval = 4096;
 Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
          bool attach_to_vip, FlowTableConfig flow_cfg)
     : net_(net), vip_(vip), attached_(attach_to_vip),
-      policy_(std::move(policy)), rng_(net.sim().rng().fork()),
-      flows_(flow_cfg) {
-  policy_uses_conns_ = policy_->uses_connection_counts();
-  policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
-  policy_weighted_ = policy_->weighted();
+      rng_(net.sim().rng().fork()), flows_(flow_cfg) {
+  // Publish the initial empty-pool generation: the packet path may assume
+  // current_ is never null. Its sequence (1) matches the FlowTable's
+  // initial pick epoch.
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  publish_locked({}, /*program_version=*/0, std::move(policy));
   if (attached_) net_.attach(vip_, this);
 }
 
@@ -33,34 +35,116 @@ Mux::~Mux() {
 }
 
 void Mux::set_policy(std::unique_ptr<Policy> policy) {
-  policy_ = std::move(policy);
-  policy_uses_conns_ = policy_->uses_connection_counts();
-  policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
-  policy_weighted_ = policy_->weighted();
-  // Re-snapshot the views: active_conns is only kept fresh while a
-  // connection-count policy is installed, so a switch *to* one must not
-  // inherit counts staled under the previous policy.
-  rebuild_views();
-  // The old policy's cached picks are meaningless under the new one.
-  invalidate_pick_state();
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  publish_locked(draft_locked(), applied_version(), std::move(policy));
 }
 
-void Mux::invalidate_pick_state() {
-  policy_->invalidate();
-  flows_.invalidate_picks();
+std::shared_ptr<const MaglevTable> Mux::shared_table_snapshot() const {
+  auto ref = read_gen();
+  const auto* shared =
+      dynamic_cast<const SharedMaglevPolicy*>(&ref.gen->policy());
+  // Reading without pick_mutex_ is safe: a published generation's policy
+  // never has set_table called on it again — the snapshot is frozen at
+  // publication.
+  return shared ? shared->table_snapshot() : nullptr;
+}
+
+// --- generation publication ----------------------------------------------------
+
+void Mux::publish_locked(std::vector<GenBackend> backends,
+                         std::uint64_t program_version,
+                         std::unique_ptr<Policy> policy_override) {
+  const auto seq = gen_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::unique_ptr<Policy> policy;
+  if (policy_override) {
+    policy = std::move(policy_override);
+  } else {
+    // Clone under the pick mutex: concurrent picks mutate policy state
+    // (rotation counters, smoothing credits) and the clone must be a
+    // consistent snapshot of it.
+    std::lock_guard<std::mutex> lk(pick_mutex_);
+    policy = current_owner_->policy().clone();
+  }
+  policy->invalidate();
+  auto gen = std::make_shared<PoolGeneration>(seq, program_version,
+                                              std::move(backends),
+                                              std::move(policy));
+  // Eager per-pool state build (maglev's table fill) on the control
+  // thread: no reader can see this generation yet, so no lock is needed,
+  // and the first pick against it pays nothing extra under pick_mutex_.
+  gen->policy().prepare(gen->views());
+
+  // Re-key the flow cache to the new generation BEFORE swinging the
+  // pointer: cached picks from older generations stop hitting, and a
+  // straggler still reading a retired generation inserts entries stamped
+  // with that generation's (old) sequence — born invalid, never served.
+  flows_.set_pick_epoch(seq);
+  current_.store(gen.get(), std::memory_order_release);
+  auto old = std::move(current_owner_);
+  current_owner_ = std::move(gen);
+  generations_published_.fetch_add(1, std::memory_order_relaxed);
+  // Retire only after the swap: the epoch tag then proves any reader
+  // pinned at or above it can only be holding the new generation.
+  if (old) epochs_.retire(std::shared_ptr<const void>(std::move(old)));
+}
+
+void Mux::poll() {
+  if (drain_poll_pending_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(control_mutex_);
+    sweep_drains_locked();
+  }
+  epochs_.reclaim();
+}
+
+void Mux::note_drain_empty() {
+  drain_poll_pending_.store(true, std::memory_order_release);
+  // Opportunistic sweep: never block the packet path on the control
+  // mutex. Uncontended (the single-threaded simulator always is) this
+  // completes the drain inline, preserving the pre-generation timing; a
+  // busy control plane picks the flag up in its own mutation or poll().
+  if (control_mutex_.try_lock()) {
+    std::lock_guard<std::mutex> lk(control_mutex_, std::adopt_lock);
+    sweep_drains_locked();
+  }
+}
+
+void Mux::sweep_drains_locked() {
+  if (!drain_poll_pending_.exchange(false, std::memory_order_acq_rel)) return;
+  auto draft = draft_locked();
+  std::vector<std::uint64_t> done;
+  for (auto it = draft.begin(); it != draft.end();) {
+    if (it->draining && it->counters->active.load(std::memory_order_relaxed) ==
+                            0) {
+      util::log_info(kLog) << "backend " << it->addr.str()
+                           << " drained; completing removal";
+      done.push_back(it->id);
+      it = draft.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (done.empty()) return;
+  drains_completed_.fetch_add(done.size(), std::memory_order_relaxed);
+  publish_locked(std::move(draft), applied_version());
+  // The drain completed with zero pinned flows; this only mops up affinity
+  // entries a straggling reader may have re-pinned mid-completion.
+  for (const auto id : done) drop_affinity_for(id, /*count_as_reset=*/false);
 }
 
 // --- transactional programming -------------------------------------------------
 
 void Mux::apply_program(const PoolProgram& program) {
-  if (program.version <= applied_version_) {
-    ++superseded_programs_;
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  if (program.version <= applied_version()) {
+    superseded_programs_.fetch_add(1, std::memory_order_relaxed);
     util::log_warn(kLog) << "discarding stale pool program v"
                          << program.version << " (pool already at v"
-                         << applied_version_ << ")";
+                         << applied_version() << ")";
     return;
   }
-  applied_version_ = program.version;
+  applied_version_.store(program.version, std::memory_order_relaxed);
+
+  auto draft = draft_locked();
 
   // Reconciliation is keyed by DIP address — the one name the emitter and
   // the dataplane agree on; stable ids stay dataplane-internal.
@@ -68,7 +152,7 @@ void Mux::apply_program(const PoolProgram& program) {
   for (const auto& e : program.entries) desired[e.dip.value()] = &e;
 
   std::vector<std::uint64_t> to_remove;  // stable ids, graceful removal
-  for (auto& b : backends_) {
+  for (auto& b : draft) {
     const auto it = desired.find(b.addr.value());
     // Absent from the desired pool (or its entry was consumed by an
     // earlier duplicate-address backend): removed — unless the program is
@@ -114,7 +198,7 @@ void Mux::apply_program(const PoolProgram& program) {
         // pool, not a deliberate resurrection. Admitting it would steer
         // the dead DIP's hash share into a black hole until the next
         // post-failure commit.
-        ++stale_failed_admissions_;
+        stale_failed_admissions_.fetch_add(1, std::memory_order_relaxed);
         util::log_warn(kLog)
             << "program v" << program.version << " re-lists failed backend "
             << e.dip.str() << " (condemned at v" << tomb->second
@@ -123,139 +207,143 @@ void Mux::apply_program(const PoolProgram& program) {
       }
       failed_tombstones_.erase(tomb);  // post-failure program: readmit
     }
-    Backend b;
+    GenBackend b;
     b.id = next_backend_id_++;
     b.addr = e.dip;
     b.weight_units = e.weight_units < 0 ? 0 : e.weight_units;
-    backends_.push_back(b);
+    b.counters = std::make_shared<BackendCounters>();
+    draft.push_back(std::move(b));
   }
 
+  // (removed id, counted-as-dropped) — affinity drops run after the new
+  // generation is live, so the packet path stops forwarding to a removed
+  // backend before its entries disappear.
+  std::vector<std::uint64_t> dropped_ids;
   for (const auto id : to_remove) {
-    for (std::size_t i = 0; i < backends_.size(); ++i) {
-      if (backends_[i].id != id) continue;
-      erase_backend_raw(i, /*failed=*/false);
+    for (auto it = draft.begin(); it != draft.end(); ++it) {
+      if (it->id != id) continue;
+      draft.erase(it);
+      dropped_ids.push_back(id);
       break;
     }
   }
 
   // A drain with no pinned flows completes in the same transaction.
-  for (std::size_t i = 0; i < backends_.size();) {
-    auto& b = backends_[i];
-    if (b.draining && b.active.load(std::memory_order_relaxed) == 0) {
+  for (auto it = draft.begin(); it != draft.end();) {
+    if (it->draining &&
+        it->counters->active.load(std::memory_order_relaxed) == 0) {
       drains_completed_.fetch_add(1, std::memory_order_relaxed);
-      erase_backend_raw(i, /*failed=*/false);
+      dropped_ids.push_back(it->id);
+      it = draft.erase(it);
     } else {
-      ++i;
+      ++it;
     }
   }
 
   // Weights apply literally — the transaction declares the whole pool, so
   // there is nothing to rescale (unlike the imperative churn ops below).
-  rebuild_id_index();
-  rebuild_views();
-  invalidate_pick_state();
+  publish_locked(std::move(draft), program.version);
+  for (const auto id : dropped_ids) drop_affinity_for(id, false);
+}
+
+std::size_t Mux::backend_count() const {
+  auto ref = read_gen();
+  return ref.gen->size();
 }
 
 std::vector<net::IpAddr> Mux::backend_addrs() const {
+  auto ref = read_gen();
   std::vector<net::IpAddr> out;
-  out.reserve(backends_.size());
-  for (const auto& b : backends_)
+  out.reserve(ref.gen->size());
+  for (const auto& b : ref.gen->backends())
     if (!b.draining) out.push_back(b.addr);
   return out;
 }
 
 std::size_t Mux::draining_count() const {
+  auto ref = read_gen();
   std::size_t n = 0;
-  for (const auto& b : backends_)
+  for (const auto& b : ref.gen->backends())
     if (b.draining) ++n;
   return n;
-}
-
-bool Mux::maybe_complete_drain(std::size_t i) {
-  if (i >= backends_.size()) return false;
-  if (!backends_[i].draining ||
-      backends_[i].active.load(std::memory_order_relaxed) > 0)
-    return false;
-  drains_completed_.fetch_add(1, std::memory_order_relaxed);
-  util::log_info(kLog) << "backend " << backends_[i].addr.str()
-                       << " drained; completing removal";
-  erase_backend_raw(i, /*failed=*/false);
-  rebuild_id_index();
-  rebuild_views();
-  invalidate_pick_state();
-  return true;
 }
 
 // --- imperative lifecycle (direct dataplane manipulation) ----------------------
 
 std::uint64_t Mux::add_backend(net::IpAddr dip,
                                const server::DipServer* server) {
+  std::lock_guard<std::mutex> lk(control_mutex_);
   failed_tombstones_.erase(dip.value());  // imperative re-add is deliberate
-  Backend b;
+  auto draft = draft_locked();
+  GenBackend b;
   b.id = next_backend_id_++;
   b.addr = dip;
   b.server = server;
+  b.counters = std::make_shared<BackendCounters>();
   // The newcomer enters at the pool's mean weight (a fair share relative
   // to its peers); existing controller-programmed ratios are preserved by
   // renormalize — an n-DIP equal pool stays equal at n+1, a weighted pool
   // keeps its shape. An all-parked pool gives the newcomer everything.
   std::int64_t sum = 0;
-  for (const auto& be : backends_) sum += be.weight_units;
+  for (const auto& be : draft) sum += be.weight_units;
   b.weight_units =
-      backends_.empty() || sum <= 0
+      draft.empty() || sum <= 0
           ? util::kWeightScale
-          : (sum + static_cast<std::int64_t>(backends_.size()) / 2) /
-                static_cast<std::int64_t>(backends_.size());
-  backends_.push_back(b);
-  renormalize_weights();
-  rebuild_id_index();
-  rebuild_views();
-  invalidate_pick_state();
-  return b.id;
+          : (sum + static_cast<std::int64_t>(draft.size()) / 2) /
+                static_cast<std::int64_t>(draft.size());
+  const auto id = b.id;
+  draft.push_back(std::move(b));
+  renormalize_weights(draft);
+  publish_locked(std::move(draft), applied_version());
+  return id;
 }
 
-bool Mux::remove_backend(std::size_t i) { return erase_backend(i, false); }
+bool Mux::remove_backend(std::size_t i) {
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  return erase_backend(i, false);
+}
 
 bool Mux::fail_backend(std::size_t i,
                        std::optional<std::uint64_t> condemned_until_version) {
-  if (i >= backends_.size()) return false;
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  if (i >= current_owner_->size()) return false;
   // Tombstone the address against every transaction issued up to the
   // failure observation: one of them may still be riding the programming
   // delay, and committing it must not resurrect the corpse.
-  condemn(backends_[i].addr,
-          condemned_until_version ? *condemned_until_version
-                                  : issued_versions());
+  condemn_locked(current_owner_->backends()[i].addr,
+                 condemned_until_version ? *condemned_until_version
+                                         : issued_versions());
   return erase_backend(i, true);
 }
 
+void Mux::condemn(net::IpAddr addr, std::uint64_t until_version) {
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  condemn_locked(addr, until_version);
+}
+
 bool Mux::erase_backend(std::size_t i, bool failed) {
-  if (i >= backends_.size()) return false;
-  erase_backend_raw(i, failed);
-  renormalize_weights();
-  rebuild_id_index();
-  rebuild_views();
-  invalidate_pick_state();
+  auto draft = draft_locked();
+  if (i >= draft.size()) return false;
+  const auto id = draft[i].id;
+  if (failed) {
+    util::log_warn(kLog)
+        << "backend " << draft[i].addr.str() << " failed; resetting "
+        << draft[i].counters->active.load(std::memory_order_relaxed)
+        << " pinned flows";
+  }
+  draft.erase(draft.begin() + static_cast<std::ptrdiff_t>(i));
+  renormalize_weights(draft);
+  publish_locked(std::move(draft), applied_version());
+  drop_affinity_for(id, failed);
   return true;
 }
 
-void Mux::erase_backend_raw(std::size_t i, bool failed) {
-  const auto id = backends_[i].id;
-  if (failed) {
-    util::log_warn(kLog) << "backend " << backends_[i].addr.str()
-                         << " failed; resetting "
-                         << backends_[i].active.load(std::memory_order_relaxed)
-                         << " pinned flows";
-  }
-  drop_affinity_for(id, failed);
-  backends_.erase(backends_.begin() + static_cast<std::ptrdiff_t>(i));
-}
-
-void Mux::renormalize_weights() {
-  if (backends_.empty()) return;
-  std::vector<double> raw(backends_.size());
+void Mux::renormalize_weights(std::vector<GenBackend>& draft) {
+  if (draft.empty()) return;
+  std::vector<double> raw(draft.size());
   double sum = 0.0;
-  for (std::size_t i = 0; i < backends_.size(); ++i) {
-    raw[i] = static_cast<double>(backends_[i].weight_units);
+  for (std::size_t i = 0; i < draft.size(); ++i) {
+    raw[i] = static_cast<double>(draft[i].weight_units);
     sum += raw[i];
   }
   // A fully parked pool (all zeros) stays parked: normalize's equal-split
@@ -263,8 +351,8 @@ void Mux::renormalize_weights() {
   // zero, e.g. after removing the only weighted backend.
   if (sum <= 0.0) return;
   const auto units = util::normalize_to_units(raw);
-  for (std::size_t i = 0; i < backends_.size(); ++i)
-    backends_[i].weight_units = units[i];
+  for (std::size_t i = 0; i < draft.size(); ++i)
+    draft[i].weight_units = units[i];
 }
 
 void Mux::drop_affinity_for(std::uint64_t id, bool count_as_reset) {
@@ -280,120 +368,127 @@ void Mux::drop_affinity_for(std::uint64_t id, bool count_as_reset) {
   }
 }
 
-void Mux::rebuild_id_index() {
-  id_index_.clear();
-  for (std::size_t i = 0; i < backends_.size(); ++i)
-    id_index_[backends_[i].id] = i;
-}
-
 std::optional<std::size_t> Mux::index_of_id(std::uint64_t id) const {
-  const auto it = id_index_.find(id);
-  if (it == id_index_.end()) return std::nullopt;
-  return it->second;
+  auto ref = read_gen();
+  return ref.gen->index_of(id);
 }
 
 // --- bounds-checked accessors --------------------------------------------------
 
 net::IpAddr Mux::backend_addr(std::size_t i) const {
-  if (i >= backends_.size()) {
+  auto ref = read_gen();
+  if (i >= ref.gen->size()) {
     util::log_warn(kLog) << "backend_addr(" << i << ") out of range ("
-                         << backends_.size() << " backends)";
+                         << ref.gen->size() << " backends)";
     return net::IpAddr{};
   }
-  return backends_[i].addr;
+  return ref.gen->backends()[i].addr;
 }
 
 std::uint64_t Mux::backend_id(std::size_t i) const {
-  if (i >= backends_.size()) {
+  auto ref = read_gen();
+  if (i >= ref.gen->size()) {
     util::log_warn(kLog) << "backend_id(" << i << ") out of range ("
-                         << backends_.size() << " backends)";
+                         << ref.gen->size() << " backends)";
     return 0;
   }
-  return backends_[i].id;
+  return ref.gen->backends()[i].id;
 }
 
 bool Mux::backend_enabled(std::size_t i) const {
-  if (i >= backends_.size()) {
+  auto ref = read_gen();
+  if (i >= ref.gen->size()) {
     util::log_warn(kLog) << "backend_enabled(" << i << ") out of range ("
-                         << backends_.size() << " backends)";
+                         << ref.gen->size() << " backends)";
     return false;
   }
-  return backends_[i].enabled;
+  return ref.gen->backends()[i].enabled;
 }
 
 bool Mux::backend_draining(std::size_t i) const {
-  return i < backends_.size() && backends_[i].draining;
+  auto ref = read_gen();
+  return i < ref.gen->size() && ref.gen->backends()[i].draining;
 }
 
 std::uint64_t Mux::forwarded_requests(std::size_t i) const {
-  return i < backends_.size()
-             ? backends_[i].forwarded.load(std::memory_order_relaxed)
+  auto ref = read_gen();
+  return i < ref.gen->size()
+             ? ref.gen->backends()[i].counters->forwarded.load(
+                   std::memory_order_relaxed)
              : 0;
 }
 
 std::uint64_t Mux::new_connections(std::size_t i) const {
-  return i < backends_.size()
-             ? backends_[i].connections.load(std::memory_order_relaxed)
+  auto ref = read_gen();
+  return i < ref.gen->size()
+             ? ref.gen->backends()[i].counters->connections.load(
+                   std::memory_order_relaxed)
              : 0;
 }
 
 std::uint64_t Mux::active_connections(std::size_t i) const {
-  return i < backends_.size()
-             ? backends_[i].active.load(std::memory_order_relaxed)
+  auto ref = read_gen();
+  return i < ref.gen->size()
+             ? ref.gen->backends()[i].counters->active.load(
+                   std::memory_order_relaxed)
              : 0;
 }
 
 // --- imperative weight programming ---------------------------------------------
 
 bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
-  if (units.size() != backends_.size()) {
-    ++rejected_programmings_;
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  auto draft = draft_locked();
+  if (units.size() != draft.size()) {
+    rejected_programmings_.fetch_add(1, std::memory_order_relaxed);
     util::log_warn(kLog) << "rejecting weight programming: " << units.size()
-                         << " entries for " << backends_.size()
+                         << " entries for " << draft.size()
                          << " backends (controller out of sync with pool)";
     return false;
   }
-  for (std::size_t i = 0; i < backends_.size(); ++i)
-    backends_[i].weight_units =
-        backends_[i].draining ? 0 : (units[i] < 0 ? 0 : units[i]);
-  rebuild_views();
-  invalidate_pick_state();
+  for (std::size_t i = 0; i < draft.size(); ++i)
+    draft[i].weight_units =
+        draft[i].draining ? 0 : (units[i] < 0 ? 0 : units[i]);
+  publish_locked(std::move(draft), applied_version());
   return true;
 }
 
 std::vector<std::int64_t> Mux::weight_units() const {
-  std::vector<std::int64_t> out(backends_.size());
-  for (std::size_t i = 0; i < backends_.size(); ++i)
-    out[i] = backends_[i].weight_units;
+  auto ref = read_gen();
+  std::vector<std::int64_t> out(ref.gen->size());
+  for (std::size_t i = 0; i < ref.gen->size(); ++i)
+    out[i] = ref.gen->backends()[i].weight_units;
   return out;
 }
 
 bool Mux::set_backend_enabled(std::size_t i, bool enabled) {
-  if (i >= backends_.size()) {
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  auto draft = draft_locked();
+  if (i >= draft.size()) {
     util::log_warn(kLog) << "set_backend_enabled(" << i << ") out of range ("
-                         << backends_.size() << " backends)";
+                         << draft.size() << " backends)";
     return false;
   }
-  if (enabled && backends_[i].draining) {
+  if (enabled && draft[i].draining) {
     // Enabling a drainer would leave `draining && enabled`: it keeps
     // accepting new connections, so its affinity never empties and the
     // promised auto-removal never completes. Cancel the drain explicitly
     // (re-list kActive in a PoolProgram) instead.
     util::log_warn(kLog) << "refusing to enable draining backend "
-                         << backends_[i].addr.str()
+                         << draft[i].addr.str()
                          << " (cancel the drain via a pool program instead)";
     return false;
   }
-  backends_[i].enabled = enabled;
-  views_[i].enabled = enabled;
-  invalidate_pick_state();
+  draft[i].enabled = enabled;
+  publish_locked(std::move(draft), applied_version());
   return true;
 }
 
 void Mux::reset_counters() {
-  for (auto& b : backends_) {
-    b.connections.store(0, std::memory_order_relaxed);
-    b.forwarded.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(control_mutex_);
+  for (const auto& b : current_owner_->backends()) {
+    b.counters->connections.store(0, std::memory_order_relaxed);
+    b.counters->forwarded.store(0, std::memory_order_relaxed);
   }
   total_forwarded_.store(0, std::memory_order_relaxed);
   no_backend_drops_.store(0, std::memory_order_relaxed);
@@ -401,51 +496,62 @@ void Mux::reset_counters() {
   flows_reset_.store(0, std::memory_order_relaxed);
   flows_gced_.store(0, std::memory_order_relaxed);
   flows_dropped_.store(0, std::memory_order_relaxed);
-  rejected_programmings_ = 0;
-  superseded_programs_ = 0;
-  stale_failed_admissions_ = 0;
-}
-
-void Mux::rebuild_views() {
-  views_.clear();
-  views_.reserve(backends_.size());
-  for (const auto& b : backends_) views_.push_back(b.view());
-}
-
-void Mux::refresh_view_active(std::size_t i) {
-  // Only the LC family reads active_conns from the views; for everyone
-  // else skipping the patch keeps FINs off the pick mutex entirely.
-  if (!policy_uses_conns_) return;
-  std::lock_guard<std::mutex> lk(pick_mutex_);
-  if (i < views_.size())
-    views_[i].active_conns = backends_[i].active.load(std::memory_order_relaxed);
+  rejected_programmings_.store(0, std::memory_order_relaxed);
+  superseded_programs_.store(0, std::memory_order_relaxed);
+  stale_failed_admissions_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t Mux::dangling_affinity_count() const {
+  auto ref = read_gen();
+  const auto* gen = ref.gen;
   std::size_t n = 0;
   flows_.for_each([&](const net::FiveTuple&, std::uint64_t id, util::SimTime) {
-    if (id_index_.count(id) == 0) ++n;
+    if (!gen->index_of(id)) ++n;
   });
   return n;
 }
 
+bool Mux::debug_check_generation() const {
+  auto ref = read_gen();
+  return ref.gen != nullptr && ref.gen->self_check();
+}
+
+// --- affinity GC ---------------------------------------------------------------
+
 std::size_t Mux::gc_shard(std::size_t k) {
   const auto now = net_.sim().now();
-  const auto reclaimed = flows_.gc_shard(
-      k, now, affinity_idle_,
-      [this](std::uint64_t id) { return id_index_.count(id) > 0; },
-      // Runs after the shard lock drops (FlowTable contract), so taking
-      // the pick mutex inside refresh_view_active cannot deadlock against
-      // a concurrent pick -> pin.
-      [this](std::uint64_t id, bool dead) {
-        flows_gced_.fetch_add(1, std::memory_order_relaxed);
-        if (dead) return;  // a live backend loses a flow that never FIN'd
-        if (const auto idx = index_of_id(id)) release_connection(*idx);
-      });
-  // The GC may have reclaimed a drainer's last flow (FIN-less clients are
-  // exactly what would otherwise wedge a graceful scale-in forever).
-  for (std::size_t i = 0; i < backends_.size();)
-    if (!maybe_complete_drain(i)) ++i;
+  const auto idle = util::SimTime::micros(
+      affinity_idle_us_.load(std::memory_order_relaxed));
+  bool drain_emptied = false;
+  std::size_t reclaimed = 0;
+  {
+    auto ref = read_gen();
+    const auto* gen = ref.gen;
+    reclaimed = flows_.gc_shard(
+        k, now, idle,
+        [gen](std::uint64_t id) { return gen->index_of(id).has_value(); },
+        // Runs after the shard lock drops (FlowTable contract), so taking
+        // the pick mutex inside release_connection cannot deadlock against
+        // a concurrent pick -> pin.
+        [this, gen](std::uint64_t id, bool dead) {
+          flows_gced_.fetch_add(1, std::memory_order_relaxed);
+          if (dead) return;  // a live backend loses a flow that never FIN'd
+          if (const auto idx = gen->index_of(id))
+            release_connection(*gen, *idx);
+        });
+    // The GC may have reclaimed a drainer's last flow (FIN-less clients
+    // are exactly what would otherwise wedge a graceful scale-in forever).
+    for (const auto& b : gen->backends()) {
+      if (b.draining &&
+          b.counters->active.load(std::memory_order_relaxed) == 0) {
+        drain_emptied = true;
+        break;
+      }
+    }
+  }
+  // Flag outside the pin: completing the drain publishes + retires, and
+  // our own pinned slot must not defer the reclamation it triggers.
+  if (drain_emptied) note_drain_empty();
   return reclaimed;
 }
 
@@ -457,7 +563,7 @@ std::size_t Mux::gc_affinity() {
 }
 
 void Mux::maybe_gc() {
-  if (affinity_idle_ <= util::SimTime::zero()) return;
+  if (affinity_idle_us_.load(std::memory_order_relaxed) <= 0) return;
   // One shard per trigger: the whole table is covered once per
   // kGcRequestInterval forwarded requests, but no single packet ever pays
   // for more than one shard's sweep.
@@ -470,6 +576,8 @@ void Mux::maybe_gc() {
   gc_shard(gc_cursor_.fetch_add(1, std::memory_order_relaxed) %
            flows_.shard_count());
 }
+
+// --- packet path ---------------------------------------------------------------
 
 void Mux::on_message(const net::Message& msg) {
   switch (msg.type) {
@@ -484,23 +592,33 @@ void Mux::on_message(const net::Message& msg) {
   }
 }
 
-void Mux::forward(std::size_t i, const net::Message& msg) {
-  backends_[i].forwarded.fetch_add(1, std::memory_order_relaxed);
+void Mux::forward(const PoolGeneration& gen, std::size_t i,
+                  const net::Message& msg) {
+  gen.backends()[i].counters->forwarded.fetch_add(1,
+                                                  std::memory_order_relaxed);
   total_forwarded_.fetch_add(1, std::memory_order_relaxed);
-  net_.send(backends_[i].addr, msg);  // original tuple preserved (encap)
+  net_.send(gen.backends()[i].addr, msg);  // original tuple preserved (encap)
 }
 
 void Mux::handle_request(const net::Message& msg) {
   maybe_gc();
   const auto now = net_.sim().now();
+  // Pin the current generation for the duration of this packet: every
+  // index below names a position in THIS snapshot, immune to concurrent
+  // publications. A pick computed here may race a commit and land on a
+  // just-reweighted backend — bounded by one packet, the same window a
+  // real dataplane's config swap has.
+  auto ref = read_gen();
+  const PoolGeneration& gen = *ref.gen;
+
   auto hit = flows_.lookup(msg.tuple, now);
   if (hit.kind == FlowHit::Kind::kAffinity) {
     // Connection affinity: pinned regardless of weights — unless the
     // backend died since (defensive; removal drops its entries eagerly).
     // Draining backends keep serving their pinned flows: that is the whole
     // point of the graceful scale-in.
-    if (const auto idx = index_of_id(hit.backend_id)) {
-      forward(*idx, msg);
+    if (const auto idx = gen.index_of(hit.backend_id)) {
+      forward(gen, *idx, msg);
       return;
     }
     flows_.erase(msg.tuple);
@@ -508,16 +626,16 @@ void Mux::handle_request(const net::Message& msg) {
   }
 
   // New connection. A fresh cached pick short-circuits the policy for
-  // tuple-deterministic policies (hash, maglev) — any pool mutation since
-  // the pick was cached bumped the epoch, so a hit can only name a
-  // still-current choice; the index checks below are defensive.
+  // tuple-deterministic policies (hash, maglev) — the cache is keyed to
+  // the generation sequence, so a hit can only name a choice made against
+  // the current generation; the index checks below are defensive.
   std::size_t dip = kNoBackend;
   std::uint64_t id = 0;
-  if (hit.kind == FlowHit::Kind::kCachedPick && policy_caches_picks_) {
-    if (const auto idx = index_of_id(hit.backend_id)) {
-      const auto& b = backends_[*idx];
+  if (hit.kind == FlowHit::Kind::kCachedPick && gen.policy_caches_picks()) {
+    if (const auto idx = gen.index_of(hit.backend_id)) {
+      const auto& b = gen.backends()[*idx];
       if (b.enabled && !b.draining &&
-          (b.weight_units > 0 || !policy_weighted_)) {
+          (b.weight_units > 0 || !gen.policy_weighted())) {
         dip = *idx;
         id = hit.backend_id;
       }
@@ -528,61 +646,77 @@ void Mux::handle_request(const net::Message& msg) {
   bool pinned = false;
   if (dip == kNoBackend) {
     std::lock_guard<std::mutex> lk(pick_mutex_);
-    dip = policy_->pick(msg.tuple, views_, rng_);
+    dip = gen.policy().pick(msg.tuple, gen.views(), rng_);
     if (dip == kNoBackend) {
       no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
       return;  // connection refused; client times out
     }
-    id = backends_[dip].id;
-    if (policy_uses_conns_) {
+    id = gen.backends()[dip].id;
+    if (gen.policy_uses_conns()) {
       // LC-family: pin and account *inside* the pick critical section
       // (pick mutex -> shard mutex is the legal order), so the next pick
       // already sees this connection — releasing first would let
       // concurrent opens herd onto the same least-loaded backend.
-      std::tie(owner, fresh) =
-          flows_.try_insert(msg.tuple, id, now, policy_caches_picks_);
+      std::tie(owner, fresh) = flows_.try_insert(
+          msg.tuple, id, now, gen.policy_caches_picks(), gen.seq());
       if (fresh) {
-        backends_[dip].connections.fetch_add(1, std::memory_order_relaxed);
-        views_[dip].active_conns =
-            backends_[dip].active.fetch_add(1, std::memory_order_relaxed) + 1;
+        auto& c = *gen.backends()[dip].counters;
+        c.connections.fetch_add(1, std::memory_order_relaxed);
+        gen.views()[dip].active_conns =
+            c.active.fetch_add(1, std::memory_order_relaxed) + 1;
       }
       pinned = true;
     }
   }
   if (!pinned) {
-    std::tie(owner, fresh) =
-        flows_.try_insert(msg.tuple, id, now, policy_caches_picks_);
+    std::tie(owner, fresh) = flows_.try_insert(
+        msg.tuple, id, now, gen.policy_caches_picks(), gen.seq());
     if (fresh) {
-      backends_[dip].connections.fetch_add(1, std::memory_order_relaxed);
-      backends_[dip].active.fetch_add(1, std::memory_order_relaxed);
+      auto& c = *gen.backends()[dip].counters;
+      c.connections.fetch_add(1, std::memory_order_relaxed);
+      c.active.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (!fresh) {
     // A concurrent packet of the same tuple pinned it first; honour the
     // winner (single-threaded drive never takes this branch).
-    if (const auto idx = index_of_id(owner)) dip = *idx;
+    if (const auto idx = gen.index_of(owner)) dip = *idx;
   }
-  forward(dip, msg);
+  forward(gen, dip, msg);
 }
 
-void Mux::release_connection(std::size_t i) {
-  auto& b = backends_[i];
-  auto cur = b.active.load(std::memory_order_relaxed);
-  while (cur > 0 &&
-         !b.active.compare_exchange_weak(cur, cur - 1,
-                                         std::memory_order_relaxed)) {
+void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
+  auto& active = gen.backends()[i].counters->active;
+  auto cur = active.load(std::memory_order_relaxed);
+  while (cur > 0 && !active.compare_exchange_weak(cur, cur - 1,
+                                                  std::memory_order_relaxed)) {
   }
-  refresh_view_active(i);
+  // Only the LC family reads active_conns from the views; for everyone
+  // else skipping the patch keeps FINs off the pick mutex entirely.
+  if (!gen.policy_uses_conns()) return;
+  std::lock_guard<std::mutex> lk(pick_mutex_);
+  gen.views()[i].active_conns = active.load(std::memory_order_relaxed);
 }
 
 void Mux::handle_fin(const net::Message& msg) {
   const auto id = flows_.erase(msg.tuple);
   if (!id) return;
-  const auto idx = index_of_id(*id);
-  if (!idx) return;  // backend removed while the flow was live
-  release_connection(*idx);
-  net_.send(backends_[*idx].addr, msg);  // let the server close out too
-  maybe_complete_drain(*idx);  // last pinned flow gone -> drain completes
+  net::IpAddr addr;
+  bool drain_emptied = false;
+  {
+    auto ref = read_gen();
+    const auto idx = ref.gen->index_of(*id);
+    if (!idx) return;  // backend removed while the flow was live
+    release_connection(*ref.gen, *idx);
+    const auto& b = ref.gen->backends()[*idx];
+    addr = b.addr;
+    drain_emptied =
+        b.draining && b.counters->active.load(std::memory_order_relaxed) == 0;
+  }
+  net_.send(addr, msg);  // let the server close out too
+  // Flag after unpinning (see gc_shard): the completion this triggers
+  // retires a generation, and our own slot must not block its reclaim.
+  if (drain_emptied) note_drain_empty();
 }
 
 }  // namespace klb::lb

@@ -8,36 +8,50 @@
 // maintain per-DIP active connection counts for (W)LC — the proxy-visible
 // signal HAProxy uses.
 //
-// Threading (ISSUE 5): the packet path — handle_request/handle_fin via
-// on_message — is safe to drive concurrently from multiple threads over a
-// membership-stable pool with no draining members (a drainer's last FIN
-// completes the drain inline, which is a pool mutation — park drains on
-// the control thread before resuming concurrent drive, exactly like any
-// other lifecycle op). Affinity state contends only per shard;
-// per-backend counters are relaxed atomics aggregated on read; policy
-// picks (and the shared RNG they draw from) serialize on a single pick
-// mutex, which the flow cache and affinity hits bypass. Control-path
-// operations (apply_program, add/remove/fail_backend, weight changes, GC
-// configuration) mutate the backend vector and the policy and must be
-// serialized against the packet path by the caller — the simulator's
-// single-threaded event loop does this by construction; a multithreaded
-// driver (bench/mux_hotpath.cpp) must quiesce packets around programming,
-// exactly like a real dataplane swapping its config generation.
+// Pool state is published as immutable generations (ROADMAP item 1, the
+// RCU-style scheme): every control-plane mutation — a committed
+// PoolProgram, imperative churn, a weight or enable change, a policy swap
+// — builds a fresh lb::PoolGeneration (membership, weights, flags, and a
+// per-generation policy clone) and swings one atomic pointer to it. The
+// packet path pins the current generation through an EpochDomain (one CAS
+// + one store per packet, no lock, no allocation), works against that
+// frozen snapshot for the duration of the packet, and unpins; superseded
+// generations are retired into the domain and freed only once every
+// reader that could hold them is provably gone. The packet path therefore
+// NEVER takes a lock the control plane can hold: programs commit at full
+// traffic rate (bench/mux_hotpath.cpp --churn drives both concurrently).
+//
+// What still serializes:
+//   * control_mutex_ — all control-plane mutations against each other.
+//   * pick_mutex_ — policy picks (stateful policies + the shared RNG) and
+//     the per-generation views' active_conns patching. Affinity hits and
+//     flow-cache hits bypass it. The control plane takes it only for the
+//     instants of cloning the old policy into a new generation.
+//   * per-shard FlowTable mutexes — affinity state, per shard.
+// Lock order: control_mutex_ -> pick_mutex_ -> shard mutex. The packet
+// path starts at pick_mutex_ or below, so it can stall on a shard or on a
+// concurrent pick, but never on the control plane; an epoch pin is not a
+// lock.
 //
 // Programming is transactional (see lb/pool_program.hpp): apply_program()
 // commits a whole desired pool — membership, weights, and lifecycle states
 // — atomically, and discards any transaction older than the last one
 // committed. Backends carry a stable id from registration to removal, so
 // the affinity state survives pool churn — indices shift when a backend is
-// removed, ids never do. Every pool mutation bumps the flow-cache epoch: a
-// cached pick can never resurrect a removed, failed, or reweighted DIP.
+// removed, ids never do. Every publication re-keys the flow cache to the
+// new generation's sequence number: a cached pick can never resurrect a
+// removed, failed, or reweighted DIP, and a pick computed against an
+// already-retired generation is cached dead-on-arrival.
 //
 // Graceful scale-in is first-class: a backend programmed kDraining is
-// parked (no new connections) while its pinned flows keep being served,
-// and it auto-completes to removed the moment its last affinity entry
-// drains (FIN or idle-GC) — the per-backend active count makes completion
-// shard-local, no cross-shard scan. fail_backend() stays the abrupt path:
-// pinned flows are counted as reset and their clients retry on the
+// parked (no new connections) while its pinned flows keep being served.
+// Completion is a control-plane action: the FIN (or idle-GC) that empties
+// a drainer only *flags* it (note_drain_empty), and the flag is swept by
+// an opportunistic try_lock on the spot — uncontended callers (the
+// single-threaded simulator always is) complete the drain inline exactly
+// as before — or by the next control-plane poll()/mutation otherwise. The
+// packet path never blocks on the sweep. fail_backend() stays the abrupt
+// path: pinned flows are counted as reset and their clients retry on the
 // survivors.
 //
 // Weight changes only affect *new* connections: pinned connections drain
@@ -54,12 +68,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lb/epoch.hpp"
 #include "lb/flow_table.hpp"
 #include "lb/policy.hpp"
+#include "lb/pool_generation.hpp"
 #include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
 
 namespace klb::lb {
+
+class MaglevTable;
 
 class Mux : public net::Node, public PoolProgrammer {
  public:
@@ -73,11 +91,14 @@ class Mux : public net::Node, public PoolProgrammer {
   ~Mux() override;
 
   net::IpAddr vip() const { return vip_; }
-  const Policy& policy() const { return *policy_; }
-  Policy& mutable_policy() { return *policy_; }
 
-  /// Replace the policy (connection table survives, like a HAProxy reload).
+  /// Replace the policy (connection table survives, like a HAProxy
+  /// reload). Publishes a new generation carrying the given instance.
   void set_policy(std::unique_ptr<Policy> policy);
+
+  /// The maglev snapshot the current generation's policy serves, or null
+  /// when the policy is not a SharedMaglevPolicy (MuxPool introspection).
+  std::shared_ptr<const MaglevTable> shared_table_snapshot() const;
 
   // --- transactional programming (PoolProgrammer) ----------------------------
 
@@ -92,14 +113,22 @@ class Mux : public net::Node, public PoolProgrammer {
   /// draining, in which case the drain continues.
   void apply_program(const PoolProgram& program) override;
 
-  std::size_t backend_count() const override { return backends_.size(); }
+  /// Deferred control-plane maintenance: complete drains the packet path
+  /// flagged, reclaim retired generations. Cheap; call at tick rate.
+  void poll() override;
+
+  std::size_t backend_count() const override;
   /// Active (non-draining) backends, registration order.
   std::vector<net::IpAddr> backend_addrs() const override;
 
   /// Version of the last committed transaction (0 = none yet).
-  std::uint64_t applied_version() const { return applied_version_; }
+  std::uint64_t applied_version() const {
+    return applied_version_.load(std::memory_order_relaxed);
+  }
   /// Transactions discarded because a newer version had already committed.
-  std::uint64_t superseded_programs() const { return superseded_programs_; }
+  std::uint64_t superseded_programs() const {
+    return superseded_programs_.load(std::memory_order_relaxed);
+  }
   /// Drains that auto-completed to removal.
   std::uint64_t drains_completed() const {
     return drains_completed_.load(std::memory_order_relaxed);
@@ -139,12 +168,11 @@ class Mux : public net::Node, public PoolProgrammer {
   /// Record the failure tombstone alone (see fail_backend) without
   /// touching any backend — a MuxPool uses it to keep members that do not
   /// currently serve the address in agreement with those that do.
-  void condemn(net::IpAddr addr, std::uint64_t until_version) {
-    failed_tombstones_[addr.value()] = until_version;
-  }
+  void condemn(net::IpAddr addr, std::uint64_t until_version);
 
   /// Bounds-checked accessors: an out-of-range index is loud (warn +
-  /// sentinel), matching remove_backend's convention — never UB.
+  /// sentinel), matching remove_backend's convention — never UB. Indices
+  /// name positions in the *current* generation.
   net::IpAddr backend_addr(std::size_t i) const;
   std::uint64_t backend_id(std::size_t i) const;
   bool backend_enabled(std::size_t i) const;
@@ -177,14 +205,17 @@ class Mux : public net::Node, public PoolProgrammer {
   /// Inline sweeps run one shard at a time, amortized so the whole table
   /// is covered every ~few thousand forwarded requests; explicit
   /// gc_affinity() calls sweep everything.
-  void set_affinity_idle_timeout(util::SimTime idle) { affinity_idle_ = idle; }
+  void set_affinity_idle_timeout(util::SimTime idle) {
+    affinity_idle_us_.store(idle.us(), std::memory_order_relaxed);
+  }
 
   /// Sweep every shard now; returns the number of entries reclaimed.
   std::size_t gc_affinity();
 
   std::size_t affinity_size() const { return flows_.size(); }
-  /// Entries whose backend no longer exists. Always 0 — removal drops them
-  /// eagerly — but tests assert it after churn.
+  /// Entries whose backend no longer exists. Always 0 once churn quiesces
+  /// — removal drops them eagerly, and the amortized GC mops up any a
+  /// straggling reader re-pinned mid-removal — tests assert it after churn.
   std::size_t dangling_affinity_count() const;
 
   /// The sharded affinity table (shard/cache introspection for tests and
@@ -204,7 +235,9 @@ class Mux : public net::Node, public PoolProgrammer {
   std::uint64_t no_backend_drops() const {
     return no_backend_drops_.load(std::memory_order_relaxed);
   }
-  std::uint64_t rejected_programmings() const { return rejected_programmings_; }
+  std::uint64_t rejected_programmings() const {
+    return rejected_programmings_.load(std::memory_order_relaxed);
+  }
   std::uint64_t flows_reset_by_failure() const {
     return flows_reset_.load(std::memory_order_relaxed);
   }
@@ -222,110 +255,136 @@ class Mux : public net::Node, public PoolProgrammer {
   /// Program entries skipped because they would have re-admitted a failed
   /// backend from a transaction issued before the failure was observed.
   std::uint64_t stale_failed_admissions() const {
-    return stale_failed_admissions_;
+    return stale_failed_admissions_.load(std::memory_order_relaxed);
   }
   void reset_counters();
+
+  // --- generation / reclamation observability --------------------------------
+  /// Generations published since construction (>= 1: the constructor
+  /// publishes the initial empty-pool generation).
+  std::uint64_t generations_published() const {
+    return generations_published_.load(std::memory_order_relaxed);
+  }
+  /// Retired generations actually freed. After quiescing + poll() this
+  /// equals generations_published() - 1 (only the current one lives).
+  std::uint64_t generations_retired() const {
+    return epochs_.reclaimed_total();
+  }
+  /// Retired generations still parked behind a pinned reader.
+  std::size_t pending_retired_generations() const {
+    return epochs_.pending_retired();
+  }
+  /// Sequence number of the current generation (== the flow cache's pick
+  /// epoch).
+  std::uint64_t generation_seq() const {
+    return gen_seq_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t current_epoch() const { return epochs_.epoch(); }
+  std::uint64_t oldest_live_epoch() const {
+    return epochs_.oldest_live_epoch();
+  }
+  /// Pin the current generation and verify its structural checksum — the
+  /// concurrency tests call this from a racing thread to assert no torn
+  /// publication is ever observable.
+  bool debug_check_generation() const;
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
 
  private:
-  struct Backend {
-    std::uint64_t id = 0;  // stable across pool churn; affinity key
-    net::IpAddr addr;
-    const server::DipServer* server = nullptr;
-    std::int64_t weight_units = 0;
-    bool enabled = true;
-    bool draining = false;  // condemned: parked until affinity empties
-    // Packet-path counters: relaxed atomics so concurrent shards never
-    // lose an update; aggregated/read on the control path.
-    std::atomic<std::uint64_t> active{0};
-    std::atomic<std::uint64_t> connections{0};  // cumulative new connections
-    std::atomic<std::uint64_t> forwarded{0};    // cumulative forwarded requests
-
-    Backend() = default;
-    Backend(const Backend& o) { *this = o; }
-    Backend& operator=(const Backend& o) {
-      id = o.id;
-      addr = o.addr;
-      server = o.server;
-      weight_units = o.weight_units;
-      enabled = o.enabled;
-      draining = o.draining;
-      active.store(o.active.load(std::memory_order_relaxed),
-                   std::memory_order_relaxed);
-      connections.store(o.connections.load(std::memory_order_relaxed),
-                        std::memory_order_relaxed);
-      forwarded.store(o.forwarded.load(std::memory_order_relaxed),
-                      std::memory_order_relaxed);
-      return *this;
-    }
-
-    BackendView view() const {
-      return BackendView{addr, weight_units, enabled,
-                         active.load(std::memory_order_relaxed), server};
-    }
+  /// A pinned read of the current generation: `gen` stays valid until
+  /// `guard` releases (scope exit). Everything the packet path does with
+  /// pool state happens through one of these.
+  struct GenRef {
+    EpochDomain::Guard guard;
+    const PoolGeneration* gen = nullptr;
   };
+  GenRef read_gen() const {
+    GenRef r;
+    // Pin first, load second: a generation retired after this pin tags
+    // above our published epoch, so whatever the load returns cannot be
+    // reclaimed under us.
+    r.guard = epochs_.pin();
+    r.gen = current_.load(std::memory_order_acquire);
+    return r;
+  }
 
   void handle_request(const net::Message& msg);
   void handle_fin(const net::Message& msg);
-  void forward(std::size_t i, const net::Message& msg);
+  void forward(const PoolGeneration& gen, std::size_t i,
+               const net::Message& msg);
   /// Decrement backend `i`'s active count (never below zero) and, for
-  /// connection-count policies, refresh its policy view under the pick
-  /// mutex.
-  void release_connection(std::size_t i);
-  void refresh_view_active(std::size_t i);
-  /// Refresh the cached policy view of the pool. Rebuilt on pool mutations
-  /// (O(n), as the mutations already are); the per-packet pick path only
-  /// patches active_conns in place, so a pick stays O(policy), not O(n).
-  void rebuild_views();
-  /// Drop per-pool pick state: the policy's caches and every cached flow
-  /// pick (epoch bump). Called on every pool mutation.
-  void invalidate_pick_state();
-  /// Rescale all weights to sum kWeightScale, preserving current ratios.
-  /// All-zero pools fall back to an equal split (traffic must go somewhere).
-  void renormalize_weights();
+  /// connection-count policies, refresh its view under the pick mutex.
+  void release_connection(const PoolGeneration& gen, std::size_t i);
+
+  /// Build and publish the next generation from `backends`, cloning the
+  /// current policy unless `policy_override` supplies one. Re-keys the
+  /// flow cache, swings the pointer, retires the predecessor. Caller holds
+  /// control_mutex_ (and NOT pick_mutex_).
+  void publish_locked(std::vector<GenBackend> backends,
+                      std::uint64_t program_version,
+                      std::unique_ptr<Policy> policy_override = nullptr);
+  /// Copy of the current generation's backends — the draft every
+  /// control-plane mutation edits. Caller holds control_mutex_.
+  std::vector<GenBackend> draft_locked() const {
+    return current_owner_->backends();
+  }
+
+  /// Flag "some drainer may have emptied" from the packet path and sweep
+  /// it opportunistically (try_lock; never blocks). Uncontended callers —
+  /// the single-threaded simulator always — complete the drain inline.
+  void note_drain_empty();
+  /// Remove every empty drainer in one publication. Caller holds
+  /// control_mutex_. No-op when the pending flag is clear.
+  void sweep_drains_locked();
+
+  void condemn_locked(net::IpAddr addr, std::uint64_t until_version) {
+    failed_tombstones_[addr.value()] = until_version;
+  }
   bool erase_backend(std::size_t i, bool failed);
-  /// Drop backend `i` and its affinity without renormalizing or rebuilding
-  /// caches — the transactional path applies weights literally and rebuilds
-  /// once per program; the imperative erase_backend wraps this.
-  void erase_backend_raw(std::size_t i, bool failed);
-  /// Remove backend `i` if it is draining with no affinity entries left.
-  /// Returns true when the backend was removed (index `i` now names the
-  /// next backend). The drain completes without resetting a single flow.
-  bool maybe_complete_drain(std::size_t i);
   void drop_affinity_for(std::uint64_t id, bool count_as_reset);
-  void rebuild_id_index();
+  /// Rescale `draft` weights to sum kWeightScale, preserving ratios.
+  /// All-zero pools stay parked (traffic deliberately weighted away).
+  static void renormalize_weights(std::vector<GenBackend>& draft);
   void maybe_gc();
-  /// Sweep one flow-table shard (dead + idle entries) and complete any
-  /// drain the sweep emptied.
+  /// Sweep one flow-table shard (dead + idle entries) and flag any drain
+  /// the sweep emptied.
   std::size_t gc_shard(std::size_t k);
 
   net::Network& net_;
   net::IpAddr vip_;
   bool attached_ = false;
-  std::unique_ptr<Policy> policy_;
-  util::Rng rng_;
-  /// Serializes policy picks (stateful policies + the shared RNG) and
-  /// every views_ access on the packet path. Lock order: pick_mutex_ may
+  util::Rng rng_;  // guarded by pick_mutex_
+
+  /// Serializes control-plane mutations against each other. The packet
+  /// path never takes it (note_drain_empty only try_locks).
+  mutable std::mutex control_mutex_;
+  /// Serializes policy picks (stateful policies + the shared RNG) and the
+  /// generation views' active_conns patching. Lock order: pick_mutex_ may
   /// be followed by a shard mutex (pick -> pin), never the reverse —
   /// FlowTable callbacks that reenter the Mux run after the shard lock
   /// drops (see FlowTable::gc_shard).
   std::mutex pick_mutex_;
-  // Policy traits cached at install time: no virtual dispatch per packet.
-  bool policy_uses_conns_ = false;    // Policy::uses_connection_counts
-  bool policy_caches_picks_ = false;  // Policy::pick_is_tuple_deterministic
-  bool policy_weighted_ = false;      // Policy::weighted
-  std::vector<Backend> backends_;
-  std::vector<BackendView> views_;  // policy-facing cache, index-aligned
-  std::unordered_map<std::uint64_t, std::size_t> id_index_;
+
+  /// The published generation. Readers pin (epochs_) then acquire-load;
+  /// writers store under control_mutex_ and retire the predecessor.
+  std::atomic<const PoolGeneration*> current_{nullptr};
+  /// Strong ref keeping `current_` alive; guarded by control_mutex_.
+  std::shared_ptr<const PoolGeneration> current_owner_;
+  mutable EpochDomain epochs_;
+
   FlowTable flows_;
   /// Failed address -> highest version issued when the failure was
   /// observed. Programs at or below that version cannot re-admit the
   /// address (they predate the failure); newer programs clear the entry.
+  /// Guarded by control_mutex_.
   std::unordered_map<std::uint32_t, std::uint64_t> failed_tombstones_;
-  util::SimTime affinity_idle_ = util::SimTime::zero();
-  std::uint64_t next_backend_id_ = 1;
+  std::uint64_t next_backend_id_ = 1;  // guarded by control_mutex_
+
+  std::atomic<std::int64_t> affinity_idle_us_{0};
+  std::atomic<bool> drain_poll_pending_{false};
+  std::atomic<std::uint64_t> gen_seq_{0};
+  std::atomic<std::uint64_t> generations_published_{0};
   std::atomic<std::uint64_t> requests_since_gc_{0};
   std::atomic<std::uint64_t> gc_cursor_{0};  // next shard the inline GC sweeps
   std::atomic<std::uint64_t> total_forwarded_{0};
@@ -334,10 +393,10 @@ class Mux : public net::Node, public PoolProgrammer {
   std::atomic<std::uint64_t> flows_reset_{0};
   std::atomic<std::uint64_t> flows_gced_{0};
   std::atomic<std::uint64_t> flows_dropped_{0};
-  std::uint64_t rejected_programmings_ = 0;
-  std::uint64_t applied_version_ = 0;
-  std::uint64_t superseded_programs_ = 0;
-  std::uint64_t stale_failed_admissions_ = 0;
+  std::atomic<std::uint64_t> rejected_programmings_{0};
+  std::atomic<std::uint64_t> applied_version_{0};
+  std::atomic<std::uint64_t> superseded_programs_{0};
+  std::atomic<std::uint64_t> stale_failed_admissions_{0};
 };
 
 }  // namespace klb::lb

@@ -28,11 +28,9 @@ MuxPool::MuxPool(net::Network& net, net::IpAddr vip, std::size_t mux_count,
     : net_(net), vip_(vip), min_table_size_(min_table_size) {
   mux_count = std::max<std::size_t>(1, mux_count);
   muxes_.reserve(mux_count);
-  policies_.reserve(mux_count);
   for (std::size_t k = 0; k < mux_count; ++k) {
-    auto policy = std::make_unique<SharedMaglevPolicy>();
-    policies_.push_back(policy.get());
-    muxes_.push_back(std::make_unique<Mux>(net_, vip_, std::move(policy),
+    muxes_.push_back(std::make_unique<Mux>(net_, vip_,
+                                           std::make_unique<SharedMaglevPolicy>(),
                                            /*attach_to_vip=*/false));
   }
   net_.attach(vip_, this);
@@ -45,9 +43,9 @@ std::size_t MuxPool::shard_of(const net::FiveTuple& tuple) const {
                                   muxes_.size());
 }
 
-const std::shared_ptr<const MaglevTable>& MuxPool::table_snapshot(
+std::shared_ptr<const MaglevTable> MuxPool::table_snapshot(
     std::size_t k) const {
-  return policies_[k]->table_snapshot();
+  return muxes_[k]->shared_table_snapshot();
 }
 
 std::size_t MuxPool::backend_count() const {
@@ -97,8 +95,18 @@ void MuxPool::publish_table() {
   auto table = std::make_shared<MaglevTable>(min_table_size_);
   table->build(entries);
   ++shared_builds_;
-  for (auto* p : policies_)
-    p->set_table(table);  // pointer-equal snapshot, pool-wide
+  for (auto& mux : muxes_) {
+    // Each member gets a fresh policy instance carrying the pointer-equal
+    // snapshot, published as a new pool generation — the table itself is
+    // still built once and shared pool-wide.
+    auto policy = std::make_unique<SharedMaglevPolicy>();
+    policy->set_table(table);
+    mux->set_policy(std::move(policy));
+  }
+}
+
+void MuxPool::poll() {
+  for (auto& m : muxes_) m->poll();
 }
 
 bool MuxPool::fail_backend(net::IpAddr dip) {
@@ -181,6 +189,24 @@ std::uint64_t MuxPool::new_connections_to(net::IpAddr dip) const {
 std::uint64_t MuxPool::stale_failed_admissions() const {
   std::uint64_t n = 0;
   for (const auto& m : muxes_) n += m->stale_failed_admissions();
+  return n;
+}
+
+std::uint64_t MuxPool::generations_published() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->generations_published();
+  return n;
+}
+
+std::uint64_t MuxPool::generations_retired() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->generations_retired();
+  return n;
+}
+
+std::size_t MuxPool::pending_retired_generations() const {
+  std::size_t n = 0;
+  for (const auto& m : muxes_) n += m->pending_retired_generations();
   return n;
 }
 

@@ -52,7 +52,9 @@ class MuxPool : public net::Node, public PoolProgrammer {
 
   /// The maglev snapshot mux `k` currently serves. Pointer-equal across
   /// all members after every commit — the single-shared-build invariant.
-  const std::shared_ptr<const MaglevTable>& table_snapshot(std::size_t k) const;
+  /// By value: the snapshot is read out of the member's current pool
+  /// generation, which a concurrent commit may retire at any moment.
+  std::shared_ptr<const MaglevTable> table_snapshot(std::size_t k) const;
 
   // --- PoolProgrammer --------------------------------------------------------
   /// Backends served by the pool (the maximum over members: a drain may
@@ -60,6 +62,8 @@ class MuxPool : public net::Node, public PoolProgrammer {
   std::size_t backend_count() const override;
   std::vector<net::IpAddr> backend_addrs() const override;
   void apply_program(const PoolProgram& program) override;
+  /// Deferred maintenance fan-out (drain completion, generation reclaim).
+  void poll() override;
 
   std::uint64_t applied_version() const { return applied_version_; }
   std::uint64_t superseded_programs() const { return superseded_programs_; }
@@ -91,6 +95,11 @@ class MuxPool : public net::Node, public PoolProgrammer {
   /// Stale pre-failure program entries refused pool-wide (see
   /// Mux::stale_failed_admissions).
   std::uint64_t stale_failed_admissions() const;
+  /// Pool-state generations published / reclaimed, summed over members
+  /// (see Mux::generations_published / generations_retired).
+  std::uint64_t generations_published() const;
+  std::uint64_t generations_retired() const;
+  std::size_t pending_retired_generations() const;
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
@@ -105,7 +114,6 @@ class MuxPool : public net::Node, public PoolProgrammer {
   net::IpAddr vip_;
   std::size_t min_table_size_;
   std::vector<std::unique_ptr<Mux>> muxes_;
-  std::vector<SharedMaglevPolicy*> policies_;  // borrowed from muxes_
   std::uint64_t applied_version_ = 0;
   std::uint64_t superseded_programs_ = 0;
   std::uint64_t shared_builds_ = 0;

@@ -68,6 +68,19 @@ class Policy {
   /// the cached usable list; overrides that keep extra per-pool state
   /// (maglev's table, WRR's smoothing credits) must chain up.
   virtual void invalidate() { usable_dirty_ = true; }
+  /// Duplicate this policy, carrying rotation/smoothing state forward so a
+  /// pool-generation swap doesn't restart RR at index 0 or drop WRR
+  /// credits. The clone is independent: mutating it never touches the
+  /// original (generations each own their policy instance).
+  virtual std::unique_ptr<Policy> clone() const = 0;
+  /// Eagerly rebuild any lazily-maintained per-pool state (maglev's
+  /// lookup table) for exactly `backends`, off the packet path. Called on
+  /// the control plane after invalidate(), before the generation carrying
+  /// this policy is published; the default is a no-op because most
+  /// policies rebuild cheaply inside pick().
+  virtual void prepare(const std::vector<BackendView>& backends) {
+    (void)backends;
+  }
 
  protected:
   /// Indices of enabled backends (positive weight too when `need_weight`),
@@ -93,6 +106,9 @@ std::unique_ptr<Policy> make_policy(const std::string& name);
 class RoundRobin : public Policy {
  public:
   std::string name() const override { return "rr"; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RoundRobin>(*this);  // carries the rotation point
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 
@@ -112,6 +128,11 @@ class SmoothWeightedRoundRobin : public Policy {
  public:
   std::string name() const override { return "wrr"; }
   bool weighted() const override { return true; }
+  std::unique_ptr<Policy> clone() const override {
+    // Carries the smoothing credits: a reweight-only generation swap must
+    // stay as smooth as nginx's in-place reweight.
+    return std::make_unique<SmoothWeightedRoundRobin>(*this);
+  }
   void invalidate() override {
     Policy::invalidate();
     membership_dirty_ = true;
@@ -131,6 +152,9 @@ class LeastConnection : public Policy {
  public:
   std::string name() const override { return "lc"; }
   bool uses_connection_counts() const override { return true; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<LeastConnection>(*this);
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 
@@ -144,6 +168,9 @@ class WeightedLeastConnection : public Policy {
   std::string name() const override { return "wlc"; }
   bool weighted() const override { return true; }
   bool uses_connection_counts() const override { return true; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<WeightedLeastConnection>(*this);
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 
@@ -155,6 +182,9 @@ class WeightedLeastConnection : public Policy {
 class RandomPolicy : public Policy {
  public:
   std::string name() const override { return "random"; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<RandomPolicy>(*this);
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 };
@@ -164,6 +194,9 @@ class WeightedRandom : public Policy {
  public:
   std::string name() const override { return "wrandom"; }
   bool weighted() const override { return true; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<WeightedRandom>(*this);
+  }
   void invalidate() override {
     Policy::invalidate();
     weights_dirty_ = true;
@@ -181,6 +214,9 @@ class WeightedRandom : public Policy {
 class PowerOfTwoCpu : public Policy {
  public:
   std::string name() const override { return "p2"; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<PowerOfTwoCpu>(*this);
+  }
   std::size_t pick(const net::FiveTuple&, const std::vector<BackendView>&,
                    util::Rng&) override;
 };
@@ -190,6 +226,9 @@ class HashTuple : public Policy {
  public:
   std::string name() const override { return "hash"; }
   bool pick_is_tuple_deterministic() const override { return true; }
+  std::unique_ptr<Policy> clone() const override {
+    return std::make_unique<HashTuple>(*this);
+  }
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>&, util::Rng&) override;
 };

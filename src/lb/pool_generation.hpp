@@ -1,0 +1,182 @@
+// Immutable pool-state generations for the MUX dataplane (ROADMAP item 1).
+//
+// A PoolGeneration is one committed configuration of a VIP's pool:
+// membership, addresses, stable ids, weights, enable/drain flags, and the
+// policy instance that serves picks for this configuration. The Mux builds
+// one per control-plane mutation (pool program, imperative churn op,
+// weight change, policy swap), publishes it through a single atomic
+// pointer, and retires the previous one into an EpochDomain — the packet
+// path loads the current generation wait-free and never observes a
+// half-applied configuration.
+//
+// Two members are deliberately *not* frozen:
+//
+//   * Per-backend counters (active/connections/forwarded) live in shared
+//     BackendCounters blocks keyed by stable id, referenced by every
+//     generation that carries the backend — a generation swap must not
+//     lose or reset in-flight accounting (a FIN may decrement through a
+//     newer generation than the request that incremented).
+//   * views() is the policy-facing scratch vector. Its active_conns
+//     fields are patched in place under the Mux's pick mutex for the
+//     LC-family policies, exactly as the pre-generation code patched its
+//     views cache; everything else in it is fixed at construction.
+//
+// The structural fields checksum at construction; self_check() recomputes
+// and compares, so a concurrent reader can assert it never saw a torn or
+// partially initialized generation (the concurrency tests do).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lb/policy.hpp"
+#include "net/address.hpp"
+
+namespace klb::server {
+class DipServer;
+}
+
+namespace klb::lb {
+
+/// Packet-path counters for one backend, shared across generations by
+/// stable id. Relaxed atomics: aggregated on the control path.
+struct BackendCounters {
+  std::atomic<std::uint64_t> active{0};
+  std::atomic<std::uint64_t> connections{0};  // cumulative new connections
+  std::atomic<std::uint64_t> forwarded{0};    // cumulative forwarded requests
+};
+
+/// One backend as a generation carries it. Plain values — copying a
+/// backend vector into the next generation's draft is how the control
+/// plane mutates the pool.
+struct GenBackend {
+  std::uint64_t id = 0;  // stable across pool churn; affinity key
+  net::IpAddr addr;
+  const server::DipServer* server = nullptr;  // only P2 reads through this
+  std::int64_t weight_units = 0;
+  bool enabled = true;
+  bool draining = false;  // condemned: parked until affinity empties
+  std::shared_ptr<BackendCounters> counters;
+
+  BackendView view() const {
+    return BackendView{addr, weight_units, enabled,
+                       counters ? counters->active.load(
+                                      std::memory_order_relaxed)
+                                : 0,
+                       server};
+  }
+};
+
+class PoolGeneration {
+ public:
+  /// `seq` is the Mux's generation sequence number (doubles as the flow
+  /// cache's pick epoch); `program_version` the last committed
+  /// transaction. The policy instance becomes generation-owned: it must
+  /// already be invalidated/prepared for exactly this backend list.
+  PoolGeneration(std::uint64_t seq, std::uint64_t program_version,
+                 std::vector<GenBackend> backends,
+                 std::unique_ptr<Policy> policy)
+      : seq_(seq), program_version_(program_version),
+        backends_(std::move(backends)), policy_(std::move(policy)) {
+    index_by_id_.reserve(backends_.size());
+    views_.reserve(backends_.size());
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      index_by_id_.emplace(backends_[i].id, i);
+      views_.push_back(backends_[i].view());
+    }
+    policy_uses_conns_ = policy_->uses_connection_counts();
+    policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
+    policy_weighted_ = policy_->weighted();
+    checksum_ = compute_checksum();
+    live_count_ref().fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~PoolGeneration() {
+    live_count_ref().fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  PoolGeneration(const PoolGeneration&) = delete;
+  PoolGeneration& operator=(const PoolGeneration&) = delete;
+
+  std::uint64_t seq() const { return seq_; }
+  std::uint64_t program_version() const { return program_version_; }
+
+  const std::vector<GenBackend>& backends() const { return backends_; }
+  std::size_t size() const { return backends_.size(); }
+
+  std::optional<std::size_t> index_of(std::uint64_t id) const {
+    const auto it = index_by_id_.find(id);
+    if (it == index_by_id_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Policy-facing views, index-aligned with backends(). active_conns is
+  /// patched in place — only under the owning Mux's pick mutex.
+  std::vector<BackendView>& views() const { return views_; }
+
+  /// The generation-owned policy. Stateful: every call must hold the
+  /// owning Mux's pick mutex.
+  Policy& policy() const { return *policy_; }
+
+  // Policy traits cached at construction: no virtual dispatch per packet.
+  bool policy_uses_conns() const { return policy_uses_conns_; }
+  bool policy_caches_picks() const { return policy_caches_picks_; }
+  bool policy_weighted() const { return policy_weighted_; }
+
+  /// Recompute the structural checksum and compare with the one stamped
+  /// at construction — false means a torn/corrupt generation (never
+  /// expected; asserted by the concurrency tests).
+  bool self_check() const { return compute_checksum() == checksum_; }
+
+  /// Generations currently alive process-wide (published + retired but
+  /// not yet reclaimed + drafts under construction). The churn bench
+  /// asserts this returns to one-per-mux after quiescing — the
+  /// no-use-after-retire / no-leak invariant.
+  static std::uint64_t live_count() {
+    return live_count_ref().load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<std::uint64_t>& live_count_ref() {
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+  }
+
+  std::uint64_t compute_checksum() const {
+    auto mix = [](std::uint64_t x) {
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return x;
+    };
+    std::uint64_t h = mix(seq_ ^ 0x9e3779b97f4a7c15ull) ^
+                      mix(program_version_ + 0x165667b19e3779f9ull);
+    for (const auto& b : backends_) {
+      h = mix(h ^ b.id);
+      h = mix(h ^ b.addr.value());
+      h = mix(h ^ static_cast<std::uint64_t>(b.weight_units));
+      h = mix(h ^ ((b.enabled ? 2ull : 0ull) | (b.draining ? 1ull : 0ull)));
+    }
+    return h;
+  }
+
+  std::uint64_t seq_ = 0;
+  std::uint64_t program_version_ = 0;
+  std::vector<GenBackend> backends_;
+  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
+  mutable std::vector<BackendView> views_;  // active_conns patched under pick mutex
+  std::unique_ptr<Policy> policy_;
+  bool policy_uses_conns_ = false;
+  bool policy_caches_picks_ = false;
+  bool policy_weighted_ = false;
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace klb::lb

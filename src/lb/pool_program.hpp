@@ -93,6 +93,12 @@ class PoolProgrammer {
   /// already committed version v discards any program with version <= v.
   virtual void apply_program(const PoolProgram& program) = 0;
 
+  /// Periodic control-plane maintenance hook. Dataplanes that defer work
+  /// off the packet path (the Mux's drain auto-completion and retired
+  /// generation reclamation) run it here; the default is a no-op. Called
+  /// from the controller's tick and safe to call at any frequency.
+  virtual void poll() {}
+
   /// Stamp the next transaction. All emitters programming through one
   /// interface share this counter, so supersession is totally ordered
   /// even with several writers (controller + drain estimator). Decorators

@@ -316,6 +316,9 @@ DataplaneMetrics Testbed::dataplane_metrics() const {
     out.drains_completed += m.drains_completed();
     out.stale_failed_admissions += m.stale_failed_admissions();
     out.affinity_entries += m.affinity_size();
+    out.generations_published += m.generations_published();
+    out.generations_retired += m.generations_retired();
+    out.pending_retired_generations += m.pending_retired_generations();
   };
   if (pool_) {
     for (std::size_t k = 0; k < pool_->mux_count(); ++k) add(pool_->mux(k));

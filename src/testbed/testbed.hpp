@@ -79,6 +79,12 @@ struct DataplaneMetrics {
   std::uint64_t drains_completed = 0;
   std::uint64_t stale_failed_admissions = 0;
   std::size_t affinity_entries = 0;
+  /// Pool-generation publication/reclamation (see Mux: every committed
+  /// program or churn op publishes one immutable generation; retired ones
+  /// are freed epoch-style once no reader can hold them).
+  std::uint64_t generations_published = 0;
+  std::uint64_t generations_retired = 0;
+  std::size_t pending_retired_generations = 0;
 };
 
 /// Per-DIP metrics snapshot for reporting.
