@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const double lc_capacity = flags.get_double("capacity", 0.6);
   if (flags.get_bool("verbose"))
-    util::log_threshold() = util::LogLevel::kInfo;
+    util::set_log_threshold(util::LogLevel::kInfo);
 
   std::cout << "KnapsackLB quickstart (seed " << seed << ")\n"
             << "Pool: 2x healthy 1-core DIPs + 1 DIP at "

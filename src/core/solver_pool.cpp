@@ -14,7 +14,7 @@ SolverPool::SolverPool(int threads) {
 
 SolverPool::~SolverPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -23,19 +23,21 @@ SolverPool::~SolverPool() {
 
 void SolverPool::submit(Job job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void SolverPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  util::MutexLock lock(mu_);
+  // Explicit loop rather than a predicate lambda: the analysis treats
+  // lambda bodies as separate functions, so guarded reads stay inline.
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.wait(mu_);
 }
 
 std::uint64_t SolverPool::jobs_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return jobs_run_;
 }
 
@@ -43,8 +45,8 @@ void SolverPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -52,7 +54,7 @@ void SolverPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       --in_flight_;
       ++jobs_run_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();

@@ -13,13 +13,14 @@
 // after draining the queue.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace klb::core {
 
@@ -36,28 +37,28 @@ class SolverPool {
 
   /// Enqueue a job. Jobs must not touch simulation state; they may only
   /// write to storage the submitter reads back after wait_idle().
-  void submit(Job job);
+  void submit(Job job) KLB_EXCLUDES(mu_);
 
   /// Block until every submitted job has finished executing (not merely
   /// been dequeued). Safe to call repeatedly; returns immediately when
   /// nothing is in flight.
-  void wait_idle();
+  void wait_idle() KLB_EXCLUDES(mu_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Jobs executed over the pool's lifetime (stats for benches).
-  std::uint64_t jobs_run() const;
+  std::uint64_t jobs_run() const KLB_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() KLB_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for jobs
-  std::condition_variable idle_cv_;   // wait_idle waits for drain
-  std::deque<Job> queue_;
-  std::size_t in_flight_ = 0;  // dequeued but not yet finished
-  std::uint64_t jobs_run_ = 0;
-  bool stopping_ = false;
+  mutable util::Mutex mu_{"klb.solver.queue"};
+  util::CondVar work_cv_;   // workers wait for jobs
+  util::CondVar idle_cv_;   // wait_idle waits for drain
+  std::deque<Job> queue_ KLB_GUARDED_BY(mu_);
+  std::size_t in_flight_ KLB_GUARDED_BY(mu_) = 0;  // dequeued, not finished
+  std::uint64_t jobs_run_ KLB_GUARDED_BY(mu_) = 0;
+  bool stopping_ KLB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -13,9 +13,10 @@ constexpr std::uint64_t kSeqBits = 20;  // probe seq within a round key
 
 Klm::Klm(net::Network& net, net::IpAddr addr, net::IpAddr vip,
          std::vector<net::IpAddr> dips, net::IpAddr store_addr, KlmConfig cfg)
-    : net_(net), addr_(addr), vip_(vip), dips_(std::move(dips)),
-      store_addr_(store_addr), cfg_(cfg), rng_(net.sim().rng().fork()),
-      timer_(net.sim(), cfg.period, [this] { begin_rounds(); }) {
+    : net_(net), addr_(addr), vip_(vip), store_addr_(store_addr), cfg_(cfg),
+      rng_(net.sim().rng().fork()),
+      timer_(net.sim(), cfg.period, [this] { begin_rounds(); }),
+      dips_(std::move(dips)) {
   net_.attach(addr_, this);
 }
 
@@ -28,11 +29,13 @@ void Klm::start() {
 void Klm::stop() { timer_.stop(); }
 
 void Klm::add_dip(net::IpAddr dip) {
+  util::MutexLock lk(mu_);
   if (std::find(dips_.begin(), dips_.end(), dip) == dips_.end())
     dips_.push_back(dip);
 }
 
 void Klm::remove_dip(net::IpAddr dip) {
+  util::MutexLock lk(mu_);
   dips_.erase(std::remove(dips_.begin(), dips_.end(), dip), dips_.end());
 
   // Drop every in-flight round targeting the removed DIP. Its scheduled
@@ -62,6 +65,7 @@ void Klm::remove_dip(net::IpAddr dip) {
 }
 
 void Klm::begin_rounds() {
+  util::MutexLock lk(mu_);
   for (const auto dip : dips_) {
     const std::uint64_t key = next_round_key_++;
     Round r;
@@ -83,6 +87,7 @@ void Klm::begin_rounds() {
 }
 
 void Klm::probe_once(net::IpAddr dip, int n) {
+  util::MutexLock lk(mu_);
   if (n <= 0) {
     // A want==0 round has no resolution event that could ever finish it:
     // admitting one would leak it in rounds_in_flight_ forever. Reject.
@@ -105,6 +110,7 @@ void Klm::probe_once(net::IpAddr dip, int n) {
 }
 
 void Klm::send_probe(std::uint64_t round_key, std::uint32_t seq) {
+  util::MutexLock lk(mu_);
   const auto rit = rounds_in_flight_.find(round_key);
   if (rit == rounds_in_flight_.end()) return;
   Round& round = rit->second;
@@ -130,24 +136,28 @@ void Klm::send_probe(std::uint64_t round_key, std::uint32_t seq) {
   Outstanding out;
   out.round_key = round_key;
   out.sent_at = net_.sim().now();
-  out.timeout_event =
-      net_.sim().schedule_in(cfg_.probe_timeout, [this, probe_id] {
-        const auto it = outstanding_.find(probe_id);
-        if (it == outstanding_.end()) return;
-        const auto key = it->second.round_key;
-        outstanding_.erase(it);
-        auto rit2 = rounds_in_flight_.find(key);
-        if (rit2 == rounds_in_flight_.end()) return;
-        ++rit2->second.timeouts;
-        ++rit2->second.resolved;
-        finish_if_done(key);
-      });
+  out.timeout_event = net_.sim().schedule_in(
+      cfg_.probe_timeout, [this, probe_id] { resolve_timeout(probe_id); });
   outstanding_[probe_id] = out;
   net_.send(round.dip, msg);
 }
 
+void Klm::resolve_timeout(std::uint64_t probe_id) {
+  util::MutexLock lk(mu_);
+  const auto it = outstanding_.find(probe_id);
+  if (it == outstanding_.end()) return;
+  const auto key = it->second.round_key;
+  outstanding_.erase(it);
+  auto rit = rounds_in_flight_.find(key);
+  if (rit == rounds_in_flight_.end()) return;
+  ++rit->second.timeouts;
+  ++rit->second.resolved;
+  finish_if_done(key);
+}
+
 void Klm::on_message(const net::Message& msg) {
   if (msg.type != net::MsgType::kHttpResponse) return;
+  util::MutexLock lk(mu_);
   const auto it = outstanding_.find(msg.req_id);
   if (it == outstanding_.end()) return;  // late reply after timeout
   const auto key = it->second.round_key;

@@ -23,6 +23,7 @@
 #include "sim/simulation.hpp"
 #include "store/latency_store.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace klb::klm {
 
@@ -51,29 +52,44 @@ class Klm : public net::Node {
   /// like a regular round, with `probes` = n. n <= 0 is rejected loudly: a
   /// zero-probe round has no resolution event to ever finish it, so
   /// admitting one would leak it in the in-flight table forever.
-  void probe_once(net::IpAddr dip, int n);
+  void probe_once(net::IpAddr dip, int n) KLB_EXCLUDES(mu_);
 
   const KlmConfig& config() const { return cfg_; }
-  std::uint64_t rounds_completed() const { return rounds_; }
+  std::uint64_t rounds_completed() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return rounds_;
+  }
 
   /// Start measuring `dip` from the next periodic round on.
-  void add_dip(net::IpAddr dip);
+  void add_dip(net::IpAddr dip) KLB_EXCLUDES(mu_);
   /// Stop measuring `dip` now: in-flight rounds targeting it are dropped
   /// (their already-scheduled probe callbacks become no-ops, their pending
   /// timeouts are cancelled), so a removed DIP can never write another
   /// sample — stale timeout rounds for a DIP the controller no longer owns
   /// would otherwise read as a failure of a pool member.
-  void remove_dip(net::IpAddr dip);
+  void remove_dip(net::IpAddr dip) KLB_EXCLUDES(mu_);
 
   // --- observability ---------------------------------------------------------
   /// Rounds currently awaiting probe resolutions.
-  std::size_t rounds_in_flight() const { return rounds_in_flight_.size(); }
+  std::size_t rounds_in_flight() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return rounds_in_flight_.size();
+  }
   /// Probe sends/timeouts still outstanding.
-  std::size_t probes_outstanding() const { return outstanding_.size(); }
+  std::size_t probes_outstanding() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return outstanding_.size();
+  }
   /// Rounds discarded by remove_dip before completion.
-  std::uint64_t rounds_dropped() const { return rounds_dropped_; }
+  std::uint64_t rounds_dropped() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return rounds_dropped_;
+  }
   /// probe_once calls rejected for a non-positive probe count.
-  std::uint64_t rejected_probe_requests() const { return rejected_probes_; }
+  std::uint64_t rejected_probe_requests() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return rejected_probes_;
+  }
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
@@ -88,33 +104,41 @@ class Klm : public net::Node {
     std::uint32_t want = 0;      // probes in the round
   };
 
-  void begin_rounds();
-  void send_probe(std::uint64_t round_key, std::uint32_t seq);
-  void finish_if_done(std::uint64_t round_key);
-  void flush_round(Round& round);
+  void begin_rounds() KLB_EXCLUDES(mu_);
+  void send_probe(std::uint64_t round_key, std::uint32_t seq)
+      KLB_EXCLUDES(mu_);
+  /// A probe's timeout fired: count it against its round (scheduled by
+  /// send_probe; locks internally).
+  void resolve_timeout(std::uint64_t probe_id) KLB_EXCLUDES(mu_);
+  void finish_if_done(std::uint64_t round_key) KLB_REQUIRES(mu_);
+  void flush_round(Round& round) KLB_REQUIRES(mu_);
 
   net::Network& net_;
   net::IpAddr addr_;
   net::IpAddr vip_;
-  std::vector<net::IpAddr> dips_;
   net::IpAddr store_addr_;
   KlmConfig cfg_;
   util::Rng rng_;
 
   sim::PeriodicTimer timer_;
-  std::unordered_map<std::uint64_t, Round> rounds_in_flight_;
+  /// Guards the measurement state below. Probe sends/flushes go out to the
+  /// fabric under it (klb.klm.rounds -> klb.net.nodes is the legal order).
+  mutable util::Mutex mu_{"klb.klm.rounds"};
+  std::vector<net::IpAddr> dips_ KLB_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Round> rounds_in_flight_
+      KLB_GUARDED_BY(mu_);
   // (round_key << 20 | seq) -> sent_at, timeout event
   struct Outstanding {
     std::uint64_t round_key;
     util::SimTime sent_at;
     sim::EventId timeout_event = sim::kInvalidEvent;
   };
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
-  std::uint64_t next_round_key_ = 1;
-  std::uint64_t next_probe_id_ = 1;
-  std::uint64_t rounds_ = 0;
-  std::uint64_t rounds_dropped_ = 0;
-  std::uint64_t rejected_probes_ = 0;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_
+      KLB_GUARDED_BY(mu_);
+  std::uint64_t next_round_key_ KLB_GUARDED_BY(mu_) = 1;
+  std::uint64_t rounds_ KLB_GUARDED_BY(mu_) = 0;
+  std::uint64_t rounds_dropped_ KLB_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_probes_ KLB_GUARDED_BY(mu_) = 0;
 };
 
 /// Ping (ICMP / TCP SYN-ACK style) prober: exists to reproduce Fig. 5's

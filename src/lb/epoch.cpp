@@ -7,12 +7,15 @@ namespace klb::lb {
 
 EpochDomain::~EpochDomain() {
   // No reader may outlive the domain; drop whatever is still parked.
-  std::lock_guard<std::mutex> lk(retired_mu_);
+  util::MutexLock lk(retired_mu_);
   reclaimed_total_.fetch_add(retired_.size(), std::memory_order_relaxed);
   retired_.clear();
 }
 
 EpochDomain::Guard EpochDomain::pin() {
+#if KLB_DEBUG_SYNC
+  util::sync_debug::on_pin(debug_control_);
+#endif
   // Start probing at a thread-dependent slot so concurrent readers spread
   // out instead of all CASing slot 0.
   const auto start =
@@ -45,12 +48,15 @@ EpochDomain::Guard EpochDomain::pin() {
 }
 
 void EpochDomain::retire(std::shared_ptr<const void> obj) {
+#if KLB_DEBUG_SYNC
+  debug_check_retire(obj.get());
+#endif
   // The bump *after* the caller's pointer swap is what makes the tag
   // meaningful: a reader pinned at >= tag observed the bump, therefore
   // the swap, therefore cannot hold `obj`.
   const auto tag = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
   {
-    std::lock_guard<std::mutex> lk(retired_mu_);
+    util::MutexLock lk(retired_mu_);
     retired_.push_back(Retired{tag, std::move(obj)});
   }
   retired_total_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +79,7 @@ std::size_t EpochDomain::reclaim() {
   // retired-list critical section.
   std::vector<std::shared_ptr<const void>> freed;
   {
-    std::lock_guard<std::mutex> lk(retired_mu_);
+    util::MutexLock lk(retired_mu_);
     auto keep = retired_.begin();
     for (auto it = retired_.begin(); it != retired_.end(); ++it) {
       if (it->tag <= floor) {
@@ -90,8 +96,44 @@ std::size_t EpochDomain::reclaim() {
 }
 
 std::size_t EpochDomain::pending_retired() const {
-  std::lock_guard<std::mutex> lk(retired_mu_);
+  util::MutexLock lk(retired_mu_);
   return retired_.size();
 }
+
+#if KLB_DEBUG_SYNC
+
+void EpochDomain::debug_register_control(const util::Mutex* control) {
+  // Called once from the owner's constructor, before any concurrency.
+  debug_control_ = control;
+}
+
+void EpochDomain::debug_track_published() {
+  std::lock_guard<std::mutex> lk(debug_mu_);
+  debug_track_published_ = true;
+}
+
+void EpochDomain::debug_mark_published(const void* obj) {
+  std::lock_guard<std::mutex> lk(debug_mu_);
+  debug_published_.insert(obj);
+}
+
+void EpochDomain::debug_check_retire(const void* obj) {
+  std::lock_guard<std::mutex> lk(debug_mu_);
+  if (debug_track_published_ && debug_published_.count(obj) == 0) {
+    util::sync_debug::die(
+        "epoch invariant violation",
+        "retiring an object that was never published to readers (the "
+        "unlink-before-retire contract was not followed)");
+  }
+  debug_published_.erase(obj);
+}
+
+#else
+
+void EpochDomain::debug_register_control(const util::Mutex*) {}
+void EpochDomain::debug_track_published() {}
+void EpochDomain::debug_mark_published(const void*) {}
+
+#endif  // KLB_DEBUG_SYNC
 
 }  // namespace klb::lb

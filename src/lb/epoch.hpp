@@ -35,6 +35,15 @@
 //
 // The domain stores retired objects as shared_ptr<const void>, so it can
 // hold anything and "free" means dropping the last reference.
+// Debug invariants (KLB_DEBUG_SYNC, see util/sync.hpp): a domain may
+// register its owner's control-plane mutex — pin() then aborts if the
+// calling thread holds it (the pin would block the very reclamation that
+// control section can trigger). A domain may also opt into published-set
+// tracking — retire() then aborts on an object that was never announced
+// via debug_mark_published (retiring something readers could never have
+// been handed means the unlink-before-retire contract was broken). Guard
+// release asserts its slot is still claimed, catching double releases and
+// foreign slot stores.
 #pragma once
 
 #include <array>
@@ -42,7 +51,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace klb::lb {
 
@@ -73,8 +85,19 @@ class EpochDomain {
 
     void release() {
       if (slot_ != nullptr) {
+#if KLB_DEBUG_SYNC
+        if (slot_->load(std::memory_order_seq_cst) == 0) {
+          util::sync_debug::die(
+              "epoch invariant violation",
+              "releasing a pin whose slot is already free (double release, "
+              "or a foreign store onto this slot)");
+        }
+#endif
         slot_->store(0, std::memory_order_seq_cst);
         slot_ = nullptr;
+#if KLB_DEBUG_SYNC
+        util::sync_debug::on_unpin();
+#endif
       }
     }
     bool active() const { return slot_ != nullptr; }
@@ -100,11 +123,22 @@ class EpochDomain {
   /// object unreachable to *new* readers first (swapped the published
   /// pointer); retire() tags it with a fresh epoch and reclaims whatever
   /// has become safe. Control-plane only.
-  void retire(std::shared_ptr<const void> obj);
+  void retire(std::shared_ptr<const void> obj) KLB_EXCLUDES(retired_mu_);
 
   /// Free every retired object no pinned reader can still hold. Returns
   /// the number reclaimed. Safe to call any time from the control plane.
-  std::size_t reclaim();
+  std::size_t reclaim() KLB_EXCLUDES(retired_mu_);
+
+  /// Debug wiring (no-ops unless KLB_DEBUG_SYNC): tell the validator which
+  /// control-plane mutex guards this domain's publication. pin() then
+  /// aborts when called with that mutex held by the same thread.
+  void debug_register_control(const util::Mutex* control);
+  /// Opt this domain into published-set tracking: once enabled, retire()
+  /// aborts on an object never announced via debug_mark_published().
+  void debug_track_published();
+  /// Announce that `obj` has been published to readers (call at the
+  /// pointer-swap site, before the old generation is retired).
+  void debug_mark_published(const void* obj);
 
   /// Current global epoch (starts at 1, bumped once per retire).
   std::uint64_t epoch() const {
@@ -122,7 +156,7 @@ class EpochDomain {
   }
   /// Objects retired but not yet reclaimed (a straggling reader, or no
   /// reclaim() call since the last retire burst).
-  std::size_t pending_retired() const;
+  std::size_t pending_retired() const KLB_EXCLUDES(retired_mu_);
 
  private:
   /// Own cache line per slot: two readers pinning concurrently must not
@@ -140,8 +174,17 @@ class EpochDomain {
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> retired_total_{0};
   std::atomic<std::uint64_t> reclaimed_total_{0};
-  mutable std::mutex retired_mu_;
-  std::vector<Retired> retired_;  // guarded by retired_mu_
+  mutable util::Mutex retired_mu_{"klb.epoch.retired"};
+  std::vector<Retired> retired_ KLB_GUARDED_BY(retired_mu_);
+
+#if KLB_DEBUG_SYNC
+  void debug_check_retire(const void* obj);
+  /// Raw std::mutex: validator-adjacent state must not instrument itself.
+  mutable std::mutex debug_mu_;
+  const util::Mutex* debug_control_ = nullptr;
+  bool debug_track_published_ = false;
+  std::set<const void*> debug_published_;
+#endif
 };
 
 }  // namespace klb::lb

@@ -28,7 +28,7 @@ FlowTable::FlowTable(FlowTableConfig cfg)
 FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
   const auto h = net::hash_tuple(t);
   auto& s = shards_[shard_index(h)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  util::MutexLock lk(s.mu);
   const auto it = s.flows.find(t);
   if (it != s.flows.end()) {
     it->second.last_seen = now;
@@ -53,7 +53,7 @@ std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
                                                      std::uint64_t pick_epoch) {
   const auto h = net::hash_tuple(t);
   auto& s = shards_[shard_index(h)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  util::MutexLock lk(s.mu);
   const auto [it, inserted] = s.flows.emplace(t, Flow{backend_id, now});
   if (!inserted) return {it->second.backend_id, false};
   ++s.inserts;
@@ -69,7 +69,7 @@ std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
 
 std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
   auto& s = shards_[shard_of(t)];
-  std::lock_guard<std::mutex> lk(s.mu);
+  util::MutexLock lk(s.mu);
   const auto it = s.flows.find(t);
   if (it == s.flows.end()) return std::nullopt;
   const auto id = it->second.backend_id;
@@ -81,7 +81,7 @@ std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
 std::size_t FlowTable::erase_backend(std::uint64_t backend_id) {
   std::size_t dropped = 0;
   for (auto& s : shards_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    util::MutexLock lk(s.mu);
     for (auto it = s.flows.begin(); it != s.flows.end();) {
       if (it->second.backend_id == backend_id) {
         it = s.flows.erase(it);
@@ -105,7 +105,7 @@ std::size_t FlowTable::gc_shard(
   // caller-side locks without deadlocking against the packet path.
   std::vector<std::pair<std::uint64_t, bool>> gone;
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    util::MutexLock lk(s.mu);
     for (auto it = s.flows.begin(); it != s.flows.end();) {
       const bool dead = !alive(it->second.backend_id);
       const bool idled = idle > util::SimTime::zero() &&
@@ -137,7 +137,7 @@ std::size_t FlowTable::gc(
 std::size_t FlowTable::size() const {
   std::size_t n = 0;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    util::MutexLock lk(s.mu);
     n += s.flows.size();
   }
   return n;
@@ -145,7 +145,7 @@ std::size_t FlowTable::size() const {
 
 std::size_t FlowTable::shard_size(std::size_t k) const {
   const auto& s = shards_[k & shard_mask_];
-  std::lock_guard<std::mutex> lk(s.mu);
+  util::MutexLock lk(s.mu);
   return s.flows.size();
 }
 
@@ -153,7 +153,7 @@ void FlowTable::for_each(
     const std::function<void(const net::FiveTuple&, std::uint64_t,
                              util::SimTime)>& fn) const {
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    util::MutexLock lk(s.mu);
     for (const auto& [tuple, flow] : s.flows)
       fn(tuple, flow.backend_id, flow.last_seen);
   }
@@ -162,7 +162,7 @@ void FlowTable::for_each(
 FlowTableStats FlowTable::stats() const {
   FlowTableStats out;
   for (const auto& s : shards_) {
-    std::lock_guard<std::mutex> lk(s.mu);
+    util::MutexLock lk(s.mu);
     out.entries += s.flows.size();
     out.inserts += s.inserts;
     out.erases += s.erases;

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "net/five_tuple.hpp"
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace klb::lb {
@@ -168,16 +169,18 @@ class FlowTable {
   };
 
   /// Own cache line per shard: the mutex and map of one shard must not
-  /// false-share with its neighbours.
+  /// false-share with its neighbours. All shard mutexes share one lock
+  /// rank ("klb.flow.shard"): the table never nests two shard locks, so
+  /// the debug validator treats any same-rank nesting as a bug.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<net::FiveTuple, Flow> flows;
-    std::vector<CacheSlot> cache;
-    std::uint64_t inserts = 0;
-    std::uint64_t erases = 0;
-    std::uint64_t gc_reclaimed = 0;
-    std::uint64_t cache_hits = 0;
-    std::uint64_t cache_misses = 0;
+    mutable util::Mutex mu{"klb.flow.shard"};
+    std::unordered_map<net::FiveTuple, Flow> flows KLB_GUARDED_BY(mu);
+    std::vector<CacheSlot> cache KLB_GUARDED_BY(mu);
+    std::uint64_t inserts KLB_GUARDED_BY(mu) = 0;
+    std::uint64_t erases KLB_GUARDED_BY(mu) = 0;
+    std::uint64_t gc_reclaimed KLB_GUARDED_BY(mu) = 0;
+    std::uint64_t cache_hits KLB_GUARDED_BY(mu) = 0;
+    std::uint64_t cache_misses KLB_GUARDED_BY(mu) = 0;
   };
 
   /// Shard choice uses the hash's top bits: the low bits feed the affinity

@@ -22,10 +22,14 @@ Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
          bool attach_to_vip, FlowTableConfig flow_cfg)
     : net_(net), vip_(vip), attached_(attach_to_vip),
       rng_(net.sim().rng().fork()), flows_(flow_cfg) {
+  // Debug wiring: pins must never be taken under THIS mux's control lock,
+  // and only pointers announced at the publication site may be retired.
+  epochs_.debug_register_control(&control_mutex_);
+  epochs_.debug_track_published();
   // Publish the initial empty-pool generation: the packet path may assume
   // current_ is never null. Its sequence (1) matches the FlowTable's
   // initial pick epoch.
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   publish_locked({}, /*program_version=*/0, std::move(policy));
   if (attached_) net_.attach(vip_, this);
 }
@@ -35,7 +39,7 @@ Mux::~Mux() {
 }
 
 void Mux::set_policy(std::unique_ptr<Policy> policy) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   publish_locked(draft_locked(), applied_version(), std::move(policy));
 }
 
@@ -62,7 +66,7 @@ void Mux::publish_locked(std::vector<GenBackend> backends,
     // Clone under the pick mutex: concurrent picks mutate policy state
     // (rotation counters, smoothing credits) and the clone must be a
     // consistent snapshot of it.
-    std::lock_guard<std::mutex> lk(pick_mutex_);
+    util::MutexLock lk(pick_mutex_);
     policy = current_owner_->policy().clone();
   }
   policy->invalidate();
@@ -79,6 +83,7 @@ void Mux::publish_locked(std::vector<GenBackend> backends,
   // straggler still reading a retired generation inserts entries stamped
   // with that generation's (old) sequence — born invalid, never served.
   flows_.set_pick_epoch(seq);
+  epochs_.debug_mark_published(gen.get());
   current_.store(gen.get(), std::memory_order_release);
   auto old = std::move(current_owner_);
   current_owner_ = std::move(gen);
@@ -90,7 +95,7 @@ void Mux::publish_locked(std::vector<GenBackend> backends,
 
 void Mux::poll() {
   if (drain_poll_pending_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lk(control_mutex_);
+    util::MutexLock lk(control_mutex_);
     sweep_drains_locked();
   }
   epochs_.reclaim();
@@ -103,8 +108,8 @@ void Mux::note_drain_empty() {
   // completes the drain inline, preserving the pre-generation timing; a
   // busy control plane picks the flag up in its own mutation or poll().
   if (control_mutex_.try_lock()) {
-    std::lock_guard<std::mutex> lk(control_mutex_, std::adopt_lock);
     sweep_drains_locked();
+    control_mutex_.unlock();
   }
 }
 
@@ -134,7 +139,7 @@ void Mux::sweep_drains_locked() {
 // --- transactional programming -------------------------------------------------
 
 void Mux::apply_program(const PoolProgram& program) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   if (program.version <= applied_version()) {
     superseded_programs_.fetch_add(1, std::memory_order_relaxed);
     util::log_warn(kLog) << "discarding stale pool program v"
@@ -272,7 +277,7 @@ std::size_t Mux::draining_count() const {
 
 std::uint64_t Mux::add_backend(net::IpAddr dip,
                                const server::DipServer* server) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   failed_tombstones_.erase(dip.value());  // imperative re-add is deliberate
   auto draft = draft_locked();
   GenBackend b;
@@ -299,13 +304,13 @@ std::uint64_t Mux::add_backend(net::IpAddr dip,
 }
 
 bool Mux::remove_backend(std::size_t i) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   return erase_backend(i, false);
 }
 
 bool Mux::fail_backend(std::size_t i,
                        std::optional<std::uint64_t> condemned_until_version) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   if (i >= current_owner_->size()) return false;
   // Tombstone the address against every transaction issued up to the
   // failure observation: one of them may still be riding the programming
@@ -317,7 +322,7 @@ bool Mux::fail_backend(std::size_t i,
 }
 
 void Mux::condemn(net::IpAddr addr, std::uint64_t until_version) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   condemn_locked(addr, until_version);
 }
 
@@ -437,7 +442,7 @@ std::uint64_t Mux::active_connections(std::size_t i) const {
 // --- imperative weight programming ---------------------------------------------
 
 bool Mux::set_weight_units(const std::vector<std::int64_t>& units) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   auto draft = draft_locked();
   if (units.size() != draft.size()) {
     rejected_programmings_.fetch_add(1, std::memory_order_relaxed);
@@ -462,7 +467,7 @@ std::vector<std::int64_t> Mux::weight_units() const {
 }
 
 bool Mux::set_backend_enabled(std::size_t i, bool enabled) {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   auto draft = draft_locked();
   if (i >= draft.size()) {
     util::log_warn(kLog) << "set_backend_enabled(" << i << ") out of range ("
@@ -485,7 +490,7 @@ bool Mux::set_backend_enabled(std::size_t i, bool enabled) {
 }
 
 void Mux::reset_counters() {
-  std::lock_guard<std::mutex> lk(control_mutex_);
+  util::MutexLock lk(control_mutex_);
   for (const auto& b : current_owner_->backends()) {
     b.counters->connections.store(0, std::memory_order_relaxed);
     b.counters->forwarded.store(0, std::memory_order_relaxed);
@@ -645,7 +650,7 @@ void Mux::handle_request(const net::Message& msg) {
   bool fresh = false;
   bool pinned = false;
   if (dip == kNoBackend) {
-    std::lock_guard<std::mutex> lk(pick_mutex_);
+    util::MutexLock lk(pick_mutex_);
     dip = gen.policy().pick(msg.tuple, gen.views(), rng_);
     if (dip == kNoBackend) {
       no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
@@ -694,7 +699,7 @@ void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
   // Only the LC family reads active_conns from the views; for everyone
   // else skipping the patch keeps FINs off the pick mutex entirely.
   if (!gen.policy_uses_conns()) return;
-  std::lock_guard<std::mutex> lk(pick_mutex_);
+  util::MutexLock lk(pick_mutex_);
   gen.views()[i].active_conns = active.load(std::memory_order_relaxed);
 }
 

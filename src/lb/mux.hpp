@@ -74,6 +74,7 @@
 #include "lb/pool_generation.hpp"
 #include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
+#include "util/sync.hpp"
 
 namespace klb::lb {
 
@@ -94,7 +95,7 @@ class Mux : public net::Node, public PoolProgrammer {
 
   /// Replace the policy (connection table survives, like a HAProxy
   /// reload). Publishes a new generation carrying the given instance.
-  void set_policy(std::unique_ptr<Policy> policy);
+  void set_policy(std::unique_ptr<Policy> policy) KLB_EXCLUDES(control_mutex_);
 
   /// The maglev snapshot the current generation's policy serves, or null
   /// when the policy is not a SharedMaglevPolicy (MuxPool introspection).
@@ -142,13 +143,14 @@ class Mux : public net::Node, public PoolProgrammer {
   /// summing to util::kWeightScale — never reset. `server` is optional and
   /// only consulted by the power-of-two policy.
   std::uint64_t add_backend(net::IpAddr dip,
-                            const server::DipServer* server = nullptr);
+                            const server::DipServer* server = nullptr)
+      KLB_EXCLUDES(control_mutex_);
 
   /// Deregister backend `i` (scale-in): its affinity entries are dropped
   /// and the survivors are rescaled back to kWeightScale (exactly unchanged
   /// when the backend was already drained to weight 0; a fully parked pool
   /// stays parked). Returns false for an out-of-range index.
-  bool remove_backend(std::size_t i);
+  bool remove_backend(std::size_t i) KLB_EXCLUDES(control_mutex_);
 
   /// Abrupt backend death (host failure): like remove_backend but the
   /// pinned flows are counted as reset — their clients see a connection
@@ -163,12 +165,13 @@ class Mux : public net::Node, public PoolProgrammer {
   /// (a deliberate resurrection) and clears the tombstone.
   bool fail_backend(std::size_t i,
                     std::optional<std::uint64_t> condemned_until_version =
-                        std::nullopt);
+                        std::nullopt) KLB_EXCLUDES(control_mutex_);
 
   /// Record the failure tombstone alone (see fail_backend) without
   /// touching any backend — a MuxPool uses it to keep members that do not
   /// currently serve the address in agreement with those that do.
-  void condemn(net::IpAddr addr, std::uint64_t until_version);
+  void condemn(net::IpAddr addr, std::uint64_t until_version)
+      KLB_EXCLUDES(control_mutex_);
 
   /// Bounds-checked accessors: an out-of-range index is loud (warn +
   /// sentinel), matching remove_backend's convention — never UB. Indices
@@ -186,7 +189,8 @@ class Mux : public net::Node, public PoolProgrammer {
   /// through apply_program). A vector whose size does not match
   /// backend_count() is rejected with a warning; returns false then.
   /// Draining backends stay parked at 0 regardless of the vector.
-  bool set_weight_units(const std::vector<std::int64_t>& units);
+  bool set_weight_units(const std::vector<std::int64_t>& units)
+      KLB_EXCLUDES(control_mutex_);
   std::vector<std::int64_t> weight_units() const;
 
   /// Administratively park (enabled = false) or unpark a backend without
@@ -196,7 +200,8 @@ class Mux : public net::Node, public PoolProgrammer {
   /// on empty, so it could never complete (ISSUE 5). Cancelling a drain is
   /// an explicit act: re-list the backend kActive in a PoolProgram.
   /// Returns false for an out-of-range index too.
-  bool set_backend_enabled(std::size_t i, bool enabled);
+  bool set_backend_enabled(std::size_t i, bool enabled)
+      KLB_EXCLUDES(control_mutex_);
 
   // --- affinity state --------------------------------------------------------
 
@@ -257,7 +262,7 @@ class Mux : public net::Node, public PoolProgrammer {
   std::uint64_t stale_failed_admissions() const {
     return stale_failed_admissions_.load(std::memory_order_relaxed);
   }
-  void reset_counters();
+  void reset_counters() KLB_EXCLUDES(control_mutex_);
 
   // --- generation / reclamation observability --------------------------------
   /// Generations published since construction (>= 1: the constructor
@@ -309,13 +314,16 @@ class Mux : public net::Node, public PoolProgrammer {
     return r;
   }
 
-  void handle_request(const net::Message& msg);
-  void handle_fin(const net::Message& msg);
+  void handle_request(const net::Message& msg)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+  void handle_fin(const net::Message& msg)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
   void forward(const PoolGeneration& gen, std::size_t i,
                const net::Message& msg);
   /// Decrement backend `i`'s active count (never below zero) and, for
   /// connection-count policies, refresh its view under the pick mutex.
-  void release_connection(const PoolGeneration& gen, std::size_t i);
+  void release_connection(const PoolGeneration& gen, std::size_t i)
+      KLB_EXCLUDES(pick_mutex_);
 
   /// Build and publish the next generation from `backends`, cloning the
   /// current policy unless `policy_override` supplies one. Re-keys the
@@ -323,25 +331,27 @@ class Mux : public net::Node, public PoolProgrammer {
   /// control_mutex_ (and NOT pick_mutex_).
   void publish_locked(std::vector<GenBackend> backends,
                       std::uint64_t program_version,
-                      std::unique_ptr<Policy> policy_override = nullptr);
+                      std::unique_ptr<Policy> policy_override = nullptr)
+      KLB_REQUIRES(control_mutex_) KLB_EXCLUDES(pick_mutex_);
   /// Copy of the current generation's backends — the draft every
   /// control-plane mutation edits. Caller holds control_mutex_.
-  std::vector<GenBackend> draft_locked() const {
+  std::vector<GenBackend> draft_locked() const KLB_REQUIRES(control_mutex_) {
     return current_owner_->backends();
   }
 
   /// Flag "some drainer may have emptied" from the packet path and sweep
   /// it opportunistically (try_lock; never blocks). Uncontended callers —
   /// the single-threaded simulator always — complete the drain inline.
-  void note_drain_empty();
+  void note_drain_empty() KLB_EXCLUDES(control_mutex_);
   /// Remove every empty drainer in one publication. Caller holds
   /// control_mutex_. No-op when the pending flag is clear.
-  void sweep_drains_locked();
+  void sweep_drains_locked() KLB_REQUIRES(control_mutex_);
 
-  void condemn_locked(net::IpAddr addr, std::uint64_t until_version) {
+  void condemn_locked(net::IpAddr addr, std::uint64_t until_version)
+      KLB_REQUIRES(control_mutex_) {
     failed_tombstones_[addr.value()] = until_version;
   }
-  bool erase_backend(std::size_t i, bool failed);
+  bool erase_backend(std::size_t i, bool failed) KLB_REQUIRES(control_mutex_);
   void drop_affinity_for(std::uint64_t id, bool count_as_reset);
   /// Rescale `draft` weights to sum kWeightScale, preserving ratios.
   /// All-zero pools stay parked (traffic deliberately weighted away).
@@ -354,32 +364,37 @@ class Mux : public net::Node, public PoolProgrammer {
   net::Network& net_;
   net::IpAddr vip_;
   bool attached_ = false;
-  util::Rng rng_;  // guarded by pick_mutex_
+  util::Rng rng_ KLB_GUARDED_BY(pick_mutex_);
 
   /// Serializes control-plane mutations against each other. The packet
-  /// path never takes it (note_drain_empty only try_locks).
-  mutable std::mutex control_mutex_;
+  /// path never takes it (note_drain_empty only try_locks). Flagged
+  /// control-plane: acquiring it while holding an epoch pin is an abort
+  /// under KLB_DEBUG_SYNC — its critical sections retire generations, and
+  /// a held pin would defer that reclamation forever.
+  mutable util::Mutex control_mutex_{"klb.mux.control",
+                                     util::LockFlags::kControlPlane};
   /// Serializes policy picks (stateful policies + the shared RNG) and the
   /// generation views' active_conns patching. Lock order: pick_mutex_ may
   /// be followed by a shard mutex (pick -> pin), never the reverse —
   /// FlowTable callbacks that reenter the Mux run after the shard lock
   /// drops (see FlowTable::gc_shard).
-  std::mutex pick_mutex_;
+  util::Mutex pick_mutex_{"klb.mux.pick"};
 
   /// The published generation. Readers pin (epochs_) then acquire-load;
   /// writers store under control_mutex_ and retire the predecessor.
   std::atomic<const PoolGeneration*> current_{nullptr};
-  /// Strong ref keeping `current_` alive; guarded by control_mutex_.
-  std::shared_ptr<const PoolGeneration> current_owner_;
+  /// Strong ref keeping `current_` alive.
+  std::shared_ptr<const PoolGeneration> current_owner_
+      KLB_GUARDED_BY(control_mutex_);
   mutable EpochDomain epochs_;
 
   FlowTable flows_;
   /// Failed address -> highest version issued when the failure was
   /// observed. Programs at or below that version cannot re-admit the
   /// address (they predate the failure); newer programs clear the entry.
-  /// Guarded by control_mutex_.
-  std::unordered_map<std::uint32_t, std::uint64_t> failed_tombstones_;
-  std::uint64_t next_backend_id_ = 1;  // guarded by control_mutex_
+  std::unordered_map<std::uint32_t, std::uint64_t> failed_tombstones_
+      KLB_GUARDED_BY(control_mutex_);
+  std::uint64_t next_backend_id_ KLB_GUARDED_BY(control_mutex_) = 1;
 
   std::atomic<std::int64_t> affinity_idle_us_{0};
   std::atomic<bool> drain_poll_pending_{false};

@@ -61,6 +61,7 @@ std::vector<net::IpAddr> MuxPool::backend_addrs() const {
 }
 
 void MuxPool::apply_program(const PoolProgram& program) {
+  util::MutexLock lk(mu_);
   // One version check for the whole pool: either every member commits this
   // transaction or none does, so the members cannot diverge.
   if (program.version <= applied_version_) {
@@ -110,6 +111,7 @@ void MuxPool::poll() {
 }
 
 bool MuxPool::fail_backend(net::IpAddr dip) {
+  util::MutexLock lk(mu_);
   // Tombstone against the POOL's version sequence (members never issue
   // their own): every member refuses the same set of pre-failure
   // transactions, so they cannot diverge on whether the corpse is served.

@@ -28,6 +28,7 @@
 #include "lb/mux.hpp"
 #include "lb/pool_program.hpp"
 #include "net/fabric.hpp"
+#include "util/sync.hpp"
 
 namespace klb::lb {
 
@@ -65,16 +66,25 @@ class MuxPool : public net::Node, public PoolProgrammer {
   /// Deferred maintenance fan-out (drain completion, generation reclaim).
   void poll() override;
 
-  std::uint64_t applied_version() const { return applied_version_; }
-  std::uint64_t superseded_programs() const { return superseded_programs_; }
+  std::uint64_t applied_version() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return applied_version_;
+  }
+  std::uint64_t superseded_programs() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return superseded_programs_;
+  }
   /// Shared maglev builds (one per committed version, not per mux).
-  std::uint64_t shared_builds() const { return shared_builds_; }
+  std::uint64_t shared_builds() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return shared_builds_;
+  }
 
   /// Abrupt backend death observed by the dataplane (host failure): drops
   /// `dip` from every member, counting pinned flows as reset — the
   /// counterpart of a graceful kDraining program. Returns true if any
   /// member still served the DIP.
-  bool fail_backend(net::IpAddr dip);
+  bool fail_backend(net::IpAddr dip) KLB_EXCLUDES(mu_);
 
   // --- aggregated dataplane counters -----------------------------------------
   std::uint64_t total_forwarded() const;
@@ -107,16 +117,22 @@ class MuxPool : public net::Node, public PoolProgrammer {
  private:
   /// Build one table from the current pool state and hand the snapshot to
   /// every member (runs after each commit and after a dataplane-local
-  /// failure).
-  void publish_table();
+  /// failure). Caller holds mu_; the members' own control locks are taken
+  /// underneath it (klb.muxpool.control -> klb.mux.control is the legal
+  /// order, never the reverse).
+  void publish_table() KLB_REQUIRES(mu_);
 
   net::Network& net_;
   net::IpAddr vip_;
   std::size_t min_table_size_;
   std::vector<std::unique_ptr<Mux>> muxes_;
-  std::uint64_t applied_version_ = 0;
-  std::uint64_t superseded_programs_ = 0;
-  std::uint64_t shared_builds_ = 0;
+  /// Serializes pool-wide commits/failures against each other and guards
+  /// the version bookkeeping below.
+  mutable util::Mutex mu_{"klb.muxpool.control",
+                          util::LockFlags::kControlPlane};
+  std::uint64_t applied_version_ KLB_GUARDED_BY(mu_) = 0;
+  std::uint64_t superseded_programs_ KLB_GUARDED_BY(mu_) = 0;
+  std::uint64_t shared_builds_ KLB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace klb::lb

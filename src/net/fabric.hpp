@@ -22,6 +22,7 @@
 #include "net/address.hpp"
 #include "net/five_tuple.hpp"
 #include "sim/simulation.hpp"
+#include "util/sync.hpp"
 
 namespace klb::net {
 
@@ -64,7 +65,8 @@ class Network {
 
   /// Bind `node` to `addr`. Re-binding replaces the previous owner (used
   /// when a failed DIP is replaced). Unbind with nullptr.
-  void attach(IpAddr addr, Node* node) {
+  void attach(IpAddr addr, Node* node) KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
     if (node == nullptr) {
       nodes_.erase(addr);
     } else {
@@ -72,7 +74,10 @@ class Network {
     }
   }
 
-  bool attached(IpAddr addr) const { return nodes_.count(addr) > 0; }
+  bool attached(IpAddr addr) const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return nodes_.count(addr) > 0;
+  }
 
   /// Blackhole mode (benches): drop every send() before it touches the
   /// event queue or the fabric RNG — both are single-threaded — so the MUX
@@ -88,39 +93,61 @@ class Network {
   /// Deliver `msg` to the node bound to `to` after the fabric latency.
   /// Messages to unbound addresses vanish (host unreachable) — callers
   /// discover this via their own timeouts, like real probes do.
-  void send(IpAddr to, Message msg) {
+  void send(IpAddr to, Message msg) KLB_EXCLUDES(mu_) {
     if (blackhole_.load(std::memory_order_relaxed)) {
       blackholed_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ++sent_;
-    const auto delay =
-        cfg_.base_latency +
-        util::SimTime::micros(static_cast<std::int64_t>(
-            rng_.exponential(static_cast<double>(cfg_.jitter_mean.us()))));
+    util::SimTime delay;
+    {
+      util::MutexLock lk(mu_);
+      ++sent_;
+      delay =
+          cfg_.base_latency +
+          util::SimTime::micros(static_cast<std::int64_t>(
+              rng_.exponential(static_cast<double>(cfg_.jitter_mean.us()))));
+    }
     sim_.schedule_in(delay, [this, to, m = std::move(msg)]() {
-      const auto it = nodes_.find(to);
-      if (it == nodes_.end()) {
-        ++dropped_unreachable_;
-        return;
+      // Resolve under the lock, deliver outside it: on_message may reenter
+      // the fabric (forwarding) or take component locks, and klb.net.nodes
+      // must stay a leaf-ish rank with no outgoing edges into them.
+      Node* node = nullptr;
+      {
+        util::MutexLock lk(mu_);
+        const auto it = nodes_.find(to);
+        if (it == nodes_.end()) {
+          ++dropped_unreachable_;
+          return;
+        }
+        node = it->second;
       }
-      it->second->on_message(m);
+      node->on_message(m);
     });
   }
 
   sim::Simulation& sim() { return sim_; }
-  std::uint64_t messages_sent() const { return sent_; }
-  std::uint64_t messages_unreachable() const { return dropped_unreachable_; }
+  std::uint64_t messages_sent() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return sent_;
+  }
+  std::uint64_t messages_unreachable() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return dropped_unreachable_;
+  }
 
  private:
   sim::Simulation& sim_;
   FabricConfig cfg_;
-  util::Rng rng_;
-  std::unordered_map<IpAddr, Node*> nodes_;
+  /// Guards the address table, the fabric RNG, and the send counters:
+  /// attach/detach runs from component ctors/dtors on the control plane
+  /// while MUX worker threads forward through send().
+  mutable util::Mutex mu_{"klb.net.nodes"};
+  util::Rng rng_ KLB_GUARDED_BY(mu_);
+  std::unordered_map<IpAddr, Node*> nodes_ KLB_GUARDED_BY(mu_);
   std::atomic<bool> blackhole_{false};
   std::atomic<std::uint64_t> blackholed_{0};
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_unreachable_ = 0;
+  std::uint64_t sent_ KLB_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_unreachable_ KLB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace klb::net

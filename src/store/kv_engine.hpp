@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/resp.hpp"
+#include "util/sync.hpp"
 #include "util/time.hpp"
 
 namespace klb::store {
@@ -28,9 +29,15 @@ class KvEngine {
   /// Commands: PING, ECHO, SET (with optional EX seconds), GET, DEL, EXISTS,
   /// EXPIRE, TTL, LPUSH, RPUSH, LPOP, LRANGE, LLEN, LTRIM, KEYS, FLUSHALL,
   /// DBSIZE. Unknown commands return a RESP error, matching Redis.
-  net::RespValue execute(const std::vector<std::string>& cmd);
+  /// Thread-safe: the whole command executes under one engine lock
+  /// (matching Redis's single command-processing thread).
+  net::RespValue execute(const std::vector<std::string>& cmd)
+      KLB_EXCLUDES(mu_);
 
-  std::size_t key_count() const { return data_.size(); }
+  std::size_t key_count() const KLB_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    return data_.size();
+  }
 
  private:
   struct Entry {
@@ -41,23 +48,36 @@ class KvEngine {
   };
 
   // Returns nullptr for missing or expired keys (expired keys are reaped).
-  Entry* live(const std::string& key);
+  Entry* live(const std::string& key) KLB_REQUIRES(mu_);
 
-  net::RespValue cmd_set(const std::vector<std::string>& cmd);
-  net::RespValue cmd_get(const std::vector<std::string>& cmd);
-  net::RespValue cmd_del(const std::vector<std::string>& cmd);
-  net::RespValue cmd_exists(const std::vector<std::string>& cmd);
-  net::RespValue cmd_expire(const std::vector<std::string>& cmd);
-  net::RespValue cmd_ttl(const std::vector<std::string>& cmd);
-  net::RespValue cmd_push(const std::vector<std::string>& cmd, bool left);
-  net::RespValue cmd_lpop(const std::vector<std::string>& cmd);
-  net::RespValue cmd_lrange(const std::vector<std::string>& cmd);
-  net::RespValue cmd_llen(const std::vector<std::string>& cmd);
-  net::RespValue cmd_ltrim(const std::vector<std::string>& cmd);
-  net::RespValue cmd_keys(const std::vector<std::string>& cmd);
+  net::RespValue cmd_set(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_get(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_del(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_exists(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_expire(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_ttl(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_push(const std::vector<std::string>& cmd, bool left)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_lpop(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_lrange(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_llen(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_ltrim(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
+  net::RespValue cmd_keys(const std::vector<std::string>& cmd)
+      KLB_REQUIRES(mu_);
 
   Clock clock_;
-  std::unordered_map<std::string, Entry> data_;
+  mutable util::Mutex mu_{"klb.store.kv"};
+  std::unordered_map<std::string, Entry> data_ KLB_GUARDED_BY(mu_);
 };
 
 }  // namespace klb::store

@@ -1,11 +1,46 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <iostream>
+
+#include "util/sync.hpp"
+
 namespace klb::util {
 
-LogLevel& log_threshold() {
-  static LogLevel level = LogLevel::kWarn;
+namespace {
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
+
+/// Serializes sink writes: worker threads warn concurrently with the sim
+/// thread, and interleaved half-lines are worse than no log at all. Leaf
+/// rank — log sites run under control/pick/round locks all over the tree,
+/// so nothing may be acquired under it.
+Mutex& sink_mutex() {
+  static Mutex mu{"klb.log.sink"};
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return threshold_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void write_log_line(const std::string& line) {
+  MutexLock lk(sink_mutex());
+  std::clog << line;
+}
+
+}  // namespace detail
 
 const char* log_level_name(LogLevel level) {
   switch (level) {

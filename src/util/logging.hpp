@@ -1,9 +1,14 @@
 // Minimal leveled logger. Components log through a shared sink; benches and
 // tests can raise the threshold to keep output clean, examples can lower it
 // to narrate what the controller is doing.
+//
+// Thread-safety: the threshold is an atomic (benches flip it around
+// multi-threaded phases while workers hit warn paths), and sink writes are
+// serialized so concurrent lines never tear. A LogLine samples the
+// threshold once at construction and buffers locally; only the final
+// one-call flush takes the sink lock.
 #pragma once
 
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -11,34 +16,44 @@ namespace klb::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide log threshold. Not thread-safe by design: the simulator is
-/// single-threaded and benches set this once at startup.
-LogLevel& log_threshold();
+/// Process-wide log threshold (relaxed atomic read).
+LogLevel log_threshold();
+/// Set the process-wide threshold. Safe from any thread; lines already
+/// being built keep the threshold they sampled at construction.
+void set_log_threshold(LogLevel level);
 
 const char* log_level_name(LogLevel level);
 
 namespace detail {
+
+/// Write one complete line to the shared sink, serialized against
+/// concurrent writers (implemented in logging.cpp).
+void write_log_line(const std::string& line);
+
 class LogLine {
  public:
-  LogLine(LogLevel level, const char* component) : level_(level) {
-    stream_ << "[" << log_level_name(level) << "] " << component << ": ";
+  LogLine(LogLevel level, const char* component)
+      : enabled_(level >= log_threshold()) {
+    if (enabled_)
+      stream_ << "[" << log_level_name(level) << "] " << component << ": ";
   }
   ~LogLine() {
-    if (level_ >= log_threshold()) {
+    if (enabled_) {
       stream_ << '\n';
-      std::clog << stream_.str();
+      write_log_line(stream_.str());
     }
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (level_ >= log_threshold()) stream_ << v;
+    if (enabled_) stream_ << v;
     return *this;
   }
 
  private:
-  LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
+
 }  // namespace detail
 
 inline detail::LogLine log_debug(const char* component) {

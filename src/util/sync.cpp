@@ -1,0 +1,161 @@
+// KLB_DEBUG_SYNC runtime validator: lock-order graph + epoch-pin
+// accounting (see util/sync.hpp for the model). Compiled to nothing when
+// the flag is off.
+#include "util/sync.hpp"
+
+#if KLB_DEBUG_SYNC
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace klb::util::sync_debug {
+
+namespace {
+
+/// Locks the calling thread currently holds, acquisition order.
+thread_local std::vector<const Mutex*> t_held;
+/// Live epoch pins on the calling thread (across all domains).
+thread_local int t_pins = 0;
+
+/// A thread may legitimately hold a packet-path pin plus an inline-GC pin;
+/// anything past this is a leak (e.g. a Guard that never releases).
+constexpr int kMaxPinDepth = 8;
+
+/// The global lock-order graph, keyed by lock rank (Mutex::name). Guarded
+/// by a raw std::mutex: the validator must not instrument itself.
+std::mutex g_graph_mu;
+std::map<std::string, std::set<std::string>>& graph() {
+  static auto* g = new std::map<std::string, std::set<std::string>>();
+  return *g;
+}
+
+/// Per-thread cache of edges already in the graph, so a warm hot path
+/// stops taking g_graph_mu entirely.
+thread_local std::set<std::pair<std::string, std::string>> t_seen;
+
+/// DFS: is `target` reachable from `cur`? On success `path` holds the
+/// ranks from `cur` to `target` inclusive. Caller holds g_graph_mu.
+bool reaches(const std::string& cur, const std::string& target,
+             std::set<std::string>& visited, std::vector<std::string>& path) {
+  path.push_back(cur);
+  if (cur == target) return true;
+  if (visited.insert(cur).second) {
+    const auto it = graph().find(cur);
+    if (it != graph().end()) {
+      for (const auto& next : it->second)
+        if (reaches(next, target, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void check_control_vs_pin(const Mutex& mu) {
+  if (mu.is_control_plane() && t_pins > 0) {
+    std::string detail = "acquiring control-plane lock \"";
+    detail += mu.name();
+    detail += "\" while holding " + std::to_string(t_pins) +
+              " live epoch pin(s); the pin would block the reclamation "
+              "this lock's critical section can trigger";
+    die("epoch invariant violation", detail.c_str());
+  }
+}
+
+/// Record `from -> to`, aborting if the reverse direction is already
+/// reachable (the acquire now in progress would close a wait cycle).
+void record_edge(const Mutex& from_mu, const Mutex& to_mu) {
+  const std::string from = from_mu.name();
+  const std::string to = to_mu.name();
+  if (t_seen.count({from, to}) != 0) return;
+  std::lock_guard<std::mutex> lk(g_graph_mu);
+  auto& out = graph()[from];
+  if (out.count(to) == 0) {
+    std::set<std::string> visited;
+    std::vector<std::string> path;
+    if (reaches(to, from, visited, path)) {
+      // path = to -> ... -> from; appending `to` prints the full cycle.
+      std::string detail = "acquiring \"" + to + "\" while holding \"" + from +
+                           "\" closes cycle: ";
+      for (const auto& rank : path) detail += rank + " -> ";
+      detail += to;
+      die("lock-order violation", detail.c_str());
+    }
+    out.insert(to);
+  }
+  t_seen.insert({from, to});
+}
+
+}  // namespace
+
+void before_lock(const Mutex& mu) {
+  check_control_vs_pin(mu);
+  for (const Mutex* held : t_held) {
+    if (std::string(held->name()) == mu.name()) {
+      std::string detail = "acquiring \"" + std::string(mu.name()) +
+                           "\" while already holding a lock of the same "
+                           "rank (self-deadlock, or unordered same-rank "
+                           "nesting between instances)";
+      die("lock-order violation", detail.c_str());
+    }
+  }
+  for (const Mutex* held : t_held) record_edge(*held, mu);
+}
+
+void on_locked(const Mutex& mu) { t_held.push_back(&mu); }
+
+void on_try_locked(const Mutex& mu) {
+  check_control_vs_pin(mu);
+  t_held.push_back(&mu);
+}
+
+void on_unlock(const Mutex& mu) {
+  // Search from the back: releases are almost always LIFO, but manual
+  // try_lock/unlock pairs (Mux::note_drain_empty) may interleave.
+  const auto it = std::find(t_held.rbegin(), t_held.rend(), &mu);
+  if (it == t_held.rend()) {
+    std::string detail =
+        "releasing \"" + std::string(mu.name()) + "\" which this thread does not hold";
+    die("lock discipline violation", detail.c_str());
+  }
+  t_held.erase(std::next(it).base());
+}
+
+bool holds(const Mutex& mu) {
+  return std::find(t_held.begin(), t_held.end(), &mu) != t_held.end();
+}
+
+void on_pin(const Mutex* registered_control) {
+  if (registered_control != nullptr && holds(*registered_control)) {
+    std::string detail = "pinning an epoch domain while holding its "
+                         "control-plane lock \"";
+    detail += registered_control->name();
+    detail += "\"; retiring under this pin could never reclaim";
+    die("epoch invariant violation", detail.c_str());
+  }
+  if (++t_pins > kMaxPinDepth) {
+    die("epoch invariant violation",
+        "per-thread pin depth exceeded (a Guard is leaking, or pins are "
+        "recursing)");
+  }
+}
+
+void on_unpin() {
+  if (--t_pins < 0)
+    die("epoch invariant violation", "unpin without a matching pin");
+}
+
+[[noreturn]] void die(const char* what, const char* detail) {
+  std::fprintf(stderr, "[klb-sync] FATAL %s: %s\n", what, detail);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace klb::util::sync_debug
+
+#endif  // KLB_DEBUG_SYNC

@@ -1,0 +1,183 @@
+// Capability-annotated synchronization primitives: the one place the
+// codebase's concurrency contracts are written down as *checked* code.
+//
+// Two enforcement layers share these types:
+//
+//   1. Clang Thread Safety Analysis (compile time). klb::util::Mutex is a
+//      CAPABILITY, MutexLock a SCOPED_CAPABILITY, and the KLB_GUARDED_BY /
+//      KLB_REQUIRES / KLB_EXCLUDES macros below annotate which state each
+//      lock protects and which functions demand or forbid it. Clang builds
+//      run with -Wthread-safety (see CMakeLists.txt; CI adds -Werror), so
+//      touching a guarded field without its lock, calling a REQUIRES
+//      helper bare, or double-acquiring a scoped lock fails the build.
+//      The macros expand to nothing on GCC — zero cost, zero divergence.
+//
+//   2. The KLB_DEBUG_SYNC runtime validator (Debug builds, opt-in via
+//      -DKLB_DEBUG_SYNC=ON). Every Mutex carries a *name* — its lock rank,
+//      lockdep-style: all flow-table shard locks share one rank
+//      "klb.flow.shard". Blocking acquisitions record (held -> acquired)
+//      edges in a process-wide order graph and abort with a cycle report
+//      the moment an acquisition would close a cycle — the ABBA deadlock
+//      is caught on the first inverted acquire, not when two threads
+//      finally interleave. try_lock successes record no edge (a trylock
+//      cannot wait, so it can never complete a deadlock cycle) but still
+//      participate in the held-set. Locks flagged kControlPlane
+//      additionally assert they are never acquired while the calling
+//      thread holds a live epoch pin (see lb/epoch.hpp) — the pin would
+//      block the very reclamation the control plane is about to trigger.
+//
+// The canonical lock order this encodes (see README "Concurrency
+// contracts"): control locks (mux/pool/testbed) -> pick -> shard, with
+// epoch pins strictly outside all control capabilities.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -----------------------------
+// Standard TSA spellings (see clang.llvm.org/docs/ThreadSafetyAnalysis).
+// They compile away on non-clang compilers.
+#if defined(__clang__)
+#define KLB_TSA_ATTR(x) __attribute__((x))
+#else
+#define KLB_TSA_ATTR(x)
+#endif
+
+#define KLB_CAPABILITY(x) KLB_TSA_ATTR(capability(x))
+#define KLB_SCOPED_CAPABILITY KLB_TSA_ATTR(scoped_lockable)
+#define KLB_GUARDED_BY(x) KLB_TSA_ATTR(guarded_by(x))
+#define KLB_PT_GUARDED_BY(x) KLB_TSA_ATTR(pt_guarded_by(x))
+#define KLB_REQUIRES(...) KLB_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define KLB_ACQUIRE(...) KLB_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define KLB_RELEASE(...) KLB_TSA_ATTR(release_capability(__VA_ARGS__))
+#define KLB_TRY_ACQUIRE(...) KLB_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define KLB_EXCLUDES(...) KLB_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define KLB_RETURN_CAPABILITY(x) KLB_TSA_ATTR(lock_returned(x))
+#define KLB_NO_THREAD_SAFETY_ANALYSIS KLB_TSA_ATTR(no_thread_safety_analysis)
+
+#ifndef KLB_DEBUG_SYNC
+#define KLB_DEBUG_SYNC 0
+#endif
+
+namespace klb::util {
+
+class Mutex;
+
+/// Runtime-validator hooks (implemented in sync.cpp; only referenced when
+/// KLB_DEBUG_SYNC is on). All state is thread-local plus one global order
+/// graph; every function either passes or aborts the process with a
+/// one-line report on stderr.
+namespace sync_debug {
+#if KLB_DEBUG_SYNC
+/// Pre-block: record (held -> mu) order edges, abort on a cycle-forming or
+/// same-rank acquire, and run the control-vs-pin check.
+void before_lock(const Mutex& mu);
+/// Post-acquire: push onto the calling thread's held stack.
+void on_locked(const Mutex& mu);
+/// Successful try_lock: held-stack push + control-vs-pin check, NO order
+/// edges (a trylock never waits, so it cannot complete a deadlock cycle).
+void on_try_locked(const Mutex& mu);
+void on_unlock(const Mutex& mu);
+/// Does the calling thread hold `mu` (this exact instance)?
+bool holds(const Mutex& mu);
+/// Epoch-pin accounting: `registered_control` is the domain's registered
+/// control mutex (may be null). Aborts if the caller holds it (the pin
+/// would block reclamation) or if the per-thread pin depth runs away.
+void on_pin(const Mutex* registered_control);
+void on_unpin();
+[[noreturn]] void die(const char* what, const char* detail);
+#endif
+}  // namespace sync_debug
+
+enum class LockFlags : unsigned {
+  kNone = 0,
+  /// Control-plane capability: must never be acquired (even by try_lock)
+  /// while the calling thread holds a live epoch pin.
+  kControlPlane = 1u << 0,
+};
+
+/// A std::mutex with a capability annotation, a lock rank (name), and
+/// optional runtime order/invariant validation. The name is a lock
+/// *class*: every instance sharing it (e.g. all flow-table shards) is one
+/// rank in the order graph.
+class KLB_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name, LockFlags flags = LockFlags::kNone)
+      : name_(name), flags_(static_cast<unsigned>(flags)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KLB_ACQUIRE() {
+#if KLB_DEBUG_SYNC
+    sync_debug::before_lock(*this);
+#endif
+    mu_.lock();
+#if KLB_DEBUG_SYNC
+    sync_debug::on_locked(*this);
+#endif
+  }
+
+  void unlock() KLB_RELEASE() {
+#if KLB_DEBUG_SYNC
+    sync_debug::on_unlock(*this);
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() KLB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if KLB_DEBUG_SYNC
+    sync_debug::on_try_locked(*this);
+#endif
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  bool is_control_plane() const {
+    return (flags_ & static_cast<unsigned>(LockFlags::kControlPlane)) != 0;
+  }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  unsigned flags_;
+};
+
+/// RAII lock, annotated as a scoped capability (the drop-in replacement
+/// for std::lock_guard on a klb::util::Mutex).
+class KLB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KLB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() KLB_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex. Deliberately no predicate
+/// overload: the analysis treats lambda bodies as separate functions, so a
+/// predicate reading guarded state would warn — callers loop explicitly
+/// (`while (!cond) cv.wait(mu);`), which keeps every guarded read inside
+/// the annotated function body.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and re-acquires it before returning
+  /// (the re-acquire goes through Mutex::lock, so the runtime validator
+  /// sees the same order edges a fresh acquisition would record).
+  void wait(Mutex& mu) KLB_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace klb::util

@@ -1,0 +1,10 @@
+// MUST FAIL under clang -Wthread-safety -Werror: scoped-acquiring a
+// capability the thread already holds.
+#include "util/sync.hpp"
+
+int main() {
+  klb::util::Mutex mu{"klb.neg.double"};
+  klb::util::MutexLock outer(mu);
+  klb::util::MutexLock inner(mu);  // violation: mu already held
+  return 0;
+}

@@ -1,0 +1,19 @@
+// MUST FAIL under clang -Wthread-safety -Werror: reading a guarded field
+// without its mutex held.
+#include "util/sync.hpp"
+
+namespace {
+
+struct Counter {
+  klb::util::Mutex mu{"klb.neg.guarded"};
+  int value KLB_GUARDED_BY(mu) = 0;
+
+  int read_unlocked() { return value; }  // violation: no lock held
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,0 +1,21 @@
+// MUST FAIL under clang -Wthread-safety -Werror: calling a
+// REQUIRES-annotated helper without holding the capability.
+#include "util/sync.hpp"
+
+namespace {
+
+struct Counter {
+  klb::util::Mutex mu{"klb.neg.requires"};
+  int value KLB_GUARDED_BY(mu) = 0;
+
+  void bump_locked() KLB_REQUIRES(mu) { ++value; }
+  void bump_bare() { bump_locked(); }  // violation: mu not held
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_bare();
+  return 0;
+}

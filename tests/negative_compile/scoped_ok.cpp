@@ -1,0 +1,32 @@
+// MUST COMPILE under clang -Wthread-safety -Werror: the idiomatic pattern
+// the codebase uses — guarded fields touched only under a scoped lock,
+// REQUIRES helpers called with the capability held. Guards the suite
+// against a harness that "passes" because everything fails.
+#include "util/sync.hpp"
+
+namespace {
+
+struct Counter {
+  mutable klb::util::Mutex mu{"klb.ok.scoped"};
+  int value KLB_GUARDED_BY(mu) = 0;
+
+  void bump_locked() KLB_REQUIRES(mu) { ++value; }
+
+  void bump() KLB_EXCLUDES(mu) {
+    klb::util::MutexLock lk(mu);
+    bump_locked();
+  }
+
+  int get() const KLB_EXCLUDES(mu) {
+    klb::util::MutexLock lk(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.get();
+}

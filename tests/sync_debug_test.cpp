@@ -1,0 +1,174 @@
+// KLB_DEBUG_SYNC runtime validator tests (util/sync.cpp + the epoch
+// invariants in lb/epoch.hpp).
+//
+// Every violation is a process abort, so these are death tests: the
+// EXPECT_DEATH statement re-runs in a forked child that inherits the
+// parent's lock-order graph, and the parent asserts on the child's
+// one-line stderr report. Rank names are unique per test — the order
+// graph is process-global, and a rank reused across tests would make one
+// test's edges constrain another's.
+//
+// In builds without -DKLB_DEBUG_SYNC=ON the hooks compile to nothing, so
+// every test here skips (the CI debug-sync job is where they bite).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "lb/epoch.hpp"
+#include "util/sync.hpp"
+
+namespace klb {
+namespace {
+
+#if KLB_DEBUG_SYNC
+constexpr bool kValidatorOn = true;
+#else
+constexpr bool kValidatorOn = false;
+#endif
+
+#define KLB_SKIP_WITHOUT_VALIDATOR()                                   \
+  if (!kValidatorOn) {                                                 \
+    GTEST_SKIP() << "built without KLB_DEBUG_SYNC; validator is a no-op"; \
+  }
+
+TEST(SyncDebugDeathTest, LockOrderInversionAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  util::Mutex a("klb.test.inv.A");
+  util::Mutex b("klb.test.inv.B");
+  {
+    // Establish the canonical order A -> B.
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  // The inverted acquire must abort immediately — no second thread, no
+  // actual deadlock needed — and the report must name both ranks and the
+  // cycle that the acquire would close.
+  EXPECT_DEATH(
+      {
+        util::MutexLock lb(b);
+        util::MutexLock la(a);
+      },
+      "lock-order violation.*closes cycle.*"
+      "klb\\.test\\.inv\\.A.*klb\\.test\\.inv\\.B.*klb\\.test\\.inv\\.A");
+}
+
+TEST(SyncDebugDeathTest, SameRankNestingAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  // Two instances of one rank (like two flow-table shards): nesting them
+  // is unordered and must abort on the inner acquire.
+  util::Mutex first("klb.test.samerank");
+  util::Mutex second("klb.test.samerank");
+  util::MutexLock outer(first);
+  EXPECT_DEATH({ util::MutexLock inner(second); },
+               "lock-order violation.*klb\\.test\\.samerank.*same.*rank");
+}
+
+TEST(SyncDebugDeathTest, ReleasingUnheldLockAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  util::Mutex m("klb.test.unheld");
+  EXPECT_DEATH(m.unlock(),
+               "lock discipline violation.*klb\\.test\\.unheld.*does not hold");
+}
+
+TEST(SyncDebugDeathTest, PinUnderRegisteredControlLockAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  lb::EpochDomain domain;
+  util::Mutex control("klb.test.pinctl", util::LockFlags::kControlPlane);
+  domain.debug_register_control(&control);
+  EXPECT_DEATH(
+      {
+        util::MutexLock lk(control);
+        auto g = domain.pin();
+      },
+      "epoch invariant violation.*pinning an epoch domain.*"
+      "klb\\.test\\.pinctl");
+}
+
+TEST(SyncDebugDeathTest, ControlAcquireWhilePinnedAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  lb::EpochDomain domain;
+  util::Mutex control("klb.test.ctl2", util::LockFlags::kControlPlane);
+  EXPECT_DEATH(
+      {
+        auto g = domain.pin();
+        util::MutexLock lk(control);
+      },
+      "epoch invariant violation.*klb\\.test\\.ctl2.*live epoch pin");
+}
+
+TEST(SyncDebugDeathTest, ControlTryAcquireWhilePinnedAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  // try_lock never waits, but a successful one still enters the critical
+  // section — the pin invariant applies to it all the same.
+  lb::EpochDomain domain;
+  util::Mutex control("klb.test.ctl3", util::LockFlags::kControlPlane);
+  EXPECT_DEATH(
+      {
+        auto g = domain.pin();
+        if (control.try_lock()) control.unlock();
+      },
+      "epoch invariant violation.*klb\\.test\\.ctl3.*live epoch pin");
+}
+
+TEST(SyncDebugDeathTest, RetireNeverPublishedAborts) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  lb::EpochDomain domain;
+  domain.debug_track_published();
+  auto obj = std::make_shared<int>(42);
+  EXPECT_DEATH(domain.retire(obj),
+               "epoch invariant violation.*never published");
+}
+
+TEST(SyncDebugTest, RetireOfPublishedObjectIsClean) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  lb::EpochDomain domain;
+  domain.debug_track_published();
+  auto obj = std::make_shared<int>(7);
+  domain.debug_mark_published(obj.get());
+  domain.retire(obj);  // must not abort
+  EXPECT_EQ(domain.retired_total(), 1u);
+}
+
+TEST(SyncDebugTest, TryLockRecordsNoOrderEdge) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  // Establish A -> B, then try_lock A while holding B. A blocking acquire
+  // would close the cycle and abort; a trylock cannot wait, so it must be
+  // admitted without recording the inverted edge.
+  util::Mutex a("klb.test.noedge.A");
+  util::Mutex b("klb.test.noedge.B");
+  {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  {
+    util::MutexLock lb(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+  // And the trylock above must not have poisoned the graph with B -> A:
+  // the canonical order must still be acquirable.
+  util::MutexLock la(a);
+  util::MutexLock lb(b);
+}
+
+TEST(SyncDebugTest, CanonicalOrderReacquirableAcrossThreads) {
+  KLB_SKIP_WITHOUT_VALIDATOR();
+  // The per-thread edge cache must not hide edges from the global graph:
+  // a second thread repeating the canonical order is clean, and the graph
+  // it consults is the same one the first thread populated.
+  util::Mutex a("klb.test.xthread.A");
+  util::Mutex b("klb.test.xthread.B");
+  {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  }
+  std::thread t([&] {
+    util::MutexLock la(a);
+    util::MutexLock lb(b);
+  });
+  t.join();
+}
+
+}  // namespace
+}  // namespace klb
