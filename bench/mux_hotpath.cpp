@@ -86,9 +86,12 @@ RunResult run_one(std::size_t shards, std::size_t cache_slots,
   klb::sim::Simulation sim(7);
   klb::net::Network net(sim);
   net.set_blackhole(true);  // workers must not touch the event queue
+  klb::lb::FlowTableConfig flow_cfg{shards, cache_slots};
+  // The drive's concurrent-flow peak is known up front; the hint
+  // pre-reserves the shard maps so no timed round pays for a rehash.
+  flow_cfg.expected_flows = static_cast<std::size_t>(threads) * flows;
   klb::lb::Mux mux(net, kVip, klb::lb::make_policy("maglev"),
-                   /*attach_to_vip=*/true,
-                   klb::lb::FlowTableConfig{shards, cache_slots});
+                   /*attach_to_vip=*/true, flow_cfg);
   klb::lb::PoolProgram pool(1);
   for (std::size_t d = 0; d < kDips; ++d)
     pool.add(klb::net::IpAddr(static_cast<std::uint32_t>(0x0a010000 + d)),

@@ -1,0 +1,72 @@
+#include "lb/consistency.hpp"
+
+#include <algorithm>
+
+#include "lb/maglev.hpp"
+#include "util/logging.hpp"
+
+namespace klb::lb {
+
+namespace {
+constexpr const char* kLog = "klb-consistency";
+}  // namespace
+
+std::uint64_t SlotPinCounts::total() const {
+  std::uint64_t n = 0;
+  for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+  return n;
+}
+
+GenerationDiff::GenerationDiff(ConsistencyConfig cfg) : cfg_(cfg) {
+  cfg_.history = std::max<std::size_t>(1, cfg_.history);
+}
+
+std::shared_ptr<const ExceptionFilter> GenerationDiff::on_publish(
+    const MaglevTable& table, std::uint64_t seq) {
+  table.resolve_slots(scratch_);
+  const auto n = scratch_.size();
+
+  if (owners_.empty()) {
+    // First publish: adopt the table as the baseline. Every slot is an
+    // empty -> owner transition — there are no pre-existing flows whose
+    // pick could have moved, so nothing is flagged.
+    owners_ = scratch_;
+    prev_.assign(n, ExceptionFilter::kNoOwner);
+    changed_at_.assign(n, 0);
+    publishes_ = 1;
+    return std::make_shared<const ExceptionFilter>(seq, n);
+  }
+  if (n != owners_.size()) {
+    // Table geometry changed under us (a policy swap with a different
+    // min_table_size): slot indexes are incomparable, so no filter — the
+    // Mux falls back to pinning every flow for this generation.
+    util::log_warn(kLog) << "table size changed " << owners_.size() << " -> "
+                         << n << "; stateless path disengaged";
+    return nullptr;
+  }
+
+  ++publishes_;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto owner = scratch_[s];
+    const auto old = owners_[s];
+    if (owner == old) continue;
+    if (old != ExceptionFilter::kNoOwner) {
+      // A breaking change: flows hashed here were being served by `old`.
+      // (empty -> owner transitions carry no flows and stay unflagged —
+      // otherwise the very first pool fill would pin everything forever.)
+      changed_at_[s] = publishes_;
+      prev_[s] = old;
+    }
+    owners_[s] = owner;
+  }
+
+  auto filter = std::make_shared<ExceptionFilter>(seq, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (changed_at_[s] == 0) continue;
+    if (publishes_ - changed_at_[s] >= cfg_.history) continue;
+    filter->flag(s, prev_[s]);
+  }
+  return filter;
+}
+
+}  // namespace klb::lb

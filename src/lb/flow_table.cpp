@@ -1,6 +1,7 @@
 #include "lb/flow_table.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 namespace klb::lb {
 
@@ -12,16 +13,30 @@ std::size_t round_up_pow2(std::size_t n) {
   return p;
 }
 
+/// Per-entry heap cost of a node-based unordered_map: the stored pair
+/// plus the node header (next pointer + cached hash in the common
+/// libstdc++/libc++ layouts). An estimate — but build-mode independent,
+/// which is what the memory bench's ratio gate needs.
+constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
+
 }  // namespace
 
 FlowTable::FlowTable(FlowTableConfig cfg)
     : shards_(round_up_pow2(std::max<std::size_t>(1, cfg.shard_count))) {
   shard_mask_ = shards_.size() - 1;
   cache_enabled_ = cfg.cache_slots_per_shard > 0;
+  gc_scan_budget_ = cfg.gc_scan_budget;
   if (cache_enabled_) {
     const auto slots = round_up_pow2(cfg.cache_slots_per_shard);
     cache_mask_ = slots - 1;
     for (auto& s : shards_) s.cache.resize(slots);
+  }
+  if (cfg.expected_flows > 0) {
+    // Pre-size every shard for its share of the expected population: the
+    // fill to that scale then never rehashes (a 10M-flow rehash stalls
+    // the shard for the whole re-bucketing — the "rehash storm").
+    const auto per_shard = cfg.expected_flows / shards_.size() + 1;
+    for (auto& s : shards_) s.flows.reserve(per_shard);
   }
 }
 
@@ -44,6 +59,15 @@ FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
     ++s.cache_misses;
   }
   return FlowHit{};
+}
+
+std::optional<std::uint64_t> FlowTable::try_find(
+    const net::FiveTuple& t) const {
+  const auto& s = shards_[shard_of(t)];
+  util::MutexLock lk(s.mu);
+  const auto it = s.flows.find(t);
+  if (it == s.flows.end()) return std::nullopt;
+  return it->second.backend_id;
 }
 
 std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
@@ -78,59 +102,108 @@ std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
   return id;
 }
 
-std::size_t FlowTable::erase_backend(std::uint64_t backend_id) {
-  std::size_t dropped = 0;
+std::size_t FlowTable::erase_backend(
+    std::uint64_t backend_id,
+    const std::function<void(const net::FiveTuple&)>& dropped) {
+  std::size_t total = 0;
+  std::vector<net::FiveTuple> gone;  // reported after the shard lock drops
   for (auto& s : shards_) {
-    util::MutexLock lk(s.mu);
-    for (auto it = s.flows.begin(); it != s.flows.end();) {
-      if (it->second.backend_id == backend_id) {
-        it = s.flows.erase(it);
-        ++s.erases;
-        ++dropped;
-      } else {
-        ++it;
+    gone.clear();
+    {
+      util::MutexLock lk(s.mu);
+      for (auto it = s.flows.begin(); it != s.flows.end();) {
+        if (it->second.backend_id == backend_id) {
+          if (dropped) gone.push_back(it->first);
+          it = s.flows.erase(it);
+          ++s.erases;
+          ++total;
+        } else {
+          ++it;
+        }
       }
     }
+    if (dropped)
+      for (const auto& t : gone) dropped(t);
   }
-  return dropped;
+  return total;
 }
 
 std::size_t FlowTable::gc_shard(
     std::size_t k, util::SimTime now, util::SimTime idle,
     const std::function<bool(std::uint64_t)>& alive,
-    const std::function<void(std::uint64_t, bool)>& reclaimed) {
+    const std::function<void(const net::FiveTuple&, std::uint64_t, bool)>&
+        reclaimed,
+    std::size_t max_scan) {
   auto& s = shards_[k & shard_mask_];
-  // (backend_id, dead) per reclaimed flow, gathered under the lock and
-  // reported after it drops — the callback may reenter the table or take
-  // caller-side locks without deadlocking against the packet path.
-  std::vector<std::pair<std::uint64_t, bool>> gone;
+  if (max_scan == kScanBudgeted) max_scan = gc_scan_budget_;
+  // (tuple, backend_id, dead) per reclaimed flow, gathered under the lock
+  // and reported after it drops — the callback may reenter the table or
+  // take caller-side locks without deadlocking against the packet path.
+  std::vector<std::tuple<net::FiveTuple, std::uint64_t, bool>> gone;
   {
     util::MutexLock lk(s.mu);
-    for (auto it = s.flows.begin(); it != s.flows.end();) {
-      const bool dead = !alive(it->second.backend_id);
-      const bool idled = idle > util::SimTime::zero() &&
-                         it->second.last_seen + idle < now;
-      if (dead || idled) {
-        gone.emplace_back(it->second.backend_id, dead);
-        it = s.flows.erase(it);
+    auto doomed = [&](const Flow& f) {
+      const bool dead = !alive(f.backend_id);
+      const bool idled =
+          idle > util::SimTime::zero() && f.last_seen + idle < now;
+      return std::make_pair(dead || idled, dead);
+    };
+    if (max_scan == kScanAll || max_scan >= s.flows.size()) {
+      // Unbounded: one pass over the whole shard, erasing in place.
+      s.gc_scanned += s.flows.size();
+      s.gc_cursor = 0;
+      for (auto it = s.flows.begin(); it != s.flows.end();) {
+        const auto [kill, dead] = doomed(it->second);
+        if (kill) {
+          gone.emplace_back(it->first, it->second.backend_id, dead);
+          it = s.flows.erase(it);
+          ++s.gc_reclaimed;
+        } else {
+          ++it;
+        }
+      }
+    } else if (!s.flows.empty()) {
+      // Bounded: walk whole buckets from the resume cursor until the scan
+      // budget is spent (always finishing the bucket in progress), then
+      // park the cursor for the next call. Local iterators cannot erase,
+      // so doomed keys are collected and erased by lookup afterwards —
+      // still under the same lock acquisition.
+      const auto buckets = s.flows.bucket_count();
+      std::vector<net::FiveTuple> doomed_keys;
+      std::size_t scanned = 0;
+      std::size_t b = s.gc_cursor % buckets;
+      for (std::size_t visited = 0; visited < buckets && scanned < max_scan;
+           ++visited, b = (b + 1) % buckets) {
+        for (auto it = s.flows.begin(b); it != s.flows.end(b); ++it) {
+          ++scanned;
+          if (doomed(it->second).first) doomed_keys.push_back(it->first);
+        }
+      }
+      s.gc_cursor = b;
+      s.gc_scanned += scanned;
+      for (const auto& key : doomed_keys) {
+        const auto it = s.flows.find(key);
+        if (it == s.flows.end()) continue;
+        gone.emplace_back(it->first, it->second.backend_id,
+                          doomed(it->second).second);
+        s.flows.erase(it);
         ++s.gc_reclaimed;
-      } else {
-        ++it;
       }
     }
   }
   if (reclaimed)
-    for (const auto& [id, dead] : gone) reclaimed(id, dead);
+    for (const auto& [tuple, id, dead] : gone) reclaimed(tuple, id, dead);
   return gone.size();
 }
 
 std::size_t FlowTable::gc(
     util::SimTime now, util::SimTime idle,
     const std::function<bool(std::uint64_t)>& alive,
-    const std::function<void(std::uint64_t, bool)>& reclaimed) {
+    const std::function<void(const net::FiveTuple&, std::uint64_t, bool)>&
+        reclaimed) {
   std::size_t n = 0;
   for (std::size_t k = 0; k < shards_.size(); ++k)
-    n += gc_shard(k, now, idle, alive, reclaimed);
+    n += gc_shard(k, now, idle, alive, reclaimed, kScanAll);
   return n;
 }
 
@@ -147,6 +220,28 @@ std::size_t FlowTable::shard_size(std::size_t k) const {
   const auto& s = shards_[k & shard_mask_];
   util::MutexLock lk(s.mu);
   return s.flows.size();
+}
+
+std::size_t FlowTable::shard_buckets(std::size_t k) const {
+  const auto& s = shards_[k & shard_mask_];
+  util::MutexLock lk(s.mu);
+  return s.flows.bucket_count();
+}
+
+FlowTableMemory FlowTable::memory() const {
+  FlowTableMemory out;
+  for (const auto& s : shards_) {
+    util::MutexLock lk(s.mu);
+    out.entries += s.flows.size();
+    out.buckets += s.flows.bucket_count();
+    out.cache_slots += s.cache.capacity();
+  }
+  using Node = std::pair<const net::FiveTuple, Flow>;
+  out.approx_bytes = out.entries * (sizeof(Node) + kNodeOverhead) +
+                     out.buckets * sizeof(void*) +
+                     out.cache_slots * sizeof(CacheSlot) +
+                     shards_.size() * sizeof(Shard);
+  return out;
 }
 
 void FlowTable::for_each(
@@ -167,6 +262,7 @@ FlowTableStats FlowTable::stats() const {
     out.inserts += s.inserts;
     out.erases += s.erases;
     out.gc_reclaimed += s.gc_reclaimed;
+    out.gc_scanned += s.gc_scanned;
     out.cache_hits += s.cache_hits;
     out.cache_misses += s.cache_misses;
   }

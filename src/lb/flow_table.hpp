@@ -52,6 +52,17 @@ struct FlowTableConfig {
   /// Direct-mapped flow-cache slots per shard, rounded up to a power of
   /// two. 0 disables the cache.
   std::size_t cache_slots_per_shard = 256;
+  /// Expected concurrent flows across the whole table. Positive values
+  /// pre-reserve each shard's map for its share, so filling to that scale
+  /// never rehashes (a rehash at 10M flows stalls that shard for the
+  /// whole re-bucketing). 0 keeps the default growth behaviour.
+  std::size_t expected_flows = 0;
+  /// Default cap on entries examined per gc_shard() call (0 = sweep the
+  /// whole shard). A bounded sweep resumes from a per-shard bucket cursor
+  /// on the next call, so inline GC from the packet path stays O(budget)
+  /// at 10M flows instead of O(shard). Explicit full sweeps can override
+  /// per call.
+  std::size_t gc_scan_budget = 0;
 };
 
 /// Aggregated per-shard counters (one lock per shard held briefly on read).
@@ -60,9 +71,23 @@ struct FlowTableStats {
   std::uint64_t inserts = 0;
   std::uint64_t erases = 0;
   std::uint64_t gc_reclaimed = 0;
+  std::uint64_t gc_scanned = 0;  // entries examined by GC sweeps
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t pick_invalidations = 0;  // epoch bumps
+};
+
+/// Memory footprint, aggregated across shards. `approx_bytes` estimates
+/// heap usage from the node-based unordered_map layout (per-entry node +
+/// bucket array) plus the flow-cache arrays and the shard structs — an
+/// estimate, but the *same* estimate in every build mode, so ratios
+/// (stateless vs stateful) are instrumentation-independent and hold under
+/// sanitizers (bench/flow_memory.cpp gates on the ratio).
+struct FlowTableMemory {
+  std::size_t entries = 0;
+  std::size_t buckets = 0;      // sum of shard bucket counts
+  std::size_t cache_slots = 0;  // sum of shard flow-cache capacities
+  std::size_t approx_bytes = 0;
 };
 
 /// Result of the combined affinity-then-cache lookup (one lock acquisition).
@@ -104,28 +129,46 @@ class FlowTable {
                                             util::SimTime now, bool cache_pick,
                                             std::uint64_t pick_epoch = 0);
 
+  /// Read-only affinity probe: no last-seen touch, no flow-cache probe,
+  /// no counter traffic. Diagnostics and tests; the packet path uses
+  /// lookup().
+  std::optional<std::uint64_t> try_find(const net::FiveTuple& t) const;
+
   /// Unpin `t`, returning the backend it was pinned to (FIN path).
   std::optional<std::uint64_t> erase(const net::FiveTuple& t);
 
   /// Drop every flow pinned to `backend_id` (backend removal/failure).
-  /// Returns the number of flows dropped.
-  std::size_t erase_backend(std::uint64_t backend_id);
+  /// Returns the number of flows dropped. `dropped` runs per dropped flow
+  /// after the owning shard's lock is released (callers unpin slot
+  /// accounting from it).
+  std::size_t erase_backend(std::uint64_t backend_id,
+                            const std::function<void(const net::FiveTuple&)>&
+                                dropped = nullptr);
 
   /// Reclaim dead flows (backend fails `alive`) and — when `idle` is
   /// positive — flows idle since before `now - idle`, in shard `k` only.
   /// `alive` runs under the shard lock and must not reenter the table;
-  /// `reclaimed(backend_id, dead)` runs per reclaimed flow *after* the
-  /// lock is released, so it may reenter the table or take caller locks.
+  /// `reclaimed(tuple, backend_id, dead)` runs per reclaimed flow *after*
+  /// the lock is released, so it may reenter the table or take caller
+  /// locks. `max_scan` bounds the entries examined (kScanAll = whole
+  /// shard; kScanBudgeted = the configured gc_scan_budget); a bounded
+  /// sweep resumes from the shard's bucket cursor next call, wrapping the
+  /// whole shard over successive calls.
+  static constexpr std::size_t kScanAll = 0;
+  static constexpr std::size_t kScanBudgeted =
+      static_cast<std::size_t>(-1);
   std::size_t gc_shard(std::size_t k, util::SimTime now, util::SimTime idle,
                        const std::function<bool(std::uint64_t)>& alive,
-                       const std::function<void(std::uint64_t, bool)>&
-                           reclaimed = nullptr);
+                       const std::function<void(const net::FiveTuple&,
+                                                std::uint64_t, bool)>&
+                           reclaimed = nullptr,
+                       std::size_t max_scan = kScanAll);
 
   /// Full sweep: gc_shard over every shard (still one shard lock at a time).
   std::size_t gc(util::SimTime now, util::SimTime idle,
                  const std::function<bool(std::uint64_t)>& alive,
-                 const std::function<void(std::uint64_t, bool)>& reclaimed =
-                     nullptr);
+                 const std::function<void(const net::FiveTuple&, std::uint64_t,
+                                          bool)>& reclaimed = nullptr);
 
   /// Invalidate every cached pick pool-wide in O(1) (epoch bump). Called
   /// by the Mux on every pool mutation so a cached pick can never
@@ -147,6 +190,11 @@ class FlowTable {
 
   std::size_t size() const;
   std::size_t shard_size(std::size_t k) const;
+  /// Shard k's current map capacity (bucket count) — pre-reserve checks.
+  std::size_t shard_buckets(std::size_t k) const;
+  /// Aggregated footprint (entries, buckets, approximate bytes).
+  FlowTableMemory memory() const;
+  std::size_t gc_scan_budget() const { return gc_scan_budget_; }
 
   /// Visit every flow as (tuple, backend_id, last_seen). Holds each shard's
   /// lock during its callbacks — test/diagnostic use; do not reenter the
@@ -179,8 +227,11 @@ class FlowTable {
     std::uint64_t inserts KLB_GUARDED_BY(mu) = 0;
     std::uint64_t erases KLB_GUARDED_BY(mu) = 0;
     std::uint64_t gc_reclaimed KLB_GUARDED_BY(mu) = 0;
+    std::uint64_t gc_scanned KLB_GUARDED_BY(mu) = 0;
     std::uint64_t cache_hits KLB_GUARDED_BY(mu) = 0;
     std::uint64_t cache_misses KLB_GUARDED_BY(mu) = 0;
+    /// Bucket index a budgeted GC sweep resumes from (wraps).
+    std::size_t gc_cursor KLB_GUARDED_BY(mu) = 0;
   };
 
   /// Shard choice uses the hash's top bits: the low bits feed the affinity
@@ -196,6 +247,7 @@ class FlowTable {
   std::size_t shard_mask_ = 0;
   std::size_t cache_mask_ = 0;  // meaningful only when cache_enabled_
   bool cache_enabled_ = false;
+  std::size_t gc_scan_budget_ = 0;
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> pick_invalidations_{0};

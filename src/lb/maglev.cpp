@@ -95,6 +95,15 @@ void MaglevTable::build(const std::vector<MaglevEntry>& entries) {
   }
 }
 
+void MaglevTable::resolve_slots(std::vector<std::uint32_t>& out) const {
+  out.resize(slots_.size());
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const auto e = slots_[s];
+    out[s] = e == kEmptySlot ? 0xFFFFFFFFu
+                             : static_cast<std::uint32_t>(ids_[e]);
+  }
+}
+
 std::vector<std::size_t> MaglevTable::slot_counts() const {
   std::vector<std::size_t> counts(ids_.size(), 0);
   for (const auto s : slots_)

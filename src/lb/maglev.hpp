@@ -71,6 +71,13 @@ class MaglevTable {
   /// Slots owned per entry index (weight-proportionality checks).
   std::vector<std::size_t> slot_counts() const;
 
+  /// Resolve every slot to its owner's stable id, truncated to 32 bits
+  /// (the Mux keys tables by DIP address values, which fit), with
+  /// 0xFFFFFFFF for empty slots. `out` is resized to table_size(). This
+  /// is what GenerationDiff (lb/consistency.hpp) diffs across publishes
+  /// to find the slots whose pick changed.
+  void resolve_slots(std::vector<std::uint32_t>& out) const;
+
  private:
   std::vector<std::uint32_t> slots_;  // entry index or kEmptySlot
   std::vector<std::uint64_t> ids_;    // stable id per entry index
@@ -114,6 +121,9 @@ class MaglevPolicy : public Policy {
                    util::Rng& rng) override;
 
   const MaglevTable& table() const { return table_; }
+  /// Member table: pointer stable for the policy's lifetime, contents
+  /// frozen after prepare() (published generations are never re-prepared).
+  const MaglevTable* maglev_table() const override { return &table_; }
 
  private:
   void rebuild(const std::vector<BackendView>& backends);
@@ -167,6 +177,9 @@ class SharedMaglevPolicy : public Policy {
   const std::shared_ptr<const MaglevTable>& table_snapshot() const {
     return table_;
   }
+  /// The shared snapshot (immutable by contract); clones alias it, so the
+  /// pointer outlives any generation that carries this policy.
+  const MaglevTable* maglev_table() const override { return table_.get(); }
 
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>& backends,

@@ -19,9 +19,28 @@ constexpr std::uint64_t kGcRequestInterval = 4096;
 }  // namespace
 
 Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
-         bool attach_to_vip, FlowTableConfig flow_cfg)
+         bool attach_to_vip, FlowTableConfig flow_cfg,
+         ConsistencyConfig consistency)
     : net_(net), vip_(vip), attached_(attach_to_vip),
-      rng_(net.sim().rng().fork()), flows_(flow_cfg) {
+      consistency_(consistency), rng_(net.sim().rng().fork()),
+      flows_(flow_cfg) {
+  if (consistency_.stateless) {
+    // Engage the hybrid dataplane now or never: the slot-pin counters are
+    // sized to the policy's table before any packet can arrive, so the
+    // packet path reads slot_pins_ without synchronization, and every pin
+    // ever inserted is slot-counted (exact counts even across later
+    // policy swaps — a filterless generation pins everything, and those
+    // pins still inc/dec their slots).
+    const auto* table = policy->maglev_table();
+    if (table != nullptr && table->table_size() > 0) {
+      slot_pins_ = std::make_unique<SlotPinCounts>(table->table_size());
+      diff_ = std::make_unique<GenerationDiff>(consistency_);
+    } else {
+      util::log_warn(kLog)
+          << "stateless fast path requested but policy '" << policy->name()
+          << "' has no maglev table; running fully stateful";
+    }
+  }
   // Debug wiring: pins must never be taken under THIS mux's control lock,
   // and only pointers announced at the publication site may be retired.
   epochs_.debug_register_control(&control_mutex_);
@@ -78,6 +97,17 @@ void Mux::publish_locked(std::vector<GenBackend> backends,
   // and the first pick against it pays nothing extra under pick_mutex_.
   gen->policy().prepare(gen->views());
 
+  if (diff_ && gen->policy_caches_picks()) {
+    // Hybrid dataplane: diff the freshly built table against the history
+    // and attach the exception filter — still before publication, so the
+    // packet path sees generation + filter as one atomic unit. A policy
+    // without a table (or with incomparable geometry) publishes without a
+    // filter: every flow pins, exactly the classic dataplane.
+    if (const auto* table = gen->maglev_table();
+        table != nullptr && table->table_size() == slot_pins_->size())
+      gen->set_exception_filter(diff_->on_publish(*table, seq));
+  }
+
   // Re-key the flow cache to the new generation BEFORE swinging the
   // pointer: cached picks from older generations stop hitting, and a
   // straggler still reading a retired generation inserts entries stamped
@@ -113,20 +143,47 @@ void Mux::note_drain_empty() {
   }
 }
 
+bool Mux::drain_ripe(const GenBackend& b) const {
+  if (!b.draining) return false;
+  if (b.counters->active.load(std::memory_order_relaxed) != 0) return false;
+  // Hybrid dataplane: the drainer's stateless flows hold no pin, so an
+  // empty active count does not prove it idle — their traffic is the only
+  // evidence they exist. The drain completes once the drainer has been
+  // *quiescent* (no forwarded requests) for the grace window; every packet
+  // it serves re-arms the window (forward() stamps last_forward_us), so a
+  // live stateless flow keeps its backend for as long as its inter-packet
+  // gaps stay under the grace. Flows silent for longer adopt on their next
+  // packet if the filter still remembers the drain, and break otherwise —
+  // the documented stateless trade (lb/consistency.hpp).
+  if (!slot_pins_) return true;
+  const auto last =
+      std::max(b.drain_since_us,
+               b.counters->last_forward_us.load(std::memory_order_relaxed));
+  return net_.sim().now().us() - last >= consistency_.drain_grace_us;
+}
+
 void Mux::sweep_drains_locked() {
   if (!drain_poll_pending_.exchange(false, std::memory_order_acq_rel)) return;
   auto draft = draft_locked();
   std::vector<std::uint64_t> done;
+  bool grace_pending = false;
   for (auto it = draft.begin(); it != draft.end();) {
-    if (it->draining && it->counters->active.load(std::memory_order_relaxed) ==
-                            0) {
+    if (drain_ripe(*it)) {
       util::log_info(kLog) << "backend " << it->addr.str()
                            << " drained; completing removal";
       done.push_back(it->id);
       it = draft.erase(it);
     } else {
+      if (it->draining &&
+          it->counters->active.load(std::memory_order_relaxed) == 0)
+        grace_pending = true;
       ++it;
     }
+  }
+  if (grace_pending) {
+    // An idle drainer inside its grace window: re-arm so the next poll()
+    // re-checks — the FIN that emptied it will not fire again.
+    drain_poll_pending_.store(true, std::memory_order_release);
   }
   if (done.empty()) return;
   drains_completed_.fetch_add(done.size(), std::memory_order_relaxed);
@@ -178,6 +235,7 @@ void Mux::apply_program(const PoolProgram& program) {
       case BackendState::kDraining:
         b.weight_units = 0;
         b.enabled = false;
+        if (!b.draining) b.drain_since_us = net_.sim().now().us();
         b.draining = true;
         break;
       case BackendState::kRemoved:
@@ -233,14 +291,17 @@ void Mux::apply_program(const PoolProgram& program) {
     }
   }
 
-  // A drain with no pinned flows completes in the same transaction.
+  // A drain with no pinned flows completes in the same transaction —
+  // unless the hybrid dataplane's grace is still running (see drain_ripe).
   for (auto it = draft.begin(); it != draft.end();) {
-    if (it->draining &&
-        it->counters->active.load(std::memory_order_relaxed) == 0) {
+    if (drain_ripe(*it)) {
       drains_completed_.fetch_add(1, std::memory_order_relaxed);
       dropped_ids.push_back(it->id);
       it = draft.erase(it);
     } else {
+      if (it->draining &&
+          it->counters->active.load(std::memory_order_relaxed) == 0)
+        drain_poll_pending_.store(true, std::memory_order_release);
       ++it;
     }
   }
@@ -361,7 +422,12 @@ void Mux::renormalize_weights(std::vector<GenBackend>& draft) {
 }
 
 void Mux::drop_affinity_for(std::uint64_t id, bool count_as_reset) {
-  const auto n = flows_.erase_backend(id);
+  const auto n = flows_.erase_backend(
+      id, !slot_pins_ ? std::function<void(const net::FiveTuple&)>{}
+                      : [this](const net::FiveTuple& t) {
+                          slot_pins_->dec(static_cast<std::size_t>(
+                              net::hash_tuple(t) % slot_pins_->size()));
+                        });
   if (n == 0) return;
   if (count_as_reset) {
     flows_reset_.fetch_add(n, std::memory_order_relaxed);
@@ -504,6 +570,16 @@ void Mux::reset_counters() {
   rejected_programmings_.store(0, std::memory_order_relaxed);
   superseded_programs_.store(0, std::memory_order_relaxed);
   stale_failed_admissions_.store(0, std::memory_order_relaxed);
+  stateless_picks_.store(0, std::memory_order_relaxed);
+  exception_pins_.store(0, std::memory_order_relaxed);
+  affinity_breaks_avoided_.store(0, std::memory_order_relaxed);
+  affinity_breaks_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Mux::exception_slots() const {
+  auto ref = read_gen();
+  const auto* f = ref.gen->exception_filter();
+  return f ? f->exception_slots() : 0;
 }
 
 std::size_t Mux::dangling_affinity_count() const {
@@ -523,7 +599,7 @@ bool Mux::debug_check_generation() const {
 
 // --- affinity GC ---------------------------------------------------------------
 
-std::size_t Mux::gc_shard(std::size_t k) {
+std::size_t Mux::gc_shard(std::size_t k, std::size_t max_scan) {
   const auto now = net_.sim().now();
   const auto idle = util::SimTime::micros(
       affinity_idle_us_.load(std::memory_order_relaxed));
@@ -538,12 +614,16 @@ std::size_t Mux::gc_shard(std::size_t k) {
         // Runs after the shard lock drops (FlowTable contract), so taking
         // the pick mutex inside release_connection cannot deadlock against
         // a concurrent pick -> pin.
-        [this, gen](std::uint64_t id, bool dead) {
+        [this, gen](const net::FiveTuple& t, std::uint64_t id, bool dead) {
           flows_gced_.fetch_add(1, std::memory_order_relaxed);
+          if (slot_pins_)
+            slot_pins_->dec(static_cast<std::size_t>(net::hash_tuple(t) %
+                                                     slot_pins_->size()));
           if (dead) return;  // a live backend loses a flow that never FIN'd
           if (const auto idx = gen->index_of(id))
             release_connection(*gen, *idx);
-        });
+        },
+        max_scan);
     // The GC may have reclaimed a drainer's last flow (FIN-less clients
     // are exactly what would otherwise wedge a graceful scale-in forever).
     for (const auto& b : gen->backends()) {
@@ -563,7 +643,7 @@ std::size_t Mux::gc_shard(std::size_t k) {
 std::size_t Mux::gc_affinity() {
   std::size_t reclaimed = 0;
   for (std::size_t k = 0; k < flows_.shard_count(); ++k)
-    reclaimed += gc_shard(k);
+    reclaimed += gc_shard(k, FlowTable::kScanAll);
   return reclaimed;
 }
 
@@ -579,7 +659,8 @@ void Mux::maybe_gc() {
     return;
   requests_since_gc_.store(0, std::memory_order_relaxed);
   gc_shard(gc_cursor_.fetch_add(1, std::memory_order_relaxed) %
-           flows_.shard_count());
+               flows_.shard_count(),
+           FlowTable::kScanBudgeted);
 }
 
 // --- packet path ---------------------------------------------------------------
@@ -599,10 +680,35 @@ void Mux::on_message(const net::Message& msg) {
 
 void Mux::forward(const PoolGeneration& gen, std::size_t i,
                   const net::Message& msg) {
-  gen.backends()[i].counters->forwarded.fetch_add(1,
-                                                  std::memory_order_relaxed);
+  const auto& b = gen.backends()[i];
+  b.counters->forwarded.fetch_add(1, std::memory_order_relaxed);
+  // Quiescence evidence for stateless drains (drain_ripe): only drainers
+  // pay the stamp, so the steady-state hot path is untouched.
+  if (slot_pins_ && b.draining)
+    b.counters->last_forward_us.store(net_.sim().now().us(),
+                                      std::memory_order_relaxed);
   total_forwarded_.fetch_add(1, std::memory_order_relaxed);
-  net_.send(gen.backends()[i].addr, msg);  // original tuple preserved (encap)
+  net_.send(b.addr, msg);  // original tuple preserved (encap)
+}
+
+bool Mux::route_stateless(const PoolGeneration& gen, const MaglevTable& table,
+                          std::uint64_t hash, const net::Message& msg) {
+  const auto pick = table.lookup_id(hash);
+  if (pick == MaglevTable::kNoId) return false;
+  const auto idx = gen.index_of_addr(static_cast<std::uint32_t>(pick));
+  if (!idx) return false;  // table predates this view; let the policy refuse
+  const auto& b = gen.backends()[*idx];
+  if (!b.enabled || b.draining || b.weight_units <= 0) return false;
+  stateless_picks_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.req_id <= 1) {
+    // Opener: the connection exists even though no pin ever will — the
+    // cumulative count keeps stateless and stateful accounting
+    // comparable. `active` deliberately stays untouched: it counts pins,
+    // which is what drains wait on.
+    b.counters->connections.fetch_add(1, std::memory_order_relaxed);
+  }
+  forward(gen, *idx, msg);
+  return true;
 }
 
 void Mux::handle_request(const net::Message& msg) {
@@ -616,6 +722,34 @@ void Mux::handle_request(const net::Message& msg) {
   auto ref = read_gen();
   const PoolGeneration& gen = *ref.gen;
 
+  // --- stateless fast path (lb/consistency.hpp) ----------------------------
+  // One hash, one bitmap bit, one relaxed counter read, one table read:
+  // no lock, no allocation, no FlowTable traffic. A slot is exceptional
+  // when its pick changed recently (the filter) or while pinned flows
+  // live on it (the live counter — pins may outlive the filter window,
+  // and a pinned flow must never be rerouted by hash).
+  std::uint64_t h = 0;
+  std::size_t slot = 0;
+  const ExceptionFilter* filter = nullptr;
+  const MaglevTable* table = nullptr;
+  bool exception_route = false;
+  if (slot_pins_) {
+    h = net::hash_tuple(msg.tuple);
+    slot = static_cast<std::size_t>(h % slot_pins_->size());
+    filter = gen.exception_filter();
+    table = gen.maglev_table();
+    if (filter != nullptr && table != nullptr) {
+      if (filter->is_exception(slot) || slot_pins_->count(slot) > 0) {
+        exception_route = true;
+      } else if (route_stateless(gen, *table, h, msg)) {
+        return;
+      }
+      // Unflagged but unroutable (empty slot, stale view): fall through —
+      // the stateful path decides, and any pin it creates flags the slot
+      // through its live count.
+    }
+  }
+
   auto hit = flows_.lookup(msg.tuple, now);
   if (hit.kind == FlowHit::Kind::kAffinity) {
     // Connection affinity: pinned regardless of weights — unless the
@@ -626,17 +760,75 @@ void Mux::handle_request(const net::Message& msg) {
       forward(gen, *idx, msg);
       return;
     }
-    flows_.erase(msg.tuple);
+    if (flows_.erase(msg.tuple) && slot_pins_) slot_pins_->dec(slot);
     hit = FlowHit{};
   }
 
-  // New connection. A fresh cached pick short-circuits the policy for
-  // tuple-deterministic policies (hash, maglev) — the cache is keyed to
-  // the generation sequence, so a hit can only name a choice made against
-  // the current generation; the index checks below are defensive.
   std::size_t dip = kNoBackend;
   std::uint64_t id = 0;
-  if (hit.kind == FlowHit::Kind::kCachedPick && gen.policy_caches_picks()) {
+  bool adopted = false;  // mid-flow exception pin: not a new connection
+
+  if (exception_route) {
+    // Flagged slot, no pin for this tuple yet. Openers PIN to the current
+    // pick (the "filter miss -> pin" arm): served statelessly they would
+    // be indistinguishable, mid-flow, from the pre-change flows the filter
+    // remembers, and the adoption below would re-home them onto an owner
+    // they never had. The pin is the disambiguation — and it is exactly as
+    // long-lived as the flow, not the slot's flag.
+    if (msg.req_id > 1) {
+      const auto prev = filter->prev_owner(slot);
+      const auto pick = table->lookup_id(h);
+      const auto cur =
+          pick == MaglevTable::kNoId
+              ? ExceptionFilter::kNoOwner
+              : static_cast<std::uint32_t>(pick);
+      if (prev != ExceptionFilter::kNoOwner && prev != cur) {
+        if (const auto pidx = gen.index_of_addr(prev)) {
+          // Adopt: pin the flow to the backend that was serving it before
+          // the slot's pick moved (for a graceful drain, the drainer —
+          // which keeps serving pinned flows). This is the break the
+          // whole subsystem exists to avoid.
+          affinity_breaks_avoided_.fetch_add(1, std::memory_order_relaxed);
+          dip = *pidx;
+          id = gen.backends()[dip].id;
+          adopted = true;
+        } else {
+          // The previous owner is gone (failure / completed removal): the
+          // flow genuinely re-homes onto the current pick, pinned so it
+          // does not break again.
+          affinity_breaks_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        // The slot is flagged but its pick did not move away from this
+        // flow's owner (pin-held slot, or a change that has already been
+        // reverted): the current pick IS the flow's backend — serve it
+        // statelessly rather than pinning it for life.
+        if (route_stateless(gen, *table, h, msg)) return;
+      }
+    }
+    if (dip == kNoBackend) {
+      // Re-homed flow or unroutable slot: resolve through the table like
+      // a stateless pick would, then pin below.
+      const auto pick = table->lookup_id(h);
+      if (pick != MaglevTable::kNoId) {
+        if (const auto idx =
+                gen.index_of_addr(static_cast<std::uint32_t>(pick))) {
+          const auto& b = gen.backends()[*idx];
+          if (b.enabled && !b.draining && b.weight_units > 0) {
+            dip = *idx;
+            id = b.id;
+          }
+        }
+      }
+    }
+  }
+
+  // A fresh cached pick short-circuits the policy for tuple-deterministic
+  // policies (hash, maglev) — the cache is keyed to the generation
+  // sequence, so a hit can only name a choice made against the current
+  // generation; the index checks below are defensive.
+  if (dip == kNoBackend && hit.kind == FlowHit::Kind::kCachedPick &&
+      gen.policy_caches_picks()) {
     if (const auto idx = gen.index_of(hit.backend_id)) {
       const auto& b = gen.backends()[*idx];
       if (b.enabled && !b.draining &&
@@ -678,9 +870,18 @@ void Mux::handle_request(const net::Message& msg) {
         msg.tuple, id, now, gen.policy_caches_picks(), gen.seq());
     if (fresh) {
       auto& c = *gen.backends()[dip].counters;
-      c.connections.fetch_add(1, std::memory_order_relaxed);
+      // An adopted flow's connection was already counted at its stateless
+      // open; only the pin (active) is new.
+      if (!adopted) c.connections.fetch_add(1, std::memory_order_relaxed);
       c.active.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  if (fresh && slot_pins_) {
+    // Every pin in hybrid mode is slot-counted, keeping its slot on the
+    // exception path for as long as it lives — regardless of which branch
+    // created it.
+    slot_pins_->inc(slot);
+    exception_pins_.fetch_add(1, std::memory_order_relaxed);
   }
   if (!fresh) {
     // A concurrent packet of the same tuple pinned it first; honour the
@@ -705,7 +906,40 @@ void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
 
 void Mux::handle_fin(const net::Message& msg) {
   const auto id = flows_.erase(msg.tuple);
-  if (!id) return;
+  if (!id) {
+    // No pin: in hybrid mode this is the normal close of a stateless flow
+    // (nothing in the table was ever its state). The server still needs
+    // the FIN to close out — deliver it where the data packets went: the
+    // displaced previous owner when the slot is flagged with one that
+    // differs from the current pick (exactly the mid-flow adoption rule,
+    // handle_request), the current table pick otherwise.
+    if (!slot_pins_) return;
+    auto ref = read_gen();
+    const PoolGeneration& gen = *ref.gen;
+    const auto* table = gen.maglev_table();
+    if (table == nullptr) return;
+    const auto h = net::hash_tuple(msg.tuple);
+    const auto slot = static_cast<std::size_t>(h % slot_pins_->size());
+    const auto pick = table->lookup_id(h);
+    const auto cur = pick == MaglevTable::kNoId
+                         ? ExceptionFilter::kNoOwner
+                         : static_cast<std::uint32_t>(pick);
+    std::uint32_t dst = cur;
+    if (const auto* f = gen.exception_filter();
+        f != nullptr && f->is_exception(slot)) {
+      const auto prev = f->prev_owner(slot);
+      if (prev != ExceptionFilter::kNoOwner && prev != cur &&
+          gen.index_of_addr(prev))
+        dst = prev;
+    }
+    if (dst == ExceptionFilter::kNoOwner) return;
+    if (const auto idx = gen.index_of_addr(dst))
+      net_.send(gen.backends()[*idx].addr, msg);
+    return;
+  }
+  if (slot_pins_)
+    slot_pins_->dec(static_cast<std::size_t>(net::hash_tuple(msg.tuple) %
+                                             slot_pins_->size()));
   net::IpAddr addr;
   bool drain_emptied = false;
   {

@@ -57,6 +57,17 @@
 // Weight changes only affect *new* connections: pinned connections drain
 // naturally, which is precisely the effect §4.7's drain-time estimation has
 // to wait out.
+//
+// Stateless fast path (ROADMAP item 2, lb/consistency.hpp): with a
+// ConsistencyConfig{stateless = true} and a maglev-table policy, flows
+// whose table slot is unchanged across recent generations are routed by
+// hash alone — no FlowTable insert, no FIN state, no GC — and only
+// "exception" flows (slots whose pick moved, mid-flow adoptions onto a
+// draining backend) are pinned. The hot path stays allocation-free and
+// lock-free: pin epoch, read the generation's ExceptionFilter, test one
+// bitmap bit + one slot-pin counter, one table read, forward. Drain
+// auto-completion additionally waits out consistency.drain_grace_us,
+// because a drainer may be serving stateless flows that hold no pin.
 #pragma once
 
 #include <atomic>
@@ -68,6 +79,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lb/consistency.hpp"
 #include "lb/epoch.hpp"
 #include "lb/flow_table.hpp"
 #include "lb/policy.hpp"
@@ -86,9 +98,13 @@ class Mux : public net::Node, public PoolProgrammer {
   /// fabric — a MuxPool owns the VIP and steers messages to its member
   /// muxes directly (ECMP sharding). `flow_cfg` sizes the sharded flow
   /// table (a 1-shard, 0-cache config reproduces the old monolithic map —
-  /// the bench baseline).
+  /// the bench baseline). `consistency` opts into the stateless fast path
+  /// (lb/consistency.hpp); it engages only when the *initial* policy
+  /// carries a maglev table (so the slot-pin counters can be sized once,
+  /// before any packet), and is ignored with a warning otherwise.
   Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
-      bool attach_to_vip = true, FlowTableConfig flow_cfg = {});
+      bool attach_to_vip = true, FlowTableConfig flow_cfg = {},
+      ConsistencyConfig consistency = {});
   ~Mux() override;
 
   net::IpAddr vip() const { return vip_; }
@@ -264,6 +280,36 @@ class Mux : public net::Node, public PoolProgrammer {
   }
   void reset_counters() KLB_EXCLUDES(control_mutex_);
 
+  // --- stateless fast path (lb/consistency.hpp) ------------------------------
+  /// True when the hybrid stateless/stateful dataplane engaged at
+  /// construction (stateless requested + table-bearing policy).
+  bool stateless_engaged() const { return slot_pins_ != nullptr; }
+  /// Requests routed purely by hash — no FlowTable entry ever existed.
+  std::uint64_t stateless_picks() const {
+    return stateless_picks_.load(std::memory_order_relaxed);
+  }
+  /// Flows pinned while the hybrid dataplane is engaged (exception flows).
+  std::uint64_t exception_pins() const {
+    return exception_pins_.load(std::memory_order_relaxed);
+  }
+  /// Mid-flow packets whose slot's pick moved and that were adopted onto
+  /// their previous backend (each one is a break the filter prevented).
+  std::uint64_t affinity_breaks_avoided() const {
+    return affinity_breaks_avoided_.load(std::memory_order_relaxed);
+  }
+  /// Mid-flow packets whose slot's pick moved and whose previous backend
+  /// is gone — the flow genuinely re-homed (zero under graceful churn;
+  /// failures break flows in stateful mode too).
+  std::uint64_t affinity_breaks() const {
+    return affinity_breaks_.load(std::memory_order_relaxed);
+  }
+  /// Table slots flagged exceptional in the current generation's filter.
+  std::size_t exception_slots() const;
+  /// Live exception pins summed over all slots (O(table) scan).
+  std::uint64_t live_exception_pins() const {
+    return slot_pins_ ? slot_pins_->total() : 0;
+  }
+
   // --- generation / reclamation observability --------------------------------
   /// Generations published since construction (>= 1: the constructor
   /// publishes the initial empty-pool generation).
@@ -320,6 +366,12 @@ class Mux : public net::Node, public PoolProgrammer {
       KLB_EXCLUDES(control_mutex_, pick_mutex_);
   void forward(const PoolGeneration& gen, std::size_t i,
                const net::Message& msg);
+  /// Stateless route: resolve `hash` through the generation's table and
+  /// forward without touching the FlowTable. Counts the connection on
+  /// opener packets (req_id <= 1). False when the table/pool had no
+  /// usable answer — the caller falls back to the stateful path.
+  bool route_stateless(const PoolGeneration& gen, const MaglevTable& table,
+                       std::uint64_t hash, const net::Message& msg);
   /// Decrement backend `i`'s active count (never below zero) and, for
   /// connection-count policies, refresh its view under the pick mutex.
   void release_connection(const PoolGeneration& gen, std::size_t i)
@@ -339,6 +391,10 @@ class Mux : public net::Node, public PoolProgrammer {
     return current_owner_->backends();
   }
 
+  /// True when `b`'s drain may auto-complete: no pinned flows, and (in
+  /// stateless mode) the drain grace has elapsed — pin-less flows need
+  /// that window to adopt exception pins or FIN before the backend goes.
+  bool drain_ripe(const GenBackend& b) const;
   /// Flag "some drainer may have emptied" from the packet path and sweep
   /// it opportunistically (try_lock; never blocks). Uncontended callers —
   /// the single-threaded simulator always — complete the drain inline.
@@ -358,12 +414,17 @@ class Mux : public net::Node, public PoolProgrammer {
   static void renormalize_weights(std::vector<GenBackend>& draft);
   void maybe_gc();
   /// Sweep one flow-table shard (dead + idle entries) and flag any drain
-  /// the sweep emptied.
-  std::size_t gc_shard(std::size_t k);
+  /// the sweep emptied. `max_scan` bounds the entries examined (see
+  /// FlowTable::gc_shard): inline packet-path sweeps pass kScanBudgeted so
+  /// no packet ever pays for a full shard at 10M flows; explicit
+  /// gc_affinity() passes kScanAll.
+  std::size_t gc_shard(std::size_t k,
+                       std::size_t max_scan = FlowTable::kScanAll);
 
   net::Network& net_;
   net::IpAddr vip_;
   bool attached_ = false;
+  ConsistencyConfig consistency_;
   util::Rng rng_ KLB_GUARDED_BY(pick_mutex_);
 
   /// Serializes control-plane mutations against each other. The packet
@@ -389,6 +450,12 @@ class Mux : public net::Node, public PoolProgrammer {
   mutable EpochDomain epochs_;
 
   FlowTable flows_;
+  /// Stateless fast path (both null when disengaged — the classic
+  /// dataplane). slot_pins_ is sized to the policy's table in the
+  /// constructor and never reallocated: the packet path reads it without
+  /// synchronization. diff_ runs on the control thread only.
+  std::unique_ptr<SlotPinCounts> slot_pins_;
+  std::unique_ptr<GenerationDiff> diff_ KLB_GUARDED_BY(control_mutex_);
   /// Failed address -> highest version issued when the failure was
   /// observed. Programs at or below that version cannot re-admit the
   /// address (they predate the failure); newer programs clear the entry.
@@ -412,6 +479,10 @@ class Mux : public net::Node, public PoolProgrammer {
   std::atomic<std::uint64_t> applied_version_{0};
   std::atomic<std::uint64_t> superseded_programs_{0};
   std::atomic<std::uint64_t> stale_failed_admissions_{0};
+  std::atomic<std::uint64_t> stateless_picks_{0};
+  std::atomic<std::uint64_t> exception_pins_{0};
+  std::atomic<std::uint64_t> affinity_breaks_avoided_{0};
+  std::atomic<std::uint64_t> affinity_breaks_{0};
 };
 
 }  // namespace klb::lb

@@ -24,14 +24,25 @@ std::uint64_t mix64(std::uint64_t x) {
 }  // namespace
 
 MuxPool::MuxPool(net::Network& net, net::IpAddr vip, std::size_t mux_count,
-                 std::size_t min_table_size)
+                 std::size_t min_table_size, FlowTableConfig flow_cfg,
+                 ConsistencyConfig consistency)
     : net_(net), vip_(vip), min_table_size_(min_table_size) {
   mux_count = std::max<std::size_t>(1, mux_count);
+  // ECMP spreads the flow space uniformly, so each member expects its
+  // even share of the pool-wide flow population.
+  flow_cfg.expected_flows /= mux_count;
   muxes_.reserve(mux_count);
   for (std::size_t k = 0; k < mux_count; ++k) {
-    muxes_.push_back(std::make_unique<Mux>(net_, vip_,
-                                           std::make_unique<SharedMaglevPolicy>(),
-                                           /*attach_to_vip=*/false));
+    auto policy = std::make_unique<SharedMaglevPolicy>();
+    // An empty table of the final geometry: hybrid engagement sizes its
+    // slot-pin counters from the policy's table in the Mux constructor,
+    // and every table published later (publish_table) allocates the same
+    // prime slot count, so the filters stay comparable for the pool's
+    // whole lifetime.
+    policy->set_table(std::make_shared<MaglevTable>(min_table_size_));
+    muxes_.push_back(std::make_unique<Mux>(net_, vip_, std::move(policy),
+                                           /*attach_to_vip=*/false, flow_cfg,
+                                           consistency));
   }
   net_.attach(vip_, this);
 }
@@ -210,6 +221,48 @@ std::size_t MuxPool::pending_retired_generations() const {
   std::size_t n = 0;
   for (const auto& m : muxes_) n += m->pending_retired_generations();
   return n;
+}
+
+bool MuxPool::stateless_engaged() const {
+  for (const auto& m : muxes_)
+    if (!m->stateless_engaged()) return false;
+  return true;
+}
+
+std::uint64_t MuxPool::stateless_picks() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->stateless_picks();
+  return n;
+}
+
+std::uint64_t MuxPool::exception_pins() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->exception_pins();
+  return n;
+}
+
+std::uint64_t MuxPool::affinity_breaks_avoided() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->affinity_breaks_avoided();
+  return n;
+}
+
+std::uint64_t MuxPool::affinity_breaks() const {
+  std::uint64_t n = 0;
+  for (const auto& m : muxes_) n += m->affinity_breaks();
+  return n;
+}
+
+FlowTableMemory MuxPool::flow_memory() const {
+  FlowTableMemory out;
+  for (const auto& m : muxes_) {
+    const auto mem = m->flow_table().memory();
+    out.entries += mem.entries;
+    out.buckets += mem.buckets;
+    out.cache_slots += mem.cache_slots;
+    out.approx_bytes += mem.approx_bytes;
+  }
+  return out;
 }
 
 void MuxPool::on_message(const net::Message& msg) {

@@ -36,8 +36,16 @@ class MuxPool : public net::Node, public PoolProgrammer {
  public:
   /// Build `mux_count` muxes behind `vip`. The pool binds the VIP; the
   /// members are detached and run the shared-snapshot maglev policy.
+  /// `flow_cfg` sizes each member's flow table (expected_flows is split
+  /// evenly across members — ECMP spreads the flow space uniformly);
+  /// `consistency` opts every member into the stateless fast path. The
+  /// pool hands each member policy an empty table of min_table_size before
+  /// construction, so hybrid engagement (which must size its slot-pin
+  /// counters in the Mux constructor) works even though the first real
+  /// table is only built at the first commit.
   MuxPool(net::Network& net, net::IpAddr vip, std::size_t mux_count,
-          std::size_t min_table_size = MaglevTable::kDefaultMinSize);
+          std::size_t min_table_size = MaglevTable::kDefaultMinSize,
+          FlowTableConfig flow_cfg = {}, ConsistencyConfig consistency = {});
   ~MuxPool() override;
 
   MuxPool(const MuxPool&) = delete;
@@ -110,6 +118,17 @@ class MuxPool : public net::Node, public PoolProgrammer {
   std::uint64_t generations_published() const;
   std::uint64_t generations_retired() const;
   std::size_t pending_retired_generations() const;
+
+  // --- stateless fast path (lb/consistency.hpp), summed over members ----------
+  /// True when every member engaged the hybrid dataplane.
+  bool stateless_engaged() const;
+  std::uint64_t stateless_picks() const;
+  std::uint64_t exception_pins() const;
+  std::uint64_t affinity_breaks_avoided() const;
+  std::uint64_t affinity_breaks() const;
+  /// Flow-table footprint aggregated over members (bench/flow_memory.cpp
+  /// gates the stateless-vs-stateful byte ratio on this).
+  FlowTableMemory flow_memory() const;
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;

@@ -30,6 +30,8 @@ class DipServer;
 
 namespace klb::lb {
 
+class MaglevTable;
+
 /// The dataplane's per-backend view handed to a policy on every pick.
 struct BackendView {
   net::IpAddr addr;
@@ -81,6 +83,13 @@ class Policy {
   virtual void prepare(const std::vector<BackendView>& backends) {
     (void)backends;
   }
+  /// The maglev lookup table backing this policy's deterministic picks,
+  /// or nullptr when it has none. Non-null enables the Mux's stateless
+  /// fast path (lb/consistency.hpp): the table pointer must stay stable
+  /// for the policy's lifetime, and its *contents* must be frozen once
+  /// the generation carrying the policy is published (prepare() fills it
+  /// before publication) — the packet path reads it without a lock.
+  virtual const MaglevTable* maglev_table() const { return nullptr; }
 
  protected:
   /// Indices of enabled backends (positive weight too when `need_weight`),

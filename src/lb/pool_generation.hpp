@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "lb/consistency.hpp"
 #include "lb/policy.hpp"
 #include "net/address.hpp"
 
@@ -49,6 +50,12 @@ struct BackendCounters {
   std::atomic<std::uint64_t> active{0};
   std::atomic<std::uint64_t> connections{0};  // cumulative new connections
   std::atomic<std::uint64_t> forwarded{0};    // cumulative forwarded requests
+  /// Sim time of the last request forwarded while draining (hybrid mode
+  /// only; 0 otherwise). Stateless flows hold no pin, so traffic is the
+  /// only evidence a drainer still serves them: drain auto-completion
+  /// waits until the drainer has been *idle* for the grace window, and
+  /// every forwarded packet re-arms it (Mux::drain_ripe).
+  std::atomic<std::int64_t> last_forward_us{0};
 };
 
 /// One backend as a generation carries it. Plain values — copying a
@@ -61,6 +68,11 @@ struct GenBackend {
   std::int64_t weight_units = 0;
   bool enabled = true;
   bool draining = false;  // condemned: parked until affinity empties
+  /// Sim time the drain started (meaningful while `draining`). Stateless
+  /// mode gates drain auto-completion on a grace period past this: flows
+  /// without a pin need time to adopt one (or FIN) before the backend
+  /// disappears — active == 0 alone no longer proves the drainer idle.
+  std::int64_t drain_since_us = 0;
   std::shared_ptr<BackendCounters> counters;
 
   BackendView view() const {
@@ -85,13 +97,19 @@ class PoolGeneration {
         backends_(std::move(backends)), policy_(std::move(policy)) {
     index_by_id_.reserve(backends_.size());
     views_.reserve(backends_.size());
+    index_by_addr_.reserve(backends_.size());
     for (std::size_t i = 0; i < backends_.size(); ++i) {
       index_by_id_.emplace(backends_[i].id, i);
+      index_by_addr_[backends_[i].addr.value()] = i;  // duplicates: last wins
       views_.push_back(backends_[i].view());
     }
     policy_uses_conns_ = policy_->uses_connection_counts();
     policy_caches_picks_ = policy_->pick_is_tuple_deterministic();
     policy_weighted_ = policy_->weighted();
+    // The pointer is stable even though the table's *contents* are filled
+    // later (prepare() runs before publication); null for policies with
+    // no maglev table.
+    table_ = policy_->maglev_table();
     checksum_ = compute_checksum();
     live_count_ref().fetch_add(1, std::memory_order_relaxed);
   }
@@ -113,6 +131,27 @@ class PoolGeneration {
     const auto it = index_by_id_.find(id);
     if (it == index_by_id_.end()) return std::nullopt;
     return it->second;
+  }
+
+  /// Index by DIP address value — the identity maglev tables resolve to
+  /// (stable ids stay dataplane-internal; the table is shared pool-wide).
+  std::optional<std::size_t> index_of_addr(std::uint32_t addr) const {
+    const auto it = index_by_addr_.find(addr);
+    if (it == index_by_addr_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// The maglev table this generation's policy serves, or nullptr. Frozen
+  /// at publication; the packet path reads it lock-free under its pin.
+  const MaglevTable* maglev_table() const { return table_; }
+
+  /// The generation's exception filter (lb/consistency.hpp), or nullptr
+  /// when the stateless fast path is off/disengaged. Set by the Mux on
+  /// the control thread before the generation is published (never after),
+  /// and reclaimed with the generation.
+  const ExceptionFilter* exception_filter() const { return filter_.get(); }
+  void set_exception_filter(std::shared_ptr<const ExceptionFilter> f) {
+    filter_ = std::move(f);
   }
 
   /// Policy-facing views, index-aligned with backends(). active_conns is
@@ -171,6 +210,9 @@ class PoolGeneration {
   std::uint64_t program_version_ = 0;
   std::vector<GenBackend> backends_;
   std::unordered_map<std::uint64_t, std::size_t> index_by_id_;
+  std::unordered_map<std::uint32_t, std::size_t> index_by_addr_;
+  const MaglevTable* table_ = nullptr;
+  std::shared_ptr<const ExceptionFilter> filter_;
   mutable std::vector<BackendView> views_;  // active_conns patched under pick mutex
   std::unique_ptr<Policy> policy_;
   bool policy_uses_conns_ = false;

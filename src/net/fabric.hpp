@@ -90,10 +90,22 @@ class Network {
     return blackholed_.load(std::memory_order_relaxed);
   }
 
+  /// Observation tap: runs at every send() entry — before blackhole mode
+  /// drops the message — with the destination and the message. Benches use
+  /// it to assert per-packet routing invariants (e.g. "every packet of a
+  /// pinned flow reaches the same DIP") at blackhole-mode rates. The tap
+  /// runs on the sender's thread with no fabric lock held; it must be
+  /// thread-safe itself. Install nullptr to remove. Not for concurrent
+  /// install/uninstall while traffic is flowing — set it up before the
+  /// drive starts (single-threaded), like set_blackhole.
+  using Tap = std::function<void(IpAddr, const Message&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
   /// Deliver `msg` to the node bound to `to` after the fabric latency.
   /// Messages to unbound addresses vanish (host unreachable) — callers
   /// discover this via their own timeouts, like real probes do.
   void send(IpAddr to, Message msg) KLB_EXCLUDES(mu_) {
+    if (tap_) tap_(to, msg);
     if (blackhole_.load(std::memory_order_relaxed)) {
       blackholed_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -146,6 +158,7 @@ class Network {
   std::unordered_map<IpAddr, Node*> nodes_ KLB_GUARDED_BY(mu_);
   std::atomic<bool> blackhole_{false};
   std::atomic<std::uint64_t> blackholed_{0};
+  Tap tap_;  // installed before traffic, read-only during it
   std::uint64_t sent_ KLB_GUARDED_BY(mu_) = 0;
   std::uint64_t dropped_unreachable_ KLB_GUARDED_BY(mu_) = 0;
 };

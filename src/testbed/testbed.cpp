@@ -48,8 +48,14 @@ Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
   // MUX + LB control plane. One Mux runs the configured policy; a pool
   // ECMP-shards the VIP over mux_count members sharing one maglev build
   // per program (the policy knob does not apply there).
+  lb::FlowTableConfig flow_cfg;
+  flow_cfg.expected_flows = cfg_.expected_flows;
+  lb::ConsistencyConfig consistency;
+  consistency.stateless = cfg_.stateless_dataplane;
   if (cfg_.mux_count > 1) {
-    pool_ = std::make_unique<lb::MuxPool>(*net_, vip_, cfg_.mux_count);
+    pool_ = std::make_unique<lb::MuxPool>(*net_, vip_, cfg_.mux_count,
+                                          lb::MaglevTable::kDefaultMinSize,
+                                          flow_cfg, consistency);
     lb::PoolProgram bootstrap(pool_->issue_version());
     const auto units = util::normalize_to_units(
         std::vector<double>(dip_addrs.size(), 1.0));
@@ -57,7 +63,9 @@ Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
       bootstrap.add(dip_addrs[i], units[i]);
     pool_->apply_program(bootstrap);
   } else {
-    mux_ = std::make_unique<lb::Mux>(*net_, vip_, lb::make_policy(cfg_.policy));
+    mux_ = std::make_unique<lb::Mux>(*net_, vip_, lb::make_policy(cfg_.policy),
+                                     /*attach_to_vip=*/true, flow_cfg,
+                                     consistency);
     for (std::size_t i = 0; i < dips_.size(); ++i)
       mux_->add_backend(dip_addrs[i], dips_[i].get());
   }
@@ -92,6 +100,12 @@ Testbed::Testbed(std::vector<DipSpec> specs, TestbedConfig cfg)
   clients_ = std::make_unique<workload::ClientPool>(
       *net_, kClientBase, vip_, workload::TrafficPattern(offered_rps_), ccfg);
   clients_->start();
+
+  // Dataplane heartbeat (see testbed.hpp): poll() at tick rate regardless
+  // of whether a controller runs.
+  dataplane_poll_ = std::make_unique<sim::PeriodicTimer>(
+      *sim_, util::SimTime::millis(50), [this] { dataplane().poll(); });
+  dataplane_poll_->start();
 
   // KnapsackLB controller (optional).
   if (cfg_.use_knapsacklb) {
@@ -330,6 +344,13 @@ DataplaneMetrics Testbed::dataplane_metrics() const {
     out.generations_published += m.generations_published();
     out.generations_retired += m.generations_retired();
     out.pending_retired_generations += m.pending_retired_generations();
+    out.stateless_picks += m.stateless_picks();
+    out.exception_pins += m.exception_pins();
+    out.affinity_breaks_avoided += m.affinity_breaks_avoided();
+    out.affinity_breaks += m.affinity_breaks();
+    const auto mem = m.flow_table().memory();
+    out.flow_table_bytes += mem.approx_bytes;
+    out.flow_table_capacity += mem.buckets;
   };
   if (pool_) {
     for (std::size_t k = 0; k < pool_->mux_count(); ++k) add(pool_->mux(k));

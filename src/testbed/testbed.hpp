@@ -65,6 +65,15 @@ struct TestbedConfig {
   /// fixed at construction-time capacity — the paper's figures hold load
   /// constant through failures.
   bool rescale_load_on_churn = true;
+  /// Opt the dataplane into the stateless fast path (lb/consistency.hpp):
+  /// flows on unchanged maglev slots route by hash with no flow-table
+  /// entry; only exception flows pin. Requires a maglev-table policy
+  /// (mux_count > 1 always qualifies; a single Mux needs policy =
+  /// "maglev"), and is ignored with a warning otherwise.
+  bool stateless_dataplane = false;
+  /// Expected concurrent flows pool-wide: pre-reserves the flow-table
+  /// shards so filling to that scale never rehashes. 0 = default growth.
+  std::size_t expected_flows = 0;
 };
 
 /// Pool-level dataplane lifecycle counters, aggregated over every MUX
@@ -86,6 +95,15 @@ struct DataplaneMetrics {
   std::uint64_t generations_published = 0;
   std::uint64_t generations_retired = 0;
   std::size_t pending_retired_generations = 0;
+  /// Stateless fast path (lb/consistency.hpp; all zero when not engaged).
+  std::uint64_t stateless_picks = 0;
+  std::uint64_t exception_pins = 0;
+  std::uint64_t affinity_breaks_avoided = 0;
+  std::uint64_t affinity_breaks = 0;
+  /// Flow-table footprint across the dataplane (the memory the stateless
+  /// path exists to avoid). Capacity = bucket count.
+  std::size_t flow_table_bytes = 0;
+  std::size_t flow_table_capacity = 0;
 };
 
 /// Per-DIP metrics snapshot for reporting.
@@ -257,6 +275,14 @@ class Testbed {
   std::unique_ptr<klm::Klm> klm_;
   std::unique_ptr<workload::ClientPool> clients_;
   std::unique_ptr<core::Controller> controller_;
+  /// Control-plane heartbeat: Mux::poll() is a tick-rate contract (drain
+  /// sweeps, generation reclamation), and the KnapsackLB controller's loop
+  /// only covers it when one is running. The testbed polls unconditionally
+  /// so controllerless scenarios complete grace-deferred drains too (the
+  /// stateless fast path defers completion past the quiescence window).
+  /// Declared last: destroyed first, so no tick fires into torn-down
+  /// components.
+  std::unique_ptr<sim::PeriodicTimer> dataplane_poll_;
   double offered_rps_ KLB_GUARDED_BY(mu_) = 0.0;
 };
 

@@ -193,5 +193,58 @@ TEST(ChurnE2E, NoControllerChurnKeepsPoolConsistent) {
         bed.latency_store().recent(bed.vip(), bed.dip(i).address(), 1).empty());
 }
 
+// ISSUE 8's churn invariant for the hybrid dataplane: with the stateless
+// fast path on, graceful drains must not break a single flow's affinity —
+// flows caught mid-drain adopt exception pins onto the drainer (counted as
+// breaks avoided), everyone else keeps routing by hash, and the genuine
+// break counter stays at zero through the whole scale-in.
+TEST(ChurnE2E, StatelessGracefulDrainsBreakNoAffinity) {
+  TestbedConfig cfg;
+  cfg.seed = 75;
+  cfg.mux_count = 2;  // ECMP pool: members share one maglev snapshot
+  cfg.stateless_dataplane = true;
+  cfg.expected_flows = 4096;
+  std::vector<DipSpec> specs(5, DipSpec{});
+  Testbed bed(specs, cfg);
+  auto* pool = bed.mux_pool();
+  ASSERT_NE(pool, nullptr);
+  ASSERT_TRUE(pool->stateless_engaged());
+  bed.run_for(10_s);
+
+  // Steady state routes by hash: the flow tables stay (near) empty.
+  {
+    const auto dm = bed.dataplane_metrics();
+    EXPECT_GT(dm.stateless_picks, 0u);
+    EXPECT_EQ(dm.affinity_breaks, 0u);
+  }
+
+  // Rolling graceful scale-in under open traffic.
+  ASSERT_TRUE(bed.scale_in(0));
+  bed.run_for(15_s);
+  ASSERT_TRUE(bed.scale_in(0));
+  bed.run_for(15_s);
+  EXPECT_EQ(bed.dip_count(), 3u);
+  EXPECT_EQ(pool->draining_count(), 0u);
+  EXPECT_EQ(pool->drains_completed(), 2 * pool->mux_count());
+
+  const auto dm = bed.dataplane_metrics();
+  // The invariant this subsystem exists for: graceful drains with the
+  // stateless path on re-home zero flows. Anything caught mid-drain shows
+  // up as an avoided break (an adoption), never a real one.
+  EXPECT_EQ(dm.affinity_breaks, 0u);
+  EXPECT_EQ(dm.flows_reset_by_failure, 0u);
+  EXPECT_EQ(dm.flows_dropped_by_removal, 0u);
+  EXPECT_EQ(dm.no_backend_drops, 0u);
+  EXPECT_EQ(bed.clients().recorder().timeouts(), 0u);
+  // The dataplane actually ran stateless through the churn.
+  EXPECT_GT(dm.stateless_picks, 0u);
+
+  // Quiesced, every exception pin has drained back out.
+  bed.clients().stop();
+  bed.run_for(30_s);
+  pool->poll();
+  EXPECT_EQ(pool->affinity_size(), 0u);
+}
+
 }  // namespace
 }  // namespace klb::testbed

@@ -123,7 +123,7 @@ TEST(FlowTable, GcReclaimsDeadAndIdleShardLocally) {
   std::size_t dead = 0, idled = 0;
   const auto reclaimed = table.gc(
       100_s, 60_s, [](std::uint64_t id) { return id != 1; },
-      [&](std::uint64_t id, bool was_dead) {
+      [&](const net::FiveTuple&, std::uint64_t id, bool was_dead) {
         if (was_dead) {
           EXPECT_EQ(id, 1u);
           ++dead;
@@ -148,11 +148,98 @@ TEST(FlowTable, GcReclaimCallbackMayReenterTable) {
   std::size_t seen = 0;
   table.gc(
       100_s, 0_s, [](std::uint64_t id) { return id != 0; },
-      [&](std::uint64_t, bool) {
+      [&](const net::FiveTuple&, std::uint64_t, bool) {
         ++seen;
         (void)table.size();  // deadlocks if invoked under the shard lock
       });
   EXPECT_EQ(seen, 20u);
+}
+
+TEST(FlowTable, TryFindIsReadOnly) {
+  FlowTable table(FlowTableConfig{4, 64});
+  const auto t = flow_tuple(11);
+  EXPECT_EQ(table.try_find(t), std::nullopt);
+  table.try_insert(t, 7, 0_s, /*cache_pick=*/true);
+  EXPECT_EQ(table.try_find(t), std::optional<std::uint64_t>(7));
+  // No touch, no cache probe, no counter traffic.
+  const auto before = table.stats();
+  (void)table.try_find(t);
+  (void)table.try_find(flow_tuple(12));
+  const auto after = table.stats();
+  EXPECT_EQ(after.cache_hits, before.cache_hits);
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+}
+
+TEST(FlowTable, ExpectedFlowsHintPreReservesShards) {
+  // Hinted: the buckets for the expected population exist up front, and
+  // filling to that scale never rehashes (capacity is stable).
+  FlowTableConfig hinted{8, 0};
+  hinted.expected_flows = 64'000;
+  FlowTable table(hinted);
+  std::vector<std::size_t> buckets_at_start(table.shard_count());
+  for (std::size_t k = 0; k < table.shard_count(); ++k) {
+    buckets_at_start[k] = table.shard_buckets(k);
+    EXPECT_GE(buckets_at_start[k] * 2, 64'000u / table.shard_count())
+        << "shard " << k << " not pre-reserved";
+  }
+  for (std::uint64_t i = 0; i < 64'000; ++i)
+    table.try_insert(flow_tuple(i), i % 3, 0_s, false);
+  for (std::size_t k = 0; k < table.shard_count(); ++k)
+    EXPECT_EQ(table.shard_buckets(k), buckets_at_start[k])
+        << "shard " << k << " rehashed despite the hint";
+
+  // Unhinted default: starts near-empty (the hint is opt-in).
+  FlowTable bare(FlowTableConfig{8, 0});
+  EXPECT_LT(bare.shard_buckets(0), buckets_at_start[0]);
+}
+
+TEST(FlowTable, MemoryTracksEntriesAndBuckets) {
+  FlowTable table(FlowTableConfig{4, 64});
+  const auto empty = table.memory();
+  EXPECT_EQ(empty.entries, 0u);
+  EXPECT_GT(empty.approx_bytes, 0u);  // shard structs + cache arrays
+  for (std::uint64_t i = 0; i < 10'000; ++i)
+    table.try_insert(flow_tuple(i), 1, 0_s, false);
+  const auto full = table.memory();
+  EXPECT_EQ(full.entries, 10'000u);
+  EXPECT_GT(full.buckets, 0u);
+  // Each entry costs at least its node; the ratio a bench gates on is
+  // driven by this growth.
+  EXPECT_GE(full.approx_bytes,
+            empty.approx_bytes + 10'000u * sizeof(net::FiveTuple));
+}
+
+TEST(FlowTable, BudgetedGcSweepsIncrementally) {
+  FlowTableConfig cfg{1, 0};
+  cfg.gc_scan_budget = 64;
+  FlowTable table(cfg);
+  constexpr std::uint64_t kFlows = 2'000;
+  for (std::uint64_t i = 0; i < kFlows; ++i)
+    table.try_insert(flow_tuple(i), i % 2, 0_s, false);
+
+  // One budgeted call examines ~the budget, not the whole shard (bucket
+  // granularity makes it approximate), and reclaims only what it saw.
+  const auto alive = [](std::uint64_t id) { return id != 1; };
+  const auto first = table.gc_shard(0, 0_s, util::SimTime::zero(), alive,
+                                    nullptr, FlowTable::kScanBudgeted);
+  const auto scanned_once = table.stats().gc_scanned;
+  EXPECT_GE(scanned_once, 64u);
+  EXPECT_LT(scanned_once, kFlows);
+  EXPECT_LT(first, kFlows / 2);
+
+  // Successive calls resume from the cursor and drain the shard fully.
+  std::size_t reclaimed = first;
+  for (int i = 0; i < 200 && reclaimed < kFlows / 2; ++i)
+    reclaimed += table.gc_shard(0, 0_s, util::SimTime::zero(), alive, nullptr,
+                                FlowTable::kScanBudgeted);
+  EXPECT_EQ(reclaimed, kFlows / 2);
+  EXPECT_EQ(table.size(), kFlows / 2);
+  // An explicit full sweep overrides the budget in one call.
+  for (std::uint64_t i = 0; i < kFlows; ++i)
+    table.try_insert(flow_tuple(100'000 + i), 1, 0_s, false);
+  EXPECT_EQ(table.gc_shard(0, 0_s, util::SimTime::zero(), alive, nullptr,
+                           FlowTable::kScanAll),
+            kFlows);
 }
 
 TEST(FlowTable, GcUnderConcurrentInsert) {
