@@ -19,6 +19,27 @@ std::size_t round_up_pow2(std::size_t n) {
 /// which is what the memory bench's ratio gate needs.
 constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
 
+/// Stable counting sort of batch indices by shard: afterwards idx[]
+/// enumerates [0, n) grouped by shard_of_req, burst order preserved
+/// within a shard. Counting sort beats a comparison sort on the
+/// per-packet path twice over — the shard index is computed exactly once
+/// per message (by the caller, into shard_of_req) and nothing allocates
+/// (std::stable_sort grabs a heap buffer even for a 32-element burst).
+/// `counts` must hold `shards` zeroed slots; it is clobbered.
+void group_by_shard(const std::uint32_t* shard_of_req, std::size_t n,
+                    std::size_t shards, std::uint32_t* counts,
+                    std::uint32_t* idx) {
+  for (std::size_t i = 0; i < n; ++i) ++counts[shard_of_req[i]];
+  std::uint32_t cursor = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto c = counts[s];
+    counts[s] = cursor;
+    cursor += c;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    idx[counts[shard_of_req[i]]++] = static_cast<std::uint32_t>(i);
+}
+
 }  // namespace
 
 FlowTable::FlowTable(FlowTableConfig cfg)
@@ -40,10 +61,8 @@ FlowTable::FlowTable(FlowTableConfig cfg)
   }
 }
 
-FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
-  const auto h = net::hash_tuple(t);
-  auto& s = shards_[shard_index(h)];
-  util::MutexLock lk(s.mu);
+FlowHit FlowTable::lookup_locked(Shard& s, const net::FiveTuple& t,
+                                 std::uint64_t h, util::SimTime now) {
   const auto it = s.flows.find(t);
   if (it != s.flows.end()) {
     it->second.last_seen = now;
@@ -59,6 +78,89 @@ FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
     ++s.cache_misses;
   }
   return FlowHit{};
+}
+
+FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
+  const auto h = net::hash_tuple(t);
+  auto& s = shards_[shard_index(h)];
+  util::MutexLock lk(s.mu);
+  return lookup_locked(s, t, h, now);
+}
+
+void FlowTable::lookup_batch(FlowLookup* reqs, std::size_t n,
+                             util::SimTime now) {
+  if (n == 0) return;
+  if (n == 1) {
+    auto& s = shards_[shard_index(reqs[0].hash)];
+    util::MutexLock lk(s.mu);
+    reqs[0].hit = lookup_locked(s, *reqs[0].tuple, reqs[0].hash, now);
+    return;
+  }
+  // Group by shard (stable, allocation-free — see group_by_shard), then
+  // take each shard lock once for its run.
+  constexpr std::size_t kStack = 64;
+  std::uint32_t stack_buf[3 * kStack];
+  std::vector<std::uint32_t> heap_buf;
+  std::uint32_t* buf = stack_buf;
+  const std::size_t width = std::max(n, shards_.size());
+  if (width > kStack) {
+    heap_buf.resize(3 * width);
+    buf = heap_buf.data();
+  }
+  std::uint32_t* shard_of_req = buf;
+  std::uint32_t* idx = buf + width;
+  std::uint32_t* counts = buf + 2 * width;
+  std::fill(counts, counts + shards_.size(), 0u);
+  for (std::size_t i = 0; i < n; ++i)
+    shard_of_req[i] = static_cast<std::uint32_t>(shard_index(reqs[i].hash));
+  group_by_shard(shard_of_req, n, shards_.size(), counts, idx);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t shard = shard_of_req[idx[i]];
+    auto& s = shards_[shard];
+    util::MutexLock lk(s.mu);
+    do {
+      FlowLookup& r = reqs[idx[i]];
+      r.hit = lookup_locked(s, *r.tuple, r.hash, now);
+      ++i;
+    } while (i < n && shard_of_req[idx[i]] == shard);
+  }
+}
+
+void FlowTable::erase_batch(FlowErase* reqs, std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {
+    auto& s = shards_[shard_index(reqs[0].hash)];
+    util::MutexLock lk(s.mu);
+    erase_locked(s, reqs[0]);
+    return;
+  }
+  constexpr std::size_t kStack = 64;
+  std::uint32_t stack_buf[3 * kStack];
+  std::vector<std::uint32_t> heap_buf;
+  std::uint32_t* buf = stack_buf;
+  const std::size_t width = std::max(n, shards_.size());
+  if (width > kStack) {
+    heap_buf.resize(3 * width);
+    buf = heap_buf.data();
+  }
+  std::uint32_t* shard_of_req = buf;
+  std::uint32_t* idx = buf + width;
+  std::uint32_t* counts = buf + 2 * width;
+  std::fill(counts, counts + shards_.size(), 0u);
+  for (std::size_t i = 0; i < n; ++i)
+    shard_of_req[i] = static_cast<std::uint32_t>(shard_index(reqs[i].hash));
+  group_by_shard(shard_of_req, n, shards_.size(), counts, idx);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t shard = shard_of_req[idx[i]];
+    auto& s = shards_[shard];
+    util::MutexLock lk(s.mu);
+    do {
+      erase_locked(s, reqs[idx[i]]);
+      ++i;
+    } while (i < n && shard_of_req[idx[i]] == shard);
+  }
 }
 
 std::optional<std::uint64_t> FlowTable::try_find(
@@ -91,15 +193,29 @@ std::pair<std::uint64_t, bool> FlowTable::try_insert(const net::FiveTuple& t,
   return {backend_id, true};
 }
 
-std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
-  auto& s = shards_[shard_of(t)];
-  util::MutexLock lk(s.mu);
-  const auto it = s.flows.find(t);
-  if (it == s.flows.end()) return std::nullopt;
-  const auto id = it->second.backend_id;
+void FlowTable::erase_locked(Shard& s, FlowErase& r) {
+  const auto it = s.flows.find(*r.tuple);
+  if (it == s.flows.end()) {
+    r.found = false;
+    return;
+  }
+  r.found = true;
+  r.id = it->second.backend_id;
   s.flows.erase(it);
   ++s.erases;
-  return id;
+}
+
+std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
+  FlowErase r;
+  r.tuple = &t;
+  r.hash = net::hash_tuple(t);
+  auto& s = shards_[shard_index(r.hash)];
+  {
+    util::MutexLock lk(s.mu);
+    erase_locked(s, r);
+  }
+  if (!r.found) return std::nullopt;
+  return r.id;
 }
 
 std::size_t FlowTable::erase_backend(

@@ -101,6 +101,25 @@ struct FlowHit {
   std::uint64_t backend_id = 0;
 };
 
+/// One element of a batched affinity lookup. The caller precomputes the
+/// tuple hash (it already needs it for the stateless path); the result
+/// lands in `hit`.
+struct FlowLookup {
+  const net::FiveTuple* tuple = nullptr;
+  std::uint64_t hash = 0;
+  FlowHit hit;
+};
+
+/// One element of a batched FIN unpin (erase_batch). The caller
+/// precomputes the tuple hash; `found`/`id` report whether the flow was
+/// pinned and to which backend.
+struct FlowErase {
+  const net::FiveTuple* tuple = nullptr;
+  std::uint64_t hash = 0;
+  std::uint64_t id = 0;
+  bool found = false;
+};
+
 class FlowTable {
  public:
   explicit FlowTable(FlowTableConfig cfg = {});
@@ -115,6 +134,11 @@ class FlowTable {
 
   /// Affinity lookup with last-seen touch; on miss, probe the flow cache.
   FlowHit lookup(const net::FiveTuple& t, util::SimTime now);
+
+  /// Batched lookup(): partitions the requests by shard and takes each
+  /// shard lock once for its whole group. Element-wise identical to
+  /// calling lookup() per request.
+  void lookup_batch(FlowLookup* reqs, std::size_t n, util::SimTime now);
 
   /// Pin `t` to `backend_id` unless it is already pinned (a concurrent
   /// packet of the same tuple may have won the race). Returns the owning
@@ -136,6 +160,11 @@ class FlowTable {
 
   /// Unpin `t`, returning the backend it was pinned to (FIN path).
   std::optional<std::uint64_t> erase(const net::FiveTuple& t);
+
+  /// Batched erase(): partitions the requests by shard and takes each
+  /// shard lock once for its whole group. Element-wise identical to
+  /// calling erase() per request.
+  void erase_batch(FlowErase* reqs, std::size_t n);
 
   /// Drop every flow pinned to `backend_id` (backend removal/failure).
   /// Returns the number of flows dropped. `dropped` runs per dropped flow
@@ -240,6 +269,10 @@ class FlowTable {
   std::size_t shard_index(std::uint64_t h) const {
     return static_cast<std::size_t>(h >> 48) & shard_mask_;
   }
+
+  FlowHit lookup_locked(Shard& s, const net::FiveTuple& t, std::uint64_t h,
+                        util::SimTime now) KLB_REQUIRES(s.mu);
+  void erase_locked(Shard& s, FlowErase& r) KLB_REQUIRES(s.mu);
   std::size_t cache_index(std::uint64_t h) const {
     return static_cast<std::size_t>(h >> 16) & cache_mask_;
   }

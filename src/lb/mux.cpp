@@ -16,6 +16,10 @@ constexpr const char* kLog = "klb-mux";
 /// once per this many forwarded requests (one shard per trigger), keeping
 /// the GC O(1)-ish per packet and shard-local.
 constexpr std::uint64_t kGcRequestInterval = 4096;
+/// Batched requests are staged through stack scratch of this many lanes:
+/// big enough to amortize the per-burst costs (epoch pin, shard locks, one
+/// pick-mutex acquisition), small enough to live comfortably on the stack.
+constexpr std::size_t kBatchChunk = 32;
 }  // namespace
 
 Mux::Mux(net::Network& net, net::IpAddr vip, std::unique_ptr<Policy> policy,
@@ -647,14 +651,14 @@ std::size_t Mux::gc_affinity() {
   return reclaimed;
 }
 
-void Mux::maybe_gc() {
+void Mux::maybe_gc(std::uint64_t batch) {
   if (affinity_idle_us_.load(std::memory_order_relaxed) <= 0) return;
   // One shard per trigger: the whole table is covered once per
-  // kGcRequestInterval forwarded requests, but no single packet ever pays
-  // for more than one shard's sweep.
+  // kGcRequestInterval forwarded requests, but no single packet (or batch)
+  // ever pays for more than one shard's sweep.
   const auto interval =
       std::max<std::uint64_t>(1, kGcRequestInterval / flows_.shard_count());
-  if (requests_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 <
+  if (requests_since_gc_.fetch_add(batch, std::memory_order_relaxed) + batch <
       interval)
     return;
   requests_since_gc_.store(0, std::memory_order_relaxed);
@@ -678,27 +682,57 @@ void Mux::on_message(const net::Message& msg) {
   }
 }
 
-void Mux::forward(const PoolGeneration& gen, std::size_t i,
-                  const net::Message& msg) {
+void Mux::on_batch(const net::Message* const* msgs, std::size_t n) {
+  handle_batch(msgs, n);
+}
+
+void Mux::handle_batch(const net::Message* const* msgs, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    if (msgs[i]->type == net::MsgType::kHttpRequest) {
+      // Contiguous request run: staged, chunked to the stack scratch size.
+      std::size_t j = i + 1;
+      while (j < n && msgs[j]->type == net::MsgType::kHttpRequest) ++j;
+      for (std::size_t off = i; off < j; off += kBatchChunk)
+        handle_request_chunk(msgs + off, std::min(kBatchChunk, j - off));
+      i = j;
+    } else if (msgs[i]->type == net::MsgType::kFin) {
+      // Contiguous FIN run: batched unpin (one shard lock per run, one
+      // epoch pin, grouped forwards), same chunking.
+      std::size_t j = i + 1;
+      while (j < n && msgs[j]->type == net::MsgType::kFin) ++j;
+      for (std::size_t off = i; off < j; off += kBatchChunk)
+        handle_fin_chunk(msgs + off, std::min(kBatchChunk, j - off));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Mux::forward_run(const PoolGeneration& gen, std::size_t i,
+                      const net::Message* const* msgs, std::size_t k) {
   const auto& b = gen.backends()[i];
-  b.counters->forwarded.fetch_add(1, std::memory_order_relaxed);
+  b.counters->forwarded.fetch_add(k, std::memory_order_relaxed);
   // Quiescence evidence for stateless drains (drain_ripe): only drainers
   // pay the stamp, so the steady-state hot path is untouched.
   if (slot_pins_ && b.draining)
     b.counters->last_forward_us.store(net_.sim().now().us(),
                                       std::memory_order_relaxed);
-  total_forwarded_.fetch_add(1, std::memory_order_relaxed);
-  net_.send(b.addr, msg);  // original tuple preserved (encap)
+  total_forwarded_.fetch_add(k, std::memory_order_relaxed);
+  net_.send_burst(b.addr, msgs, k);  // original tuples preserved (encap)
 }
 
-bool Mux::route_stateless(const PoolGeneration& gen, const MaglevTable& table,
-                          std::uint64_t hash, const net::Message& msg) {
+std::optional<std::size_t> Mux::resolve_stateless(const PoolGeneration& gen,
+                                                  const MaglevTable& table,
+                                                  std::uint64_t hash,
+                                                  const net::Message& msg) {
   const auto pick = table.lookup_id(hash);
-  if (pick == MaglevTable::kNoId) return false;
+  if (pick == MaglevTable::kNoId) return std::nullopt;
   const auto idx = gen.index_of_addr(static_cast<std::uint32_t>(pick));
-  if (!idx) return false;  // table predates this view; let the policy refuse
+  if (!idx) return std::nullopt;  // table predates this view; policy refuses
   const auto& b = gen.backends()[*idx];
-  if (!b.enabled || b.draining || b.weight_units <= 0) return false;
+  if (!b.enabled || b.draining || b.weight_units <= 0) return std::nullopt;
   stateless_picks_.fetch_add(1, std::memory_order_relaxed);
   if (msg.req_id <= 1) {
     // Opener: the connection exists even though no pin ever will — the
@@ -707,188 +741,307 @@ bool Mux::route_stateless(const PoolGeneration& gen, const MaglevTable& table,
     // which is what drains wait on.
     b.counters->connections.fetch_add(1, std::memory_order_relaxed);
   }
-  forward(gen, *idx, msg);
-  return true;
+  return idx;
 }
 
-void Mux::handle_request(const net::Message& msg) {
-  maybe_gc();
+void Mux::handle_request_chunk(const net::Message* const* msgs,
+                               std::size_t n) {
+  maybe_gc(n);
   const auto now = net_.sim().now();
-  // Pin the current generation for the duration of this packet: every
-  // index below names a position in THIS snapshot, immune to concurrent
-  // publications. A pick computed here may race a commit and land on a
-  // just-reweighted backend — bounded by one packet, the same window a
-  // real dataplane's config swap has.
+  // Pin the current generation once for the whole chunk: every index below
+  // names a position in THIS snapshot, immune to concurrent publications.
+  // A pick computed here may race a commit and land on a just-reweighted
+  // backend — bounded by one burst, the same window a real dataplane's
+  // config swap has.
   auto ref = read_gen();
   const PoolGeneration& gen = *ref.gen;
+  if (n > 1 && !gen.policy_caches_picks()) {
+    // Non-tuple-deterministic policies (rr/wrr/lc family) mutate pick
+    // state per packet: process the burst per packet under the shared pin
+    // so the pick sequence is exactly the scalar path's.
+    for (std::size_t i = 0; i < n; ++i)
+      process_chunk_pinned(gen, now, msgs + i, 1);
+    return;
+  }
+  process_chunk_pinned(gen, now, msgs, n);
+}
 
-  // --- stateless fast path (lb/consistency.hpp) ----------------------------
-  // One hash, one bitmap bit, one relaxed counter read, one table read:
-  // no lock, no allocation, no FlowTable traffic. A slot is exceptional
-  // when its pick changed recently (the filter) or while pinned flows
-  // live on it (the live counter — pins may outlive the filter window,
-  // and a pinned flow must never be rerouted by hash).
-  std::uint64_t h = 0;
-  std::size_t slot = 0;
+void Mux::process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
+                               const net::Message* const* msgs,
+                               std::size_t n) {
+  // Per-packet scratch. Deliberately no default member initializers: only
+  // the first n lanes are touched, so the batch-of-1 (scalar) case pays
+  // for one lane, not kBatchChunk.
+  struct Lane {
+    std::uint64_t hash;
+    std::uint64_t backend_id;  // stable id to pin (valid when dip set)
+    std::uint64_t owner;       // try_insert winner
+    std::size_t dip;           // resolved backend index or kNoBackend
+    std::uint32_t slot;        // hybrid slot (valid when slot_pins_)
+    std::uint8_t st;
+    bool exception;
+    bool adopted;  // mid-flow exception pin: not a new connection
+    bool fresh;
+  };
+  enum : std::uint8_t {
+    kForwardOnly,  // dip resolved, no pin wanted (stateless/affinity hit)
+    kNeedLookup,   // awaiting the grouped affinity lookup
+    kNeedPick,     // policy pick required
+    kNeedPin,      // dip + id resolved, try_insert pending
+    kPinned,       // insert done (possibly losing to a concurrent winner)
+    kDropped,      // no usable backend: client times out
+  };
+  Lane lanes[kBatchChunk];
+  FlowLookup lookups[kBatchChunk];
+  std::uint32_t lookup_lane[kBatchChunk];
+
+  // --- stage A: hash + stateless fast-path classification (lock-free) ------
+  // One hash, one bitmap bit, one relaxed counter read, one table read per
+  // packet: no lock, no allocation, no FlowTable traffic. A slot is
+  // exceptional when its pick changed recently (the filter) or while
+  // pinned flows live on it (the live counter — pins may outlive the
+  // filter window, and a pinned flow must never be rerouted by hash).
   const ExceptionFilter* filter = nullptr;
   const MaglevTable* table = nullptr;
-  bool exception_route = false;
   if (slot_pins_) {
-    h = net::hash_tuple(msg.tuple);
-    slot = static_cast<std::size_t>(h % slot_pins_->size());
     filter = gen.exception_filter();
     table = gen.maglev_table();
-    if (filter != nullptr && table != nullptr) {
-      if (filter->is_exception(slot) || slot_pins_->count(slot) > 0) {
-        exception_route = true;
-      } else if (route_stateless(gen, *table, h, msg)) {
-        return;
-      }
-      // Unflagged but unroutable (empty slot, stale view): fall through —
-      // the stateful path decides, and any pin it creates flags the slot
-      // through its live count.
-    }
   }
-
-  auto hit = flows_.lookup(msg.tuple, now);
-  if (hit.kind == FlowHit::Kind::kAffinity) {
-    // Connection affinity: pinned regardless of weights — unless the
-    // backend died since (defensive; removal drops its entries eagerly).
-    // Draining backends keep serving their pinned flows: that is the whole
-    // point of the graceful scale-in.
-    if (const auto idx = gen.index_of(hit.backend_id)) {
-      forward(gen, *idx, msg);
-      return;
-    }
-    if (flows_.erase(msg.tuple) && slot_pins_) slot_pins_->dec(slot);
-    hit = FlowHit{};
-  }
-
-  std::size_t dip = kNoBackend;
-  std::uint64_t id = 0;
-  bool adopted = false;  // mid-flow exception pin: not a new connection
-
-  if (exception_route) {
-    // Flagged slot, no pin for this tuple yet. Openers PIN to the current
-    // pick (the "filter miss -> pin" arm): served statelessly they would
-    // be indistinguishable, mid-flow, from the pre-change flows the filter
-    // remembers, and the adoption below would re-home them onto an owner
-    // they never had. The pin is the disambiguation — and it is exactly as
-    // long-lived as the flow, not the slot's flag.
-    if (msg.req_id > 1) {
-      const auto prev = filter->prev_owner(slot);
-      const auto pick = table->lookup_id(h);
-      const auto cur =
-          pick == MaglevTable::kNoId
-              ? ExceptionFilter::kNoOwner
-              : static_cast<std::uint32_t>(pick);
-      if (prev != ExceptionFilter::kNoOwner && prev != cur) {
-        if (const auto pidx = gen.index_of_addr(prev)) {
-          // Adopt: pin the flow to the backend that was serving it before
-          // the slot's pick moved (for a graceful drain, the drainer —
-          // which keeps serving pinned flows). This is the break the
-          // whole subsystem exists to avoid.
-          affinity_breaks_avoided_.fetch_add(1, std::memory_order_relaxed);
-          dip = *pidx;
-          id = gen.backends()[dip].id;
-          adopted = true;
-        } else {
-          // The previous owner is gone (failure / completed removal): the
-          // flow genuinely re-homes onto the current pick, pinned so it
-          // does not break again.
-          affinity_breaks_.fetch_add(1, std::memory_order_relaxed);
+  const bool hybrid = filter != nullptr && table != nullptr;
+  std::size_t need_lookup = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Lane& ln = lanes[i];
+    const net::Message& m = *msgs[i];
+    ln.hash = net::hash_tuple(m.tuple);
+    ln.backend_id = 0;
+    ln.owner = 0;
+    ln.dip = kNoBackend;
+    ln.slot = 0;
+    ln.exception = false;
+    ln.adopted = false;
+    ln.fresh = false;
+    if (slot_pins_) {
+      ln.slot = static_cast<std::uint32_t>(ln.hash % slot_pins_->size());
+      if (hybrid) {
+        if (filter->is_exception(ln.slot) || slot_pins_->count(ln.slot) > 0) {
+          ln.exception = true;
+        } else if (const auto idx =
+                       resolve_stateless(gen, *table, ln.hash, m)) {
+          ln.dip = *idx;
+          ln.st = kForwardOnly;
+          continue;
         }
-      } else {
-        // The slot is flagged but its pick did not move away from this
-        // flow's owner (pin-held slot, or a change that has already been
-        // reverted): the current pick IS the flow's backend — serve it
-        // statelessly rather than pinning it for life.
-        if (route_stateless(gen, *table, h, msg)) return;
+        // Unflagged but unroutable (empty slot, stale view): fall through —
+        // the stateful path decides, and any pin it creates flags the slot
+        // through its live count.
       }
     }
-    if (dip == kNoBackend) {
-      // Re-homed flow or unroutable slot: resolve through the table like
-      // a stateless pick would, then pin below.
-      const auto pick = table->lookup_id(h);
-      if (pick != MaglevTable::kNoId) {
-        if (const auto idx =
-                gen.index_of_addr(static_cast<std::uint32_t>(pick))) {
-          const auto& b = gen.backends()[*idx];
-          if (b.enabled && !b.draining && b.weight_units > 0) {
-            dip = *idx;
-            id = b.id;
+    ln.st = kNeedLookup;
+    lookups[need_lookup].tuple = &m.tuple;
+    lookups[need_lookup].hash = ln.hash;
+    lookup_lane[need_lookup] = static_cast<std::uint32_t>(i);
+    ++need_lookup;
+  }
+
+  // --- stage B: grouped affinity lookup (one lock per touched shard) -------
+  flows_.lookup_batch(lookups, need_lookup, now);
+
+  // --- stage C: per-packet resolution (same decision tree as ever) ---------
+  bool any_pick = false;
+  for (std::size_t j = 0; j < need_lookup; ++j) {
+    Lane& ln = lanes[lookup_lane[j]];
+    const net::Message& m = *msgs[lookup_lane[j]];
+    FlowHit hit = lookups[j].hit;
+    if (hit.kind == FlowHit::Kind::kAffinity) {
+      // Connection affinity: pinned regardless of weights — unless the
+      // backend died since (defensive; removal drops its entries eagerly).
+      // Draining backends keep serving their pinned flows: that is the
+      // whole point of the graceful scale-in.
+      if (const auto idx = gen.index_of(hit.backend_id)) {
+        ln.dip = *idx;
+        ln.st = kForwardOnly;
+        continue;
+      }
+      if (flows_.erase(m.tuple) && slot_pins_) slot_pins_->dec(ln.slot);
+      hit = FlowHit{};
+    }
+    if (ln.exception) {
+      // Flagged slot, no pin for this tuple yet. Openers PIN to the
+      // current pick (the "filter miss -> pin" arm): served statelessly
+      // they would be indistinguishable, mid-flow, from the pre-change
+      // flows the filter remembers, and the adoption below would re-home
+      // them onto an owner they never had. The pin is the disambiguation —
+      // and it is exactly as long-lived as the flow, not the slot's flag.
+      if (m.req_id > 1) {
+        const auto prev = filter->prev_owner(ln.slot);
+        const auto pick = table->lookup_id(ln.hash);
+        const auto cur = pick == MaglevTable::kNoId
+                             ? ExceptionFilter::kNoOwner
+                             : static_cast<std::uint32_t>(pick);
+        if (prev != ExceptionFilter::kNoOwner && prev != cur) {
+          if (const auto pidx = gen.index_of_addr(prev)) {
+            // Adopt: pin the flow to the backend that was serving it
+            // before the slot's pick moved (for a graceful drain, the
+            // drainer — which keeps serving pinned flows). This is the
+            // break the whole subsystem exists to avoid.
+            affinity_breaks_avoided_.fetch_add(1, std::memory_order_relaxed);
+            ln.dip = *pidx;
+            ln.backend_id = gen.backends()[ln.dip].id;
+            ln.adopted = true;
+          } else {
+            // The previous owner is gone (failure / completed removal):
+            // the flow genuinely re-homes onto the current pick, pinned so
+            // it does not break again.
+            affinity_breaks_.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          // The slot is flagged but its pick did not move away from this
+          // flow's owner (pin-held slot, or a change that has already been
+          // reverted): the current pick IS the flow's backend — serve it
+          // statelessly rather than pinning it for life.
+          if (const auto idx = resolve_stateless(gen, *table, ln.hash, m)) {
+            ln.dip = *idx;
+            ln.st = kForwardOnly;
+            continue;
+          }
+        }
+      }
+      if (ln.dip == kNoBackend) {
+        // Re-homed flow or unroutable slot: resolve through the table like
+        // a stateless pick would, then pin below.
+        const auto pick = table->lookup_id(ln.hash);
+        if (pick != MaglevTable::kNoId) {
+          if (const auto idx =
+                  gen.index_of_addr(static_cast<std::uint32_t>(pick))) {
+            const auto& b = gen.backends()[*idx];
+            if (b.enabled && !b.draining && b.weight_units > 0) {
+              ln.dip = *idx;
+              ln.backend_id = b.id;
+            }
           }
         }
       }
     }
+    // A fresh cached pick short-circuits the policy for tuple-deterministic
+    // policies (hash, maglev) — the cache is keyed to the generation
+    // sequence, so a hit can only name a choice made against the current
+    // generation; the index checks below are defensive.
+    if (ln.dip == kNoBackend && hit.kind == FlowHit::Kind::kCachedPick &&
+        gen.policy_caches_picks()) {
+      if (const auto idx = gen.index_of(hit.backend_id)) {
+        const auto& b = gen.backends()[*idx];
+        if (b.enabled && !b.draining &&
+            (b.weight_units > 0 || !gen.policy_weighted())) {
+          ln.dip = *idx;
+          ln.backend_id = hit.backend_id;
+        }
+      }
+    }
+    if (ln.dip != kNoBackend) {
+      ln.st = kNeedPin;
+    } else {
+      ln.st = kNeedPick;
+      any_pick = true;
+    }
   }
 
-  // A fresh cached pick short-circuits the policy for tuple-deterministic
-  // policies (hash, maglev) — the cache is keyed to the generation
-  // sequence, so a hit can only name a choice made against the current
-  // generation; the index checks below are defensive.
-  if (dip == kNoBackend && hit.kind == FlowHit::Kind::kCachedPick &&
-      gen.policy_caches_picks()) {
-    if (const auto idx = gen.index_of(hit.backend_id)) {
-      const auto& b = gen.backends()[*idx];
-      if (b.enabled && !b.draining &&
-          (b.weight_units > 0 || !gen.policy_weighted())) {
-        dip = *idx;
-        id = hit.backend_id;
-      }
-    }
-  }
-  std::uint64_t owner = 0;
-  bool fresh = false;
-  bool pinned = false;
-  if (dip == kNoBackend) {
+  // --- stage D: policy picks, one pick_mutex_ acquisition per chunk --------
+  if (any_pick) {
     util::MutexLock lk(pick_mutex_);
-    dip = gen.policy().pick(msg.tuple, gen.views(), rng_);
-    if (dip == kNoBackend) {
-      no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
-      return;  // connection refused; client times out
-    }
-    id = gen.backends()[dip].id;
-    if (gen.policy_uses_conns()) {
-      // LC-family: pin and account *inside* the pick critical section
-      // (pick mutex -> shard mutex is the legal order), so the next pick
-      // already sees this connection — releasing first would let
-      // concurrent opens herd onto the same least-loaded backend.
-      std::tie(owner, fresh) = flows_.try_insert(
-          msg.tuple, id, now, gen.policy_caches_picks(), gen.seq());
-      if (fresh) {
-        auto& c = *gen.backends()[dip].counters;
-        c.connections.fetch_add(1, std::memory_order_relaxed);
-        gen.views()[dip].active_conns =
-            c.active.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      Lane& ln = lanes[i];
+      if (ln.st != kNeedPick) continue;
+      const net::Message& m = *msgs[i];
+      ln.dip = gen.policy().pick(m.tuple, gen.views(), rng_);
+      if (ln.dip == kNoBackend) {
+        no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
+        ln.st = kDropped;  // connection refused; client times out
+        continue;
       }
-      pinned = true;
+      ln.backend_id = gen.backends()[ln.dip].id;
+      if (gen.policy_uses_conns()) {
+        // LC-family: pin and account *inside* the pick critical section
+        // (pick mutex -> shard mutex is the legal order), so the next pick
+        // already sees this connection — releasing first would let
+        // concurrent opens herd onto the same least-loaded backend.
+        std::tie(ln.owner, ln.fresh) = flows_.try_insert(
+            m.tuple, ln.backend_id, now, gen.policy_caches_picks(),
+            gen.seq());
+        if (ln.fresh) {
+          auto& c = *gen.backends()[ln.dip].counters;
+          c.connections.fetch_add(1, std::memory_order_relaxed);
+          gen.views()[ln.dip].active_conns =
+              c.active.fetch_add(1, std::memory_order_relaxed) + 1;
+        }
+        ln.st = kPinned;
+      } else {
+        ln.st = kNeedPin;
+      }
     }
   }
-  if (!pinned) {
-    std::tie(owner, fresh) = flows_.try_insert(
-        msg.tuple, id, now, gen.policy_caches_picks(), gen.seq());
-    if (fresh) {
-      auto& c = *gen.backends()[dip].counters;
-      // An adopted flow's connection was already counted at its stateless
-      // open; only the pin (active) is new.
-      if (!adopted) c.connections.fetch_add(1, std::memory_order_relaxed);
-      c.active.fetch_add(1, std::memory_order_relaxed);
+
+  // --- stage E: pins outside the pick mutex + shared pin accounting --------
+  for (std::size_t i = 0; i < n; ++i) {
+    Lane& ln = lanes[i];
+    if (ln.st == kNeedPin) {
+      std::tie(ln.owner, ln.fresh) = flows_.try_insert(
+          *&msgs[i]->tuple, ln.backend_id, now, gen.policy_caches_picks(),
+          gen.seq());
+      if (ln.fresh) {
+        auto& c = *gen.backends()[ln.dip].counters;
+        // An adopted flow's connection was already counted at its
+        // stateless open; only the pin (active) is new.
+        if (!ln.adopted)
+          c.connections.fetch_add(1, std::memory_order_relaxed);
+        c.active.fetch_add(1, std::memory_order_relaxed);
+      }
+      ln.st = kPinned;
+    }
+    if (ln.st != kPinned) continue;
+    if (ln.fresh && slot_pins_) {
+      // Every pin in hybrid mode is slot-counted, keeping its slot on the
+      // exception path for as long as it lives — regardless of which
+      // branch created it.
+      slot_pins_->inc(ln.slot);
+      exception_pins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ln.fresh) {
+      // A concurrent packet of the same tuple pinned it first; honour the
+      // winner (single-threaded scalar drive never takes this branch).
+      if (const auto idx = gen.index_of(ln.owner)) ln.dip = *idx;
     }
   }
-  if (fresh && slot_pins_) {
-    // Every pin in hybrid mode is slot-counted, keeping its slot on the
-    // exception path for as long as it lives — regardless of which branch
-    // created it.
-    slot_pins_->inc(slot);
-    exception_pins_.fetch_add(1, std::memory_order_relaxed);
+
+  // --- stage F: forward, grouped per destination DIP -----------------------
+  if (n == 1) {
+    if (lanes[0].st != kDropped) forward_run(gen, lanes[0].dip, msgs, 1);
+    return;
   }
-  if (!fresh) {
-    // A concurrent packet of the same tuple pinned it first; honour the
-    // winner (single-threaded drive never takes this branch).
-    if (const auto idx = gen.index_of(owner)) dip = *idx;
+  std::uint32_t order[kBatchChunk];
+  std::size_t n_fwd = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (lanes[i].st != kDropped) order[n_fwd++] = static_cast<std::uint32_t>(i);
+  // Stable insertion sort by destination DIP: n <= kBatchChunk, so this
+  // beats std::stable_sort (which heap-allocates a temporary buffer) and
+  // keeps burst order within a DIP for free.
+  for (std::size_t s = 1; s < n_fwd; ++s) {
+    const std::uint32_t v = order[s];
+    const std::size_t dip = lanes[v].dip;
+    std::size_t j = s;
+    for (; j > 0 && lanes[order[j - 1]].dip > dip; --j) order[j] = order[j - 1];
+    order[j] = v;
   }
-  forward(gen, dip, msg);
+  const net::Message* out[kBatchChunk];
+  std::size_t i = 0;
+  while (i < n_fwd) {
+    const std::size_t dip = lanes[order[i]].dip;
+    std::size_t k = 0;
+    do {
+      out[k++] = msgs[order[i]];
+      ++i;
+    } while (i < n_fwd && lanes[order[i]].dip == dip);
+    forward_run(gen, dip, out, k);
+  }
 }
 
 void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
@@ -904,23 +1057,21 @@ void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
   gen.views()[i].active_conns = active.load(std::memory_order_relaxed);
 }
 
-void Mux::handle_fin(const net::Message& msg) {
-  const auto id = flows_.erase(msg.tuple);
-  if (!id) {
+std::optional<std::size_t> Mux::resolve_fin(const PoolGeneration& gen,
+                                            const FlowErase& r,
+                                            bool* drain_emptied) {
+  if (!r.found) {
     // No pin: in hybrid mode this is the normal close of a stateless flow
     // (nothing in the table was ever its state). The server still needs
     // the FIN to close out — deliver it where the data packets went: the
     // displaced previous owner when the slot is flagged with one that
     // differs from the current pick (exactly the mid-flow adoption rule,
     // handle_request), the current table pick otherwise.
-    if (!slot_pins_) return;
-    auto ref = read_gen();
-    const PoolGeneration& gen = *ref.gen;
+    if (!slot_pins_) return std::nullopt;
     const auto* table = gen.maglev_table();
-    if (table == nullptr) return;
-    const auto h = net::hash_tuple(msg.tuple);
-    const auto slot = static_cast<std::size_t>(h % slot_pins_->size());
-    const auto pick = table->lookup_id(h);
+    if (table == nullptr) return std::nullopt;
+    const auto slot = static_cast<std::size_t>(r.hash % slot_pins_->size());
+    const auto pick = table->lookup_id(r.hash);
     const auto cur = pick == MaglevTable::kNoId
                          ? ExceptionFilter::kNoOwner
                          : static_cast<std::uint32_t>(pick);
@@ -932,30 +1083,92 @@ void Mux::handle_fin(const net::Message& msg) {
           gen.index_of_addr(prev))
         dst = prev;
     }
-    if (dst == ExceptionFilter::kNoOwner) return;
-    if (const auto idx = gen.index_of_addr(dst))
-      net_.send(gen.backends()[*idx].addr, msg);
-    return;
+    if (dst == ExceptionFilter::kNoOwner) return std::nullopt;
+    return gen.index_of_addr(dst);
   }
   if (slot_pins_)
-    slot_pins_->dec(static_cast<std::size_t>(net::hash_tuple(msg.tuple) %
-                                             slot_pins_->size()));
+    slot_pins_->dec(static_cast<std::size_t>(r.hash % slot_pins_->size()));
+  const auto idx = gen.index_of(r.id);
+  if (!idx) return std::nullopt;  // backend removed while the flow was live
+  release_connection(gen, *idx);
+  const auto& b = gen.backends()[*idx];
+  if (b.draining && b.counters->active.load(std::memory_order_relaxed) == 0)
+    *drain_emptied = true;
+  return idx;
+}
+
+void Mux::handle_fin(const net::Message& msg) {
+  FlowErase r;
+  r.tuple = &msg.tuple;
+  r.hash = net::hash_tuple(msg.tuple);
+  flows_.erase_batch(&r, 1);
   net::IpAddr addr;
+  bool forward = false;
   bool drain_emptied = false;
   {
     auto ref = read_gen();
-    const auto idx = ref.gen->index_of(*id);
-    if (!idx) return;  // backend removed while the flow was live
-    release_connection(*ref.gen, *idx);
-    const auto& b = ref.gen->backends()[*idx];
-    addr = b.addr;
-    drain_emptied =
-        b.draining && b.counters->active.load(std::memory_order_relaxed) == 0;
+    if (const auto idx = resolve_fin(*ref.gen, r, &drain_emptied)) {
+      addr = ref.gen->backends()[*idx].addr;
+      forward = true;
+    }
   }
-  net_.send(addr, msg);  // let the server close out too
+  if (forward) net_.send(addr, msg);  // let the server close out too
   // Flag after unpinning (see gc_shard): the completion this triggers
   // retires a generation, and our own slot must not block its reclaim.
   if (drain_emptied) note_drain_empty();
+}
+
+void Mux::handle_fin_chunk(const net::Message* const* msgs, std::size_t n) {
+  if (n == 1) {
+    handle_fin(*msgs[0]);
+    return;
+  }
+  FlowErase reqs[kBatchChunk];
+  for (std::size_t i = 0; i < n; ++i) {
+    reqs[i].tuple = &msgs[i]->tuple;
+    reqs[i].hash = net::hash_tuple(msgs[i]->tuple);
+  }
+  flows_.erase_batch(reqs, n);
+
+  constexpr std::uint32_t kNoFwd = 0xffffffffu;
+  std::uint32_t dip[kBatchChunk];
+  std::size_t drains_emptied = 0;
+  {
+    auto ref = read_gen();
+    const PoolGeneration& gen = *ref.gen;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool de = false;
+      const auto idx = resolve_fin(gen, reqs[i], &de);
+      dip[i] = idx ? static_cast<std::uint32_t>(*idx) : kNoFwd;
+      drains_emptied += de ? 1 : 0;
+    }
+    // Forward grouped per destination, like stage F of the request path
+    // (kNoFwd sorts last and is skipped).
+    std::uint32_t order[kBatchChunk];
+    for (std::size_t i = 0; i < n; ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t s = 1; s < n; ++s) {
+      const std::uint32_t v = order[s];
+      const std::uint32_t d = dip[v];
+      std::size_t j = s;
+      for (; j > 0 && dip[order[j - 1]] > d; --j) order[j] = order[j - 1];
+      order[j] = v;
+    }
+    const net::Message* out[kBatchChunk];
+    std::size_t i = 0;
+    while (i < n && dip[order[i]] != kNoFwd) {
+      const std::uint32_t d = dip[order[i]];
+      std::size_t k = 0;
+      do {
+        out[k++] = msgs[order[i]];
+        ++i;
+      } while (i < n && dip[order[i]] == d);
+      net_.send_burst(gen.backends()[d].addr, out, k);
+    }
+  }
+  // Flag after unpinning (see handle_fin): each emptied drain completes
+  // once, exactly as the scalar path would have reported it.
+  for (std::size_t k = 0; k < drains_emptied; ++k) note_drain_empty();
 }
 
 }  // namespace klb::lb

@@ -341,6 +341,20 @@ class Mux : public net::Node, public PoolProgrammer {
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
+  void on_batch(const net::Message* const* msgs, std::size_t n) override;
+
+  /// Batched packet entry: processes a burst of messages with per-burst
+  /// amortization — the epoch pin and generation load happen once, affinity
+  /// lookups are grouped to take each FlowTable shard lock once, policy
+  /// picks for the burst's misses share one pick_mutex_ acquisition, and
+  /// forwarding is grouped per destination DIP into fabric bursts. Counter
+  /// outcomes are element-wise identical to handle_request for
+  /// tuple-deterministic policies; stateful policies (rr/lc family) are
+  /// processed per packet under the shared pin so their pick sequence
+  /// matches the scalar path exactly. Mixed types allowed: contiguous
+  /// request runs are batched, FINs are handled per message.
+  void handle_batch(const net::Message* const* msgs, std::size_t n)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
 
  private:
   /// A pinned read of the current generation: `gen` stays valid until
@@ -360,18 +374,46 @@ class Mux : public net::Node, public PoolProgrammer {
     return r;
   }
 
+  /// The scalar entry is the batch-of-1 case: one code path (ISSUE 9).
   void handle_request(const net::Message& msg)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_) {
+    const net::Message* p = &msg;
+    handle_request_chunk(&p, 1);
+  }
+  /// One pinned, staged pass over up to kBatchChunk requests.
+  void handle_request_chunk(const net::Message* const* msgs, std::size_t n)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+  /// The staged body, running against an already-pinned generation.
+  void process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
+                            const net::Message* const* msgs, std::size_t n)
       KLB_EXCLUDES(control_mutex_, pick_mutex_);
   void handle_fin(const net::Message& msg)
       KLB_EXCLUDES(control_mutex_, pick_mutex_);
-  void forward(const PoolGeneration& gen, std::size_t i,
-               const net::Message& msg);
-  /// Stateless route: resolve `hash` through the generation's table and
-  /// forward without touching the FlowTable. Counts the connection on
-  /// opener packets (req_id <= 1). False when the table/pool had no
-  /// usable answer — the caller falls back to the stateful path.
-  bool route_stateless(const PoolGeneration& gen, const MaglevTable& table,
-                       std::uint64_t hash, const net::Message& msg);
+  /// Batched FIN run: one erase_batch over the flow shards, one epoch
+  /// pin, forwards grouped per destination. Element-wise identical to
+  /// handle_fin per message.
+  void handle_fin_chunk(const net::Message* const* msgs, std::size_t n)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+  /// Post-unpin FIN resolution against a pinned generation: which backend
+  /// index should see the FIN (nullopt = drop), releasing the connection
+  /// and flagging `drain_emptied` when this FIN was a drainer's last.
+  std::optional<std::size_t> resolve_fin(const PoolGeneration& gen,
+                                         const FlowErase& r,
+                                         bool* drain_emptied)
+      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+  /// Forward `k` messages to backend `i`: per-run counter updates, one
+  /// fabric burst. The scalar forward is the k=1 case.
+  void forward_run(const PoolGeneration& gen, std::size_t i,
+                   const net::Message* const* msgs, std::size_t k);
+  /// Stateless resolution: the backend index `hash` routes to through the
+  /// generation's table, or nullopt when the table/pool had no usable
+  /// answer (the caller falls back to the stateful path). On success the
+  /// stateless counters are bumped (openers count their connection); the
+  /// caller forwards.
+  std::optional<std::size_t> resolve_stateless(const PoolGeneration& gen,
+                                               const MaglevTable& table,
+                                               std::uint64_t hash,
+                                               const net::Message& msg);
   /// Decrement backend `i`'s active count (never below zero) and, for
   /// connection-count policies, refresh its view under the pick mutex.
   void release_connection(const PoolGeneration& gen, std::size_t i)
@@ -412,7 +454,10 @@ class Mux : public net::Node, public PoolProgrammer {
   /// Rescale `draft` weights to sum kWeightScale, preserving ratios.
   /// All-zero pools stay parked (traffic deliberately weighted away).
   static void renormalize_weights(std::vector<GenBackend>& draft);
-  void maybe_gc();
+  /// Amortized inline GC accounting for a batch of `batch` requests (the
+  /// scalar path passes 1): one counter add and at most one shard sweep
+  /// per call.
+  void maybe_gc(std::uint64_t batch = 1);
   /// Sweep one flow-table shard (dead + idle entries) and flag any drain
   /// the sweep emptied. `max_scan` bounds the entries examined (see
   /// FlowTable::gc_shard): inline packet-path sweeps pass kScanBudgeted so

@@ -271,4 +271,43 @@ void MuxPool::on_message(const net::Message& msg) {
   muxes_[shard_of(msg.tuple)]->on_message(msg);
 }
 
+void MuxPool::on_batch(const net::Message* const* msgs, std::size_t n) {
+  if (n == 1) {
+    on_message(*msgs[0]);
+    return;
+  }
+  // Counting-sort partition by ECMP shard (stable: a shard's sub-burst
+  // keeps the burst's relative order), then one handle_batch per member.
+  const std::size_t shards = muxes_.size();
+  if (shards == 1) {
+    muxes_[0]->handle_batch(msgs, n);
+    return;
+  }
+  constexpr std::size_t kStack = 64;
+  std::uint32_t stack_shard[kStack];
+  const net::Message* stack_out[kStack];
+  std::vector<std::uint32_t> heap_shard;
+  std::vector<const net::Message*> heap_out;
+  std::uint32_t* shard_of_msg = stack_shard;
+  const net::Message** out = stack_out;
+  if (n > kStack) {
+    heap_shard.resize(n);
+    heap_out.resize(n);
+    shard_of_msg = heap_shard.data();
+    out = heap_out.data();
+  }
+  std::vector<std::uint32_t> counts(shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_of_msg[i] = static_cast<std::uint32_t>(shard_of(msgs[i]->tuple));
+    ++counts[shard_of_msg[i] + 1];
+  }
+  for (std::size_t k = 1; k <= shards; ++k) counts[k] += counts[k - 1];
+  std::vector<std::uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) out[cursor[shard_of_msg[i]]++] = msgs[i];
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::size_t begin = counts[k], end = counts[k + 1];
+    if (begin != end) muxes_[k]->handle_batch(out + begin, end - begin);
+  }
+}
+
 }  // namespace klb::lb

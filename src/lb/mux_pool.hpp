@@ -132,6 +132,10 @@ class MuxPool : public net::Node, public PoolProgrammer {
 
   // --- net::Node -------------------------------------------------------------
   void on_message(const net::Message& msg) override;
+  /// Batched ECMP dispatch: partitions the burst by member shard and hands
+  /// each member its sub-burst through Mux::handle_batch, preserving the
+  /// burst's relative order within a shard.
+  void on_batch(const net::Message* const* msgs, std::size_t n) override;
 
  private:
   /// Build one table from the current pool state and hand the snapshot to

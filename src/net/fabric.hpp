@@ -11,16 +11,35 @@
 // forwards them (IP-in-IP encap in Ananta/Maglev terms): the delivery
 // address is separate from the tuple, which is what enables direct server
 // return (DIP responds straight to the client).
+//
+// Burst path: send_burst() ships several same-destination messages in one
+// fabric hop — one latency draw, one scheduled event, one Node::on_batch
+// callback at the far end (the default on_batch falls back to per-message
+// on_message). The Mux uses it to forward a batch's worth of packets per
+// DIP; the coalescing is by construction (the sender hands the fabric a
+// same-tick burst) rather than by queue inspection.
+//
+// Sharded driver: when a sim::ShardedDriver is attached, sim() returns the
+// *executing shard's* Simulation (thread-local), so components schedule
+// onto whichever shard runs them without code changes. Sends between
+// shards go through per-(src,dst) mailboxes — SPSC by construction: one
+// producing shard, drained only by the main thread at window boundaries —
+// and become events in the destination shard's queue. Each shard draws
+// jitter from its own forked RNG, so the packet path touches no fabric
+// lock at all.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/address.hpp"
 #include "net/five_tuple.hpp"
+#include "sim/sharded_driver.hpp"
 #include "sim/simulation.hpp"
 #include "util/sync.hpp"
 
@@ -48,6 +67,13 @@ class Node {
  public:
   virtual ~Node() = default;
   virtual void on_message(const Message& msg) = 0;
+
+  /// Burst delivery: `n` same-destination messages that crossed the fabric
+  /// as one hop. Default unrolls to on_message; batch-aware nodes (Mux,
+  /// MuxPool) override to amortize per-packet overhead.
+  virtual void on_batch(const Message* const* msgs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) on_message(*msgs[i]);
+  }
 };
 
 struct FabricConfig {
@@ -90,77 +116,130 @@ class Network {
     return blackholed_.load(std::memory_order_relaxed);
   }
 
-  /// Observation tap: runs at every send() entry — before blackhole mode
-  /// drops the message — with the destination and the message. Benches use
-  /// it to assert per-packet routing invariants (e.g. "every packet of a
-  /// pinned flow reaches the same DIP") at blackhole-mode rates. The tap
-  /// runs on the sender's thread with no fabric lock held; it must be
-  /// thread-safe itself. Install nullptr to remove. Not for concurrent
-  /// install/uninstall while traffic is flowing — set it up before the
-  /// drive starts (single-threaded), like set_blackhole.
+  /// Observation tap: runs at every send()/send_burst() entry — before
+  /// blackhole mode drops the message — with the destination and the
+  /// message. Benches use it to assert per-packet routing invariants
+  /// (e.g. "every packet of a pinned flow reaches the same DIP") at
+  /// blackhole-mode rates. The tap runs on the sender's thread with no
+  /// fabric lock held; it must be thread-safe itself. Install nullptr to
+  /// remove. Not for concurrent install/uninstall while traffic is flowing
+  /// — set it up before the drive starts, like set_blackhole. The send
+  /// path sees it through a single atomic load.
   using Tap = std::function<void(IpAddr, const Message&)>;
-  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void set_tap(Tap tap) {
+    if (tap) {
+      tap_storage_ = std::make_unique<Tap>(std::move(tap));
+      tap_live_.store(tap_storage_.get(), std::memory_order_release);
+    } else {
+      tap_live_.store(nullptr, std::memory_order_release);
+      tap_storage_.reset();
+    }
+  }
 
   /// Deliver `msg` to the node bound to `to` after the fabric latency.
   /// Messages to unbound addresses vanish (host unreachable) — callers
-  /// discover this via their own timeouts, like real probes do.
-  void send(IpAddr to, Message msg) KLB_EXCLUDES(mu_) {
-    if (tap_) tap_(to, msg);
-    if (blackhole_.load(std::memory_order_relaxed)) {
-      blackholed_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    util::SimTime delay;
-    {
-      util::MutexLock lk(mu_);
-      ++sent_;
-      delay =
-          cfg_.base_latency +
-          util::SimTime::micros(static_cast<std::int64_t>(
-              rng_.exponential(static_cast<double>(cfg_.jitter_mean.us()))));
-    }
-    sim_.schedule_in(delay, [this, to, m = std::move(msg)]() {
-      // Resolve under the lock, deliver outside it: on_message may reenter
-      // the fabric (forwarding) or take component locks, and klb.net.nodes
-      // must stay a leaf-ish rank with no outgoing edges into them.
-      Node* node = nullptr;
-      {
-        util::MutexLock lk(mu_);
-        const auto it = nodes_.find(to);
-        if (it == nodes_.end()) {
-          ++dropped_unreachable_;
-          return;
-        }
-        node = it->second;
-      }
-      node->on_message(m);
-    });
+  /// discover this via their own timeouts, like real probes do. The
+  /// const-ref overload copies only once the message is actually headed
+  /// for the event queue — taps and blackhole mode never pay for a copy
+  /// (send() is the packet path's per-forward cost in the benches).
+  void send(IpAddr to, const Message& msg);
+  void send(IpAddr to, Message&& msg);
+
+  /// Deliver `n` messages to `to` as one fabric hop: one latency draw, one
+  /// event, one on_batch() at the destination. The messages are copied out
+  /// of the pointed-to storage before this returns.
+  void send_burst(IpAddr to, const Message* const* msgs, std::size_t n);
+
+  /// The Simulation the calling thread should schedule on: the executing
+  /// shard's when a ShardedDriver is attached, the root Simulation
+  /// otherwise. Packet-path components use this implicitly for clocks and
+  /// timers and need no changes to run sharded.
+  sim::Simulation& sim() {
+    sim::ShardedDriver* d = driver_;
+    return d ? d->current_sim() : sim_;
   }
 
-  sim::Simulation& sim() { return sim_; }
-  std::uint64_t messages_sent() const KLB_EXCLUDES(mu_) {
-    util::MutexLock lk(mu_);
-    return sent_;
+  /// The Simulation owned by the shard that owns `addr` — the same answer
+  /// from every thread. Components that keep cancellable timers (e.g. a
+  /// ClientPool's arrival/timeout events) must bind their scheduling to
+  /// their own shard through this, not to the caller-relative sim().
+  sim::Simulation& sim_for(IpAddr addr) {
+    sim::ShardedDriver* d = driver_;
+    return d ? d->shard_sim(d->owner_of(addr.value())) : sim_;
   }
-  std::uint64_t messages_unreachable() const KLB_EXCLUDES(mu_) {
-    util::MutexLock lk(mu_);
-    return dropped_unreachable_;
+
+  /// Attach the sharded driver: forks one jitter RNG per shard, sets up the
+  /// per-(src,dst) cross-shard mailboxes, and registers the mailbox drain
+  /// as the driver's window-boundary hook. Call once, before traffic, from
+  /// the main thread. Pass nullptr to detach (tests).
+  void set_driver(sim::ShardedDriver* driver);
+  sim::ShardedDriver* driver() const { return driver_; }
+
+  std::uint64_t messages_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_unreachable() const {
+    return dropped_unreachable_.load(std::memory_order_relaxed);
+  }
+  /// Messages that crossed a shard boundary through a mailbox.
+  std::uint64_t messages_cross_shard() const {
+    return cross_shard_.load(std::memory_order_relaxed);
   }
 
  private:
+  /// A message (or burst) parked in a cross-shard mailbox until the next
+  /// window boundary. `burst` empty means scalar (`msg` is live).
+  struct Parcel {
+    util::SimTime at;
+    IpAddr to;
+    Message msg;
+    std::vector<Message> burst;
+  };
+  struct Mailbox {
+    util::Mutex mu{"klb.sim.mailbox"};
+    std::vector<Parcel> parcels KLB_GUARDED_BY(mu);
+  };
+
+  util::SimTime draw_delay(util::Rng& rng) const {
+    return cfg_.base_latency +
+           util::SimTime::micros(static_cast<std::int64_t>(
+               rng.exponential(static_cast<double>(cfg_.jitter_mean.us()))));
+  }
+
+  Mailbox& mailbox(std::size_t src, std::size_t dst) {
+    return *mailboxes_[src * shard_rngs_.size() + dst];
+  }
+
+  Node* resolve(IpAddr to, std::uint64_t count) KLB_EXCLUDES(mu_);
+  /// The post-tap, post-blackhole tail of send(): owns the message and
+  /// routes it onto the right shard's event queue or mailbox.
+  void send_owned(IpAddr to, Message msg);
+  void deliver(IpAddr to, const Message& msg);
+  void deliver_burst(IpAddr to, const std::vector<Message>& msgs);
+  void drain_mailboxes();
+
   sim::Simulation& sim_;
   FabricConfig cfg_;
-  /// Guards the address table, the fabric RNG, and the send counters:
-  /// attach/detach runs from component ctors/dtors on the control plane
-  /// while MUX worker threads forward through send().
+  /// Guards the address table and the root fabric RNG: attach/detach runs
+  /// from component ctors/dtors on the control plane while MUX worker
+  /// threads forward through send(). Send counters are relaxed atomics and
+  /// never take this lock.
   mutable util::Mutex mu_{"klb.net.nodes"};
   util::Rng rng_ KLB_GUARDED_BY(mu_);
   std::unordered_map<IpAddr, Node*> nodes_ KLB_GUARDED_BY(mu_);
   std::atomic<bool> blackhole_{false};
   std::atomic<std::uint64_t> blackholed_{0};
-  Tap tap_;  // installed before traffic, read-only during it
-  std::uint64_t sent_ KLB_GUARDED_BY(mu_) = 0;
-  std::uint64_t dropped_unreachable_ KLB_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<Tap> tap_storage_;  // installed before traffic
+  std::atomic<const Tap*> tap_live_{nullptr};
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_unreachable_{0};
+  std::atomic<std::uint64_t> cross_shard_{0};
+
+  // Sharded-driver state. Set once by set_driver() before traffic; the
+  // per-shard RNGs are each touched only by their shard's executor thread.
+  sim::ShardedDriver* driver_ = nullptr;
+  std::vector<util::Rng> shard_rngs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // src * N + dst
 };
 
 }  // namespace klb::net

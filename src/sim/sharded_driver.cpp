@@ -1,0 +1,157 @@
+#include "sim/sharded_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace klb::sim {
+
+namespace {
+
+// Which driver/shard this thread is currently executing a window for.
+// Compared against `this` so multiple drivers in one process (tests) do
+// not confuse each other's threads.
+thread_local const ShardedDriver* tls_driver = nullptr;
+thread_local int tls_shard = -1;
+
+struct TlsExecutorScope {
+  TlsExecutorScope(const ShardedDriver* d, int shard) {
+    tls_driver = d;
+    tls_shard = shard;
+  }
+  ~TlsExecutorScope() {
+    tls_driver = nullptr;
+    tls_shard = -1;
+  }
+};
+
+}  // namespace
+
+ShardedDriver::ShardedDriver(Simulation& shard0, std::size_t shards,
+                             util::SimTime window)
+    : window_(window) {
+  assert(shards >= 1 && "ShardedDriver needs at least one shard");
+  assert(window.us() > 0 && "window must be positive");
+  if (shards == 0) shards = 1;
+  sims_.reserve(shards);
+  sims_.push_back(&shard0);
+  for (std::size_t k = 1; k < shards; ++k) {
+    owned_.push_back(std::make_unique<Simulation>(shard0.rng().next()));
+    sims_.push_back(owned_.back().get());
+  }
+  executed_.assign(shards, 0);
+  {
+    util::MutexLock lk(mu_);
+    owners_history_.push_back(std::make_unique<OwnerMap>());
+    owners_live_.store(owners_history_.back().get(), std::memory_order_release);
+  }
+  workers_.reserve(shards > 0 ? shards - 1 : 0);
+  for (std::size_t k = 1; k < shards; ++k) {
+    workers_.emplace_back([this, k] { worker_main(k); });
+  }
+}
+
+ShardedDriver::~ShardedDriver() {
+  {
+    util::MutexLock lk(mu_);
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+}
+
+void ShardedDriver::set_owner(std::uint32_t key, std::uint32_t shard) {
+  assert(shard == kAnycast || shard < sims_.size());
+  util::MutexLock lk(mu_);
+  auto next = std::make_unique<OwnerMap>(*owners_history_.back());
+  (*next)[key] = shard;
+  owners_history_.push_back(std::move(next));
+  owners_live_.store(owners_history_.back().get(), std::memory_order_release);
+}
+
+std::size_t ShardedDriver::owner_of(std::uint32_t key) const {
+  const OwnerMap* map = owners_live_.load(std::memory_order_acquire);
+  const auto it = map->find(key);
+  if (it == map->end()) return 0;
+  if (it->second == kAnycast) return executing_shard();
+  return it->second;
+}
+
+int ShardedDriver::current_shard() const {
+  return tls_driver == this ? tls_shard : -1;
+}
+
+std::uint64_t ShardedDriver::run_for(util::SimTime duration) {
+  if (sims_.size() == 1) {
+    // Degenerate case: exactly the single-threaded Simulation semantics.
+    return sims_[0]->run_for(duration);
+  }
+  const std::uint64_t before =
+      std::accumulate(executed_.begin(), executed_.end(), std::uint64_t{0});
+  const util::SimTime goal = sims_[0]->now() + duration;
+  util::SimTime t = sims_[0]->now();
+  while (t < goal) {
+    const util::SimTime end = std::min(goal, t + window_);
+    // Drain cross-shard traffic produced by the previous window while every
+    // shard is quiescent.
+    if (boundary_hook_) boundary_hook_();
+    {
+      util::MutexLock lk(mu_);
+      ++window_gen_;
+      window_end_ = end;
+      workers_done_ = 0;
+      work_cv_.notify_all();
+    }
+    {
+      TlsExecutorScope scope(this, 0);
+      executed_[0] += sims_[0]->run_until(end);
+    }
+    {
+      util::MutexLock lk(mu_);
+      while (workers_done_ < workers_.size()) done_cv_.wait(mu_);
+    }
+    ++windows_run_;
+    t = end;
+  }
+  // Final drain: cross-shard sends from the last window become pending
+  // events so a subsequent run_for (or an inspection of queues) sees them.
+  if (boundary_hook_) boundary_hook_();
+  const std::uint64_t after =
+      std::accumulate(executed_.begin(), executed_.end(), std::uint64_t{0});
+  return after - before;
+}
+
+std::uint64_t ShardedDriver::late_events() const {
+  std::uint64_t total = 0;
+  for (const auto* s : sims_) total += s->late_events();
+  return total;
+}
+
+std::size_t ShardedDriver::pending_events() const {
+  std::size_t total = 0;
+  for (const auto* s : sims_) total += s->pending_events();
+  return total;
+}
+
+void ShardedDriver::worker_main(std::size_t shard) {
+  TlsExecutorScope scope(this, static_cast<int>(shard));
+  std::uint64_t seen = 0;
+  for (;;) {
+    util::SimTime end = util::SimTime::zero();
+    {
+      util::MutexLock lk(mu_);
+      while (!shutdown_ && window_gen_ == seen) work_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen = window_gen_;
+      end = window_end_;
+    }
+    executed_[shard] += sims_[shard]->run_until(end);
+    {
+      util::MutexLock lk(mu_);
+      ++workers_done_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace klb::sim

@@ -1,0 +1,157 @@
+// Sharded discrete-event driver: N per-shard Simulations on host threads.
+//
+// The single-threaded `Simulation` stays the determinism reference and the
+// N=1 case. `ShardedDriver` scales it out by running N independent event
+// queues — shard 0 is an *external* Simulation (the one every component
+// already holds a reference to), shards 1..N-1 are owned by the driver —
+// in bounded virtual-time windows:
+//
+//     ┌ window k ─────────────────────────────────────────────┐
+//     │ main: boundary hook (drain cross-shard mailboxes)     │
+//     │ main runs shard 0  ─┐                                 │
+//     │ worker runs shard 1 ├─ run_until(t + window), then    │
+//     │ worker runs shard 2 ┘  barrier                        │
+//     └───────────────────────────────────────────────────────┘
+//
+// Within a window each shard executes its own queue with no locks; clocks
+// drift at most one window apart and re-align at every boundary (run_until
+// advances the clock through idle time). Cross-shard communication is the
+// fabric's job: `net::Network` registers a boundary hook that drains its
+// per-(src,dst) mailboxes into the destination shards' queues while all
+// shards are quiescent. As long as the window does not exceed the minimum
+// cross-shard latency, a drained message can never land in its
+// destination's past; if a caller picks a larger window, the skew shows up
+// in `Simulation::late_events()` instead of silently reordering.
+//
+// Shard assignment is by address key: components register the shard that
+// owns each address (`set_owner`), unregistered keys fall to shard 0
+// (control plane), and `kAnycast` keys (the VIP of a thread-safe
+// dataplane) execute on whichever shard sends to them. The owner map is
+// copy-on-write: mutations happen on the main thread between windows,
+// readers do a single atomic load on the send path.
+//
+// Threading protocol: one persistent worker thread per shard 1..N-1 parks
+// on a condition variable between windows; the main thread is shard 0's
+// executor. `current_shard()` is thread-local, which is how
+// `net::Network::sim()` routes component scheduling to the executing
+// shard without any component code changing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/sync.hpp"
+#include "util/time.hpp"
+
+namespace klb::sim {
+
+class ShardedDriver {
+ public:
+  /// Owner value meaning "any shard may execute this address": the
+  /// destination is processed on whichever shard sent to it. Only correct
+  /// for nodes whose message handling is fully thread-safe (the Mux/MuxPool
+  /// packet path).
+  static constexpr std::uint32_t kAnycast = 0xffffffffu;
+
+  /// `shard0` is the externally owned Simulation that components already
+  /// reference; the driver creates `shards - 1` additional Simulations
+  /// seeded deterministically from shard0's RNG. `window` is the bounded
+  /// virtual-time slice per barrier and must be positive; keep it at or
+  /// below the minimum cross-shard message latency.
+  ShardedDriver(Simulation& shard0, std::size_t shards, util::SimTime window);
+  ~ShardedDriver();
+
+  ShardedDriver(const ShardedDriver&) = delete;
+  ShardedDriver& operator=(const ShardedDriver&) = delete;
+
+  std::size_t shard_count() const { return sims_.size(); }
+  Simulation& shard_sim(std::size_t shard) { return *sims_[shard]; }
+  util::SimTime window() const { return window_; }
+
+  /// Register the shard that owns (executes events for) an address key.
+  /// Pass `kAnycast` for thread-safe nodes that any shard may run. Main
+  /// thread only, between windows.
+  void set_owner(std::uint32_t key, std::uint32_t shard);
+
+  /// Shard that should execute a message for `key`: the registered owner,
+  /// the executing shard for anycast keys, shard 0 when unregistered.
+  std::size_t owner_of(std::uint32_t key) const;
+
+  /// Shard this thread is currently executing, or -1 when the calling
+  /// thread is not inside a window slice (e.g. the main thread between
+  /// windows, or an unrelated bench thread).
+  int current_shard() const;
+
+  /// Like current_shard() but maps "not an executor" to shard 0, which is
+  /// where main-thread control-plane work belongs.
+  std::size_t executing_shard() const {
+    const int s = current_shard();
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+
+  Simulation& current_sim() { return *sims_[executing_shard()]; }
+
+  /// Hook invoked on the main thread at every window boundary (before each
+  /// window and once after the last), while all shards are quiescent. The
+  /// fabric uses it to drain cross-shard mailboxes.
+  void set_boundary_hook(std::function<void()> hook) {
+    boundary_hook_ = std::move(hook);
+  }
+
+  /// Advance all shards by `duration` of virtual time, window by window.
+  /// Returns the total number of events executed across shards. With one
+  /// shard this is exactly `Simulation::run_for`.
+  std::uint64_t run_for(util::SimTime duration);
+
+  /// Virtual time (all shard clocks agree between windows).
+  util::SimTime now() const { return sims_[0]->now(); }
+
+  std::uint64_t windows_run() const { return windows_run_; }
+
+  /// Sum of per-shard late-event counters (see Simulation::late_events).
+  std::uint64_t late_events() const;
+
+  /// Sum of per-shard pending events. Between windows only.
+  std::size_t pending_events() const;
+
+ private:
+  using OwnerMap = std::unordered_map<std::uint32_t, std::uint32_t>;
+
+  void worker_main(std::size_t shard);
+
+  std::vector<Simulation*> sims_;  // [0] external, rest point into owned_
+  std::vector<std::unique_ptr<Simulation>> owned_;
+  util::SimTime window_;
+  std::function<void()> boundary_hook_;
+
+  // Copy-on-write owner map: written under mu_ (main thread, between
+  // windows), read lock-free on the send path. History retains old
+  // snapshots so a racing reader can never see freed memory.
+  std::atomic<const OwnerMap*> owners_live_{nullptr};
+  std::vector<std::unique_ptr<OwnerMap>> owners_history_ KLB_GUARDED_BY(mu_);
+
+  // Window handshake between the main thread and the shard workers.
+  mutable util::Mutex mu_{"klb.sim.shard"};
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  std::uint64_t window_gen_ KLB_GUARDED_BY(mu_) = 0;
+  util::SimTime window_end_ KLB_GUARDED_BY(mu_) = util::SimTime::zero();
+  std::size_t workers_done_ KLB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ KLB_GUARDED_BY(mu_) = false;
+
+  // Per-shard cumulative executed-event counts. Each slot is written only
+  // by that shard's executor during a window; the barrier orders the main
+  // thread's reads.
+  std::vector<std::uint64_t> executed_;
+  std::uint64_t windows_run_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace klb::sim

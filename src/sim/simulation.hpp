@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "sim/event_queue.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -32,9 +33,26 @@ class Simulation {
   }
 
   /// Schedule `fn` at an absolute virtual time (must be >= now()).
+  /// A past-due `at` is clamped to now(): the event still runs, but its
+  /// intended ordering against already-executed events is lost. That is
+  /// normally a bug in the caller (with a sharded driver: a cross-shard
+  /// send that outran the virtual-time window), so the clamp is counted
+  /// and logged instead of silent.
   EventId schedule_at(util::SimTime at, EventQueue::Callback fn) {
-    return queue_.schedule(at < now_ ? now_ : at, std::move(fn));
+    if (at < now_) {
+      ++late_events_;
+      util::log_debug("sim") << "late event clamped to now(): scheduled at "
+                             << at.us() << "us, now " << now_.us() << "us ("
+                             << (now_ - at).us() << "us late, " << late_events_
+                             << " total)";
+      at = now_;
+    }
+    return queue_.schedule(at, std::move(fn));
   }
+
+  /// Number of schedule_at() calls whose target time was already in the
+  /// past and got clamped to now(). Zero in a healthy run.
+  std::uint64_t late_events() const { return late_events_; }
 
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -67,6 +85,7 @@ class Simulation {
   util::SimTime now_ = util::SimTime::zero();
   EventQueue queue_;
   util::Rng rng_;
+  std::uint64_t late_events_ = 0;
 };
 
 /// Repeating timer bound to a Simulation. Starts on start(), stops on

@@ -1,0 +1,35 @@
+// MUST FAIL under clang -Wthread-safety -Werror: touching a cross-shard
+// mailbox's parcel list without holding its "klb.sim.mailbox" mutex — the
+// shape of ISSUE 9's fabric mailboxes (net::Network::Mailbox) and the
+// driver's window bookkeeping under "klb.sim.shard". Both are leaf ranks:
+// the lock protects a container swapped between a producing shard and the
+// main thread's boundary drain, so an unlocked touch is a real race, not
+// a style nit.
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace {
+
+struct Parcel {
+  int payload = 0;
+};
+
+struct Mailbox {
+  klb::util::Mutex mu{"klb.sim.mailbox"};
+  std::vector<Parcel> parcels KLB_GUARDED_BY(mu);
+
+  // violation: drain without the mailbox lock
+  std::size_t drain_unlocked() {
+    std::vector<Parcel> out;
+    out.swap(parcels);
+    return out.size();
+  }
+};
+
+}  // namespace
+
+int main() {
+  Mailbox box;
+  return static_cast<int>(box.drain_unlocked());
+}
