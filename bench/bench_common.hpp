@@ -17,6 +17,7 @@
 
 #include "testbed/report.hpp"
 #include "testbed/testbed.hpp"
+#include "util/effects.hpp"
 
 namespace klb::bench {
 
@@ -344,15 +345,61 @@ class Json {
   std::vector<Json> items_;
 };
 
-/// Write `value` to `path` with a trailing newline. Returns false (with a
-/// stderr note) on I/O failure so benches can exit non-zero.
+/// Build provenance stamped into every BENCH_*.json: which compiler (and
+/// version) produced the numbers, under which flags and sanitizers. A
+/// regression that is really a toolchain change (gcc vs clang CI lanes,
+/// an -O level slip, an accidentally-sanitized binary) is then visible in
+/// the result diff itself instead of sending someone bisecting the code.
+inline Json build_stamp() {
+  auto build = Json::object();
+#if defined(__clang__)
+  build.set("compiler", "clang");
+  build.set("compiler_version", Json(static_cast<std::int64_t>(__clang_major__)));
+#elif defined(__GNUC__)
+  build.set("compiler", "gcc");
+  build.set("compiler_version", Json(static_cast<std::int64_t>(__GNUC__)));
+#else
+  build.set("compiler", "unknown");
+#endif
+#ifdef __VERSION__
+  build.set("compiler_banner", __VERSION__);
+#endif
+#ifdef KLB_CXX_FLAGS
+  // Injected per bench target by CMake: the flags this binary was
+  // actually built with (build type included).
+  build.set("cxx_flags", KLB_CXX_FLAGS);
+#endif
+#ifdef NDEBUG
+  build.set("assertions", false);
+#else
+  build.set("assertions", true);
+#endif
+  build.set("function_effects", KLB_HAS_FUNCTION_EFFECTS != 0);
+  bool sanitized = false;
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(realtime_sanitizer)
+  sanitized = true;
+#endif
+#elif defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  sanitized = true;
+#endif
+  build.set("sanitized", sanitized);
+  return build;
+}
+
+/// Write `value` to `path` with a trailing newline, stamping the build
+/// provenance (see build_stamp) under a top-level "build" key. Returns
+/// false (with a stderr note) on I/O failure so benches can exit non-zero.
 inline bool write_json_file(const std::string& path, const Json& value) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open " << path << " for writing\n";
     return false;
   }
-  out << value.dump() << "\n";
+  Json stamped = value;
+  stamped.set("build", build_stamp());
+  out << stamped.dump() << "\n";
   return static_cast<bool>(out);
 }
 

@@ -56,6 +56,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/effects.hpp"
+
 namespace klb::lb {
 
 class MaglevTable;
@@ -93,20 +95,22 @@ class ExceptionFilter {
       : seq_(seq), table_size_(table_size),
         bits_((table_size + 63) / 64, 0) {}
 
-  /// True when `slot`'s owner changed within the filter window.
-  bool is_exception(std::size_t slot) const {
+  /// True when `slot`'s owner changed within the filter window. Packet
+  /// path: one bitmap word read, nonblocking.
+  bool is_exception(std::size_t slot) const KLB_NONBLOCKING {
     return (bits_[slot >> 6] >> (slot & 63)) & 1u;
   }
   /// The owner displaced by `slot`'s most recent in-window change —
   /// where this slot's pre-change stateless flows actually live. kNoOwner
   /// when the slot is not flagged (or the change emptied from nothing).
-  std::uint32_t prev_owner(std::size_t slot) const {
+  /// A read-only find on the frozen map: no allocation, no lock.
+  std::uint32_t prev_owner(std::size_t slot) const KLB_NONBLOCKING {
     const auto it = prev_.find(static_cast<std::uint32_t>(slot));
     return it == prev_.end() ? kNoOwner : it->second;
   }
 
-  std::uint64_t seq() const { return seq_; }
-  std::size_t table_size() const { return table_size_; }
+  std::uint64_t seq() const KLB_NONBLOCKING { return seq_; }
+  std::size_t table_size() const KLB_NONBLOCKING { return table_size_; }
   /// Flagged slots (observability; the testbed reports it).
   std::size_t exception_slots() const { return exception_count_; }
 
@@ -139,21 +143,23 @@ class SlotPinCounts {
   SlotPinCounts(const SlotPinCounts&) = delete;
   SlotPinCounts& operator=(const SlotPinCounts&) = delete;
 
-  std::size_t size() const { return counts_.size(); }
+  std::size_t size() const KLB_NONBLOCKING { return counts_.size(); }
 
-  void inc(std::size_t slot) {
+  void inc(std::size_t slot) KLB_NONBLOCKING {
     counts_[slot].fetch_add(1, std::memory_order_relaxed);
   }
   /// Floored at zero (mirrors the active-connection counters): a stray
-  /// decrement must not wrap a neighbouring slot's protection away.
-  void dec(std::size_t slot) {
+  /// decrement must not wrap a neighbouring slot's protection away. The
+  /// CAS loop is lock-free (retries only under concurrent traffic on the
+  /// same slot), so this stays inside the nonblocking contract.
+  void dec(std::size_t slot) KLB_NONBLOCKING {
     auto& c = counts_[slot];
     auto cur = c.load(std::memory_order_relaxed);
     while (cur > 0 &&
            !c.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
     }
   }
-  std::uint32_t count(std::size_t slot) const {
+  std::uint32_t count(std::size_t slot) const KLB_NONBLOCKING {
     return counts_[slot].load(std::memory_order_relaxed);
   }
   /// Sum over all slots — O(slots), control/observability path only.

@@ -12,14 +12,29 @@ EpochDomain::~EpochDomain() {
   retired_.clear();
 }
 
-EpochDomain::Guard EpochDomain::pin() {
+namespace {
+/// Per-thread slot-probe start: seeded once from the thread id so
+/// concurrent readers spread out instead of all CASing slot 0, then
+/// reused. Constant-initialized POD TLS — after the first pin a thread
+/// pays no TLS guard and no pthread_self() on this path.
+thread_local int t_slot_hint = -1;
+}  // namespace
+
+EpochDomain::Guard EpochDomain::pin() KLB_NONALLOCATING {
 #if KLB_DEBUG_SYNC
+  KLB_EFFECTS_SUPPRESS_BEGIN
   util::sync_debug::on_pin(debug_control_);
+  KLB_EFFECTS_SUPPRESS_END
 #endif
-  // Start probing at a thread-dependent slot so concurrent readers spread
-  // out instead of all CASing slot 0.
-  const auto start =
-      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  int hint = t_slot_hint;
+  if (hint < 0) {
+    KLB_EFFECT_ESCAPE("epoch.pin_seed", {
+      hint = static_cast<int>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots);
+      t_slot_hint = hint;
+    });
+  }
+  const auto start = static_cast<std::size_t>(hint);
   std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
   for (;;) {
     for (std::size_t i = 0; i < kSlots; ++i) {
@@ -42,7 +57,7 @@ EpochDomain::Guard EpochDomain::pin() {
     }
     // Every slot busy: more simultaneous pins than kSlots. Back off and
     // retry — never fall back to a lock on the reader side.
-    std::this_thread::yield();
+    KLB_EFFECT_ESCAPE("epoch.pin_stall", std::this_thread::yield());
     e = epoch_.load(std::memory_order_seq_cst);
   }
 }

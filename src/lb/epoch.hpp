@@ -83,24 +83,31 @@ class EpochDomain {
     Guard& operator=(const Guard&) = delete;
     ~Guard() { release(); }
 
-    void release() {
+    /// The unpin: one seq_cst store. Nonblocking — this runs at the tail
+    /// of every packet/burst (the debug-validator hooks are compiled out
+    /// of effect-checked Release builds and statically exempted here).
+    void release() KLB_NONBLOCKING {
       if (slot_ != nullptr) {
 #if KLB_DEBUG_SYNC
+        KLB_EFFECTS_SUPPRESS_BEGIN
         if (slot_->load(std::memory_order_seq_cst) == 0) {
           util::sync_debug::die(
               "epoch invariant violation",
               "releasing a pin whose slot is already free (double release, "
               "or a foreign store onto this slot)");
         }
+        KLB_EFFECTS_SUPPRESS_END
 #endif
         slot_->store(0, std::memory_order_seq_cst);
         slot_ = nullptr;
 #if KLB_DEBUG_SYNC
+        KLB_EFFECTS_SUPPRESS_BEGIN
         util::sync_debug::on_unpin();
+        KLB_EFFECTS_SUPPRESS_END
 #endif
       }
     }
-    bool active() const { return slot_ != nullptr; }
+    bool active() const KLB_NONBLOCKING { return slot_ != nullptr; }
 
    private:
     friend class EpochDomain;
@@ -117,7 +124,10 @@ class EpochDomain {
   /// Claim a reader slot at the current epoch (wait-free in the common
   /// case; spins only if all kSlots are simultaneously pinned). The
   /// caller must pin *before* loading the protected pointer.
-  Guard pin();
+  /// Nonallocating, not nonblocking: the first pin on a thread seeds its
+  /// slot hint ("epoch.pin_seed" escape) and an oversubscribed domain
+  /// yields between rescans ("epoch.pin_stall" escape).
+  Guard pin() KLB_NONALLOCATING;
 
   /// Hand an unlinked object to the domain. The caller must have made the
   /// object unreachable to *new* readers first (swapped the published

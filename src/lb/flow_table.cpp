@@ -28,7 +28,7 @@ constexpr std::size_t kNodeOverhead = 2 * sizeof(void*);
 /// `counts` must hold `shards` zeroed slots; it is clobbered.
 void group_by_shard(const std::uint32_t* shard_of_req, std::size_t n,
                     std::size_t shards, std::uint32_t* counts,
-                    std::uint32_t* idx) {
+                    std::uint32_t* idx) KLB_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) ++counts[shard_of_req[i]];
   std::uint32_t cursor = 0;
   for (std::size_t s = 0; s < shards; ++s) {
@@ -38,6 +38,19 @@ void group_by_shard(const std::uint32_t* shard_of_req, std::size_t n,
   }
   for (std::size_t i = 0; i < n; ++i)
     idx[counts[shard_of_req[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+/// Grouping scratch for batches whose (n, shard_count) outgrows the stack
+/// buffer. Per thread, grown geometrically and reused: the old heap_buf
+/// fallback re-allocated on *every* oversized batch (any table with >64
+/// shards paid a malloc per burst — exactly the regression class this
+/// PR's effect contracts exist to name). Accessed only inside the
+/// "flow.scratch_grow" escape: the thread_local wrapper and the rare
+/// resize are invisible to the effect analysis.
+std::uint32_t* batch_scratch(std::size_t words) {
+  thread_local std::vector<std::uint32_t> scratch;
+  if (scratch.size() < words) scratch.resize(words);
+  return scratch.data();
 }
 
 }  // namespace
@@ -62,7 +75,8 @@ FlowTable::FlowTable(FlowTableConfig cfg)
 }
 
 FlowHit FlowTable::lookup_locked(Shard& s, const net::FiveTuple& t,
-                                 std::uint64_t h, util::SimTime now) {
+                                 std::uint64_t h,
+                                 util::SimTime now) KLB_NONBLOCKING {
   const auto it = s.flows.find(t);
   if (it != s.flows.end()) {
     it->second.last_seen = now;
@@ -80,33 +94,37 @@ FlowHit FlowTable::lookup_locked(Shard& s, const net::FiveTuple& t,
   return FlowHit{};
 }
 
-FlowHit FlowTable::lookup(const net::FiveTuple& t, util::SimTime now) {
+FlowHit FlowTable::lookup(const net::FiveTuple& t,
+                          util::SimTime now) KLB_NONALLOCATING {
   const auto h = net::hash_tuple(t);
   auto& s = shards_[shard_index(h)];
-  util::MutexLock lk(s.mu);
-  return lookup_locked(s, t, h, now);
+  FlowHit hit;
+  KLB_EFFECT_ESCAPE("flow.shard_lock", {
+    util::MutexLock lk(s.mu);
+    hit = lookup_locked(s, t, h, now);
+  });
+  return hit;
 }
 
 void FlowTable::lookup_batch(FlowLookup* reqs, std::size_t n,
-                             util::SimTime now) {
+                             util::SimTime now) KLB_NONALLOCATING {
   if (n == 0) return;
   if (n == 1) {
     auto& s = shards_[shard_index(reqs[0].hash)];
-    util::MutexLock lk(s.mu);
-    reqs[0].hit = lookup_locked(s, *reqs[0].tuple, reqs[0].hash, now);
+    KLB_EFFECT_ESCAPE("flow.shard_lock", {
+      util::MutexLock lk(s.mu);
+      reqs[0].hit = lookup_locked(s, *reqs[0].tuple, reqs[0].hash, now);
+    });
     return;
   }
   // Group by shard (stable, allocation-free — see group_by_shard), then
   // take each shard lock once for its run.
   constexpr std::size_t kStack = 64;
   std::uint32_t stack_buf[3 * kStack];
-  std::vector<std::uint32_t> heap_buf;
   std::uint32_t* buf = stack_buf;
   const std::size_t width = std::max(n, shards_.size());
-  if (width > kStack) {
-    heap_buf.resize(3 * width);
-    buf = heap_buf.data();
-  }
+  if (width > kStack)
+    KLB_EFFECT_ESCAPE("flow.scratch_grow", buf = batch_scratch(3 * width));
   std::uint32_t* shard_of_req = buf;
   std::uint32_t* idx = buf + width;
   std::uint32_t* counts = buf + 2 * width;
@@ -118,32 +136,33 @@ void FlowTable::lookup_batch(FlowLookup* reqs, std::size_t n,
   while (i < n) {
     const std::size_t shard = shard_of_req[idx[i]];
     auto& s = shards_[shard];
-    util::MutexLock lk(s.mu);
-    do {
-      FlowLookup& r = reqs[idx[i]];
-      r.hit = lookup_locked(s, *r.tuple, r.hash, now);
-      ++i;
-    } while (i < n && shard_of_req[idx[i]] == shard);
+    KLB_EFFECT_ESCAPE("flow.shard_lock", {
+      util::MutexLock lk(s.mu);
+      do {
+        FlowLookup& r = reqs[idx[i]];
+        r.hit = lookup_locked(s, *r.tuple, r.hash, now);
+        ++i;
+      } while (i < n && shard_of_req[idx[i]] == shard);
+    });
   }
 }
 
-void FlowTable::erase_batch(FlowErase* reqs, std::size_t n) {
+void FlowTable::erase_batch(FlowErase* reqs, std::size_t n) KLB_NONALLOCATING {
   if (n == 0) return;
   if (n == 1) {
     auto& s = shards_[shard_index(reqs[0].hash)];
-    util::MutexLock lk(s.mu);
-    erase_locked(s, reqs[0]);
+    KLB_EFFECT_ESCAPE("flow.shard_lock", {
+      util::MutexLock lk(s.mu);
+      erase_locked(s, reqs[0]);
+    });
     return;
   }
   constexpr std::size_t kStack = 64;
   std::uint32_t stack_buf[3 * kStack];
-  std::vector<std::uint32_t> heap_buf;
   std::uint32_t* buf = stack_buf;
   const std::size_t width = std::max(n, shards_.size());
-  if (width > kStack) {
-    heap_buf.resize(3 * width);
-    buf = heap_buf.data();
-  }
+  if (width > kStack)
+    KLB_EFFECT_ESCAPE("flow.scratch_grow", buf = batch_scratch(3 * width));
   std::uint32_t* shard_of_req = buf;
   std::uint32_t* idx = buf + width;
   std::uint32_t* counts = buf + 2 * width;
@@ -155,11 +174,13 @@ void FlowTable::erase_batch(FlowErase* reqs, std::size_t n) {
   while (i < n) {
     const std::size_t shard = shard_of_req[idx[i]];
     auto& s = shards_[shard];
-    util::MutexLock lk(s.mu);
-    do {
-      erase_locked(s, reqs[idx[i]]);
-      ++i;
-    } while (i < n && shard_of_req[idx[i]] == shard);
+    KLB_EFFECT_ESCAPE("flow.shard_lock", {
+      util::MutexLock lk(s.mu);
+      do {
+        erase_locked(s, reqs[idx[i]]);
+        ++i;
+      } while (i < n && shard_of_req[idx[i]] == shard);
+    });
   }
 }
 
@@ -205,15 +226,16 @@ void FlowTable::erase_locked(Shard& s, FlowErase& r) {
   ++s.erases;
 }
 
-std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t) {
+std::optional<std::uint64_t> FlowTable::erase(const net::FiveTuple& t)
+    KLB_NONALLOCATING {
   FlowErase r;
   r.tuple = &t;
   r.hash = net::hash_tuple(t);
   auto& s = shards_[shard_index(r.hash)];
-  {
+  KLB_EFFECT_ESCAPE("flow.shard_lock", {
     util::MutexLock lk(s.mu);
     erase_locked(s, r);
-  }
+  });
   if (!r.found) return std::nullopt;
   return r.id;
 }

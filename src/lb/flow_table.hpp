@@ -127,18 +127,24 @@ class FlowTable {
   FlowTable(const FlowTable&) = delete;
   FlowTable& operator=(const FlowTable&) = delete;
 
-  std::size_t shard_count() const { return shards_.size(); }
-  std::size_t shard_of(const net::FiveTuple& t) const {
+  std::size_t shard_count() const KLB_NONBLOCKING { return shards_.size(); }
+  std::size_t shard_of(const net::FiveTuple& t) const KLB_NONBLOCKING {
     return shard_index(net::hash_tuple(t));
   }
 
   /// Affinity lookup with last-seen touch; on miss, probe the flow cache.
-  FlowHit lookup(const net::FiveTuple& t, util::SimTime now);
+  /// Nonallocating: the one shard-lock acquisition is the documented
+  /// "flow.shard_lock" escape; everything under it is lock-free reads.
+  FlowHit lookup(const net::FiveTuple& t, util::SimTime now)
+      KLB_NONALLOCATING;
 
   /// Batched lookup(): partitions the requests by shard and takes each
   /// shard lock once for its whole group. Element-wise identical to
-  /// calling lookup() per request.
-  void lookup_batch(FlowLookup* reqs, std::size_t n, util::SimTime now);
+  /// calling lookup() per request. The grouping stage is lock-free and
+  /// allocation-free (per-thread scratch grows once per high-water mark —
+  /// "flow.scratch_grow"); each per-run lock is "flow.shard_lock".
+  void lookup_batch(FlowLookup* reqs, std::size_t n, util::SimTime now)
+      KLB_NONALLOCATING;
 
   /// Pin `t` to `backend_id` unless it is already pinned (a concurrent
   /// packet of the same tuple may have won the race). Returns the owning
@@ -159,12 +165,17 @@ class FlowTable {
   std::optional<std::uint64_t> try_find(const net::FiveTuple& t) const;
 
   /// Unpin `t`, returning the backend it was pinned to (FIN path).
-  std::optional<std::uint64_t> erase(const net::FiveTuple& t);
+  /// Nonallocating in the lookup() split: the one shard-lock acquisition
+  /// (and the node free under it) is the "flow.shard_lock" escape.
+  std::optional<std::uint64_t> erase(const net::FiveTuple& t)
+      KLB_NONALLOCATING;
 
   /// Batched erase(): partitions the requests by shard and takes each
   /// shard lock once for its whole group. Element-wise identical to
-  /// calling erase() per request.
-  void erase_batch(FlowErase* reqs, std::size_t n);
+  /// calling erase() per request. Nonallocating in the same split as
+  /// lookup_batch(): the staging lanes never touch the heap; the node
+  /// frees happen only inside the documented "flow.shard_lock" runs.
+  void erase_batch(FlowErase* reqs, std::size_t n) KLB_NONALLOCATING;
 
   /// Drop every flow pinned to `backend_id` (backend removal/failure).
   /// Returns the number of flows dropped. `dropped` runs per dropped flow
@@ -266,14 +277,19 @@ class FlowTable {
   /// Shard choice uses the hash's top bits: the low bits feed the affinity
   /// map buckets and the maglev table index, so shard choice stays
   /// decorrelated from both.
-  std::size_t shard_index(std::uint64_t h) const {
+  std::size_t shard_index(std::uint64_t h) const KLB_NONBLOCKING {
     return static_cast<std::size_t>(h >> 48) & shard_mask_;
   }
 
+  /// Lock-free under the shard lock: map find + in-place touch + cache
+  /// probe, no allocation (nonblocking — the lock is the caller's).
   FlowHit lookup_locked(Shard& s, const net::FiveTuple& t, std::uint64_t h,
-                        util::SimTime now) KLB_REQUIRES(s.mu);
+                        util::SimTime now) KLB_NONBLOCKING
+      KLB_REQUIRES(s.mu);
+  /// Frees the flow's map node on a hit — callers run it inside their
+  /// "flow.shard_lock" escape (the one lane where the table may free).
   void erase_locked(Shard& s, FlowErase& r) KLB_REQUIRES(s.mu);
-  std::size_t cache_index(std::uint64_t h) const {
+  std::size_t cache_index(std::uint64_t h) const KLB_NONBLOCKING {
     return static_cast<std::size_t>(h >> 16) & cache_mask_;
   }
 

@@ -113,8 +113,9 @@ std::vector<std::size_t> MaglevTable::slot_counts() const {
 
 std::size_t MaglevPolicy::pick(const net::FiveTuple& tuple,
                                const std::vector<BackendView>& backends,
-                               util::Rng&) {
-  if (dirty_ || backends.size() != cached_count_) rebuild(backends);
+                               util::Rng&) KLB_NONALLOCATING {
+  if (dirty_ || backends.size() != cached_count_)
+    KLB_EFFECT_ESCAPE("policy.maglev_rebuild", rebuild(backends));
   const auto idx = table_.lookup(net::hash_tuple(tuple));
   if (idx == MaglevTable::kEmptySlot) return kNoBackend;
   return idx;  // entries are built 1:1 with backend indexes
@@ -122,13 +123,15 @@ std::size_t MaglevPolicy::pick(const net::FiveTuple& tuple,
 
 std::size_t SharedMaglevPolicy::pick(const net::FiveTuple& tuple,
                                      const std::vector<BackendView>& backends,
-                                     util::Rng&) {
+                                     util::Rng&) KLB_NONALLOCATING {
   if (!table_) return kNoBackend;
   if (index_dirty_ || index_by_id_.size() != backends.size()) {
-    index_by_id_.clear();
-    for (std::size_t i = 0; i < backends.size(); ++i)
-      index_by_id_[backends[i].addr.value()] = i;
-    index_dirty_ = false;
+    KLB_EFFECT_ESCAPE("policy.maglev_rebuild", {
+      index_by_id_.clear();
+      for (std::size_t i = 0; i < backends.size(); ++i)
+        index_by_id_[backends[i].addr.value()] = i;
+      index_dirty_ = false;
+    });
   }
   const auto id = table_->lookup_id(net::hash_tuple(tuple));
   if (id == MaglevTable::kNoId) return kNoBackend;

@@ -54,12 +54,13 @@ class MaglevTable {
   void build(const std::vector<MaglevEntry>& entries);
 
   /// Entry index owning `hash`'s slot, or kEmptySlot for an empty table.
-  std::uint32_t lookup(std::uint64_t hash) const {
+  /// One array read — the packet path's per-pick cost; nonblocking.
+  std::uint32_t lookup(std::uint64_t hash) const KLB_NONBLOCKING {
     return slots_[hash % slots_.size()];
   }
 
   /// As lookup(), but resolves to the entry's stable id (kNoId if empty).
-  std::uint64_t lookup_id(std::uint64_t hash) const {
+  std::uint64_t lookup_id(std::uint64_t hash) const KLB_NONBLOCKING {
     const auto e = lookup(hash);
     return e == kEmptySlot ? kNoId : ids_[e];
   }
@@ -116,9 +117,12 @@ class MaglevPolicy : public Policy {
     rebuild(backends);
   }
 
+  /// Steady-state: hash + one table read, allocation-free. The lazy
+  /// rebuild after invalidate() is the "policy.maglev_rebuild" escape
+  /// (published generations are prepared eagerly and never take it).
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>& backends,
-                   util::Rng& rng) override;
+                   util::Rng& rng) KLB_NONALLOCATING override;
 
   const MaglevTable& table() const { return table_; }
   /// Member table: pointer stable for the policy's lifetime, contents
@@ -181,9 +185,13 @@ class SharedMaglevPolicy : public Policy {
   /// pointer outlives any generation that carries this policy.
   const MaglevTable* maglev_table() const override { return table_.get(); }
 
+  /// Steady-state: hash + table read + two frozen-map finds, allocation-
+  /// free. The id->index cache rebuild after invalidate()/set_table() is
+  /// the "policy.maglev_rebuild" escape (prepare() fills it eagerly on the
+  /// control plane, so published generations never take it).
   std::size_t pick(const net::FiveTuple& tuple,
                    const std::vector<BackendView>& backends,
-                   util::Rng& rng) override;
+                   util::Rng& rng) KLB_NONALLOCATING override;
 
  private:
   std::shared_ptr<const MaglevTable> table_;

@@ -135,16 +135,14 @@ void Mux::poll() {
   epochs_.reclaim();
 }
 
-void Mux::note_drain_empty() {
+void Mux::note_drain_empty() KLB_NONBLOCKING {
   drain_poll_pending_.store(true, std::memory_order_release);
   // Opportunistic sweep: never block the packet path on the control
   // mutex. Uncontended (the single-threaded simulator always is) this
   // completes the drain inline, preserving the pre-generation timing; a
   // busy control plane picks the flag up in its own mutation or poll().
-  if (control_mutex_.try_lock()) {
-    sweep_drains_locked();
-    control_mutex_.unlock();
-  }
+  util::MutexLock lk(control_mutex_, util::kTryToLock);
+  if (lk) KLB_EFFECT_ESCAPE("mux.drain_sweep", sweep_drains_locked());
 }
 
 bool Mux::drain_ripe(const GenBackend& b) const {
@@ -686,7 +684,8 @@ void Mux::on_batch(const net::Message* const* msgs, std::size_t n) {
   handle_batch(msgs, n);
 }
 
-void Mux::handle_batch(const net::Message* const* msgs, std::size_t n) {
+void Mux::handle_batch(const net::Message* const* msgs, std::size_t n)
+    KLB_NONALLOCATING {
   std::size_t i = 0;
   while (i < n) {
     if (msgs[i]->type == net::MsgType::kHttpRequest) {
@@ -711,7 +710,8 @@ void Mux::handle_batch(const net::Message* const* msgs, std::size_t n) {
 }
 
 void Mux::forward_run(const PoolGeneration& gen, std::size_t i,
-                      const net::Message* const* msgs, std::size_t k) {
+                      const net::Message* const* msgs, std::size_t k)
+    KLB_NONALLOCATING {
   const auto& b = gen.backends()[i];
   b.counters->forwarded.fetch_add(k, std::memory_order_relaxed);
   // Quiescence evidence for stateless drains (drain_ripe): only drainers
@@ -726,7 +726,8 @@ void Mux::forward_run(const PoolGeneration& gen, std::size_t i,
 std::optional<std::size_t> Mux::resolve_stateless(const PoolGeneration& gen,
                                                   const MaglevTable& table,
                                                   std::uint64_t hash,
-                                                  const net::Message& msg) {
+                                                  const net::Message& msg)
+    KLB_NONBLOCKING {
   const auto pick = table.lookup_id(hash);
   if (pick == MaglevTable::kNoId) return std::nullopt;
   const auto idx = gen.index_of_addr(static_cast<std::uint32_t>(pick));
@@ -745,8 +746,10 @@ std::optional<std::size_t> Mux::resolve_stateless(const PoolGeneration& gen,
 }
 
 void Mux::handle_request_chunk(const net::Message* const* msgs,
-                               std::size_t n) {
-  maybe_gc(n);
+                               std::size_t n) KLB_NONALLOCATING {
+  // Amortized idle-flow GC: at most one budgeted shard sweep per
+  // gc-interval of forwarded requests, never per packet.
+  KLB_EFFECT_ESCAPE("mux.maybe_gc", maybe_gc(n));
   const auto now = net_.sim().now();
   // Pin the current generation once for the whole chunk: every index below
   // names a position in THIS snapshot, immune to concurrent publications.
@@ -768,7 +771,7 @@ void Mux::handle_request_chunk(const net::Message* const* msgs,
 
 void Mux::process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
                                const net::Message* const* msgs,
-                               std::size_t n) {
+                               std::size_t n) KLB_NONALLOCATING {
   // Per-packet scratch. Deliberately no default member initializers: only
   // the first n lanes are touched, so the batch-of-1 (scalar) case pays
   // for one lane, not kBatchChunk.
@@ -862,7 +865,8 @@ void Mux::process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
         ln.st = kForwardOnly;
         continue;
       }
-      if (flows_.erase(m.tuple) && slot_pins_) slot_pins_->dec(ln.slot);
+      if (flows_.erase(m.tuple).has_value() && slot_pins_)
+        slot_pins_->dec(ln.slot);
       hit = FlowHit{};
     }
     if (ln.exception) {
@@ -946,47 +950,59 @@ void Mux::process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
   }
 
   // --- stage D: policy picks, one pick_mutex_ acquisition per chunk --------
+  // The carved-out slow lane of the request path: the pick mutex is a
+  // blocking lock, the pick itself is a virtual call (policies may rebuild
+  // caches), and the LC-family pin inserts a map node. All of it is the
+  // documented "mux.pick" escape; tuple-deterministic steady state never
+  // enters (affinity hits, cached picks, and stateless routes resolve in
+  // stages A-C).
   if (any_pick) {
-    util::MutexLock lk(pick_mutex_);
-    for (std::size_t i = 0; i < n; ++i) {
-      Lane& ln = lanes[i];
-      if (ln.st != kNeedPick) continue;
-      const net::Message& m = *msgs[i];
-      ln.dip = gen.policy().pick(m.tuple, gen.views(), rng_);
-      if (ln.dip == kNoBackend) {
-        no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
-        ln.st = kDropped;  // connection refused; client times out
-        continue;
-      }
-      ln.backend_id = gen.backends()[ln.dip].id;
-      if (gen.policy_uses_conns()) {
-        // LC-family: pin and account *inside* the pick critical section
-        // (pick mutex -> shard mutex is the legal order), so the next pick
-        // already sees this connection — releasing first would let
-        // concurrent opens herd onto the same least-loaded backend.
-        std::tie(ln.owner, ln.fresh) = flows_.try_insert(
-            m.tuple, ln.backend_id, now, gen.policy_caches_picks(),
-            gen.seq());
-        if (ln.fresh) {
-          auto& c = *gen.backends()[ln.dip].counters;
-          c.connections.fetch_add(1, std::memory_order_relaxed);
-          gen.views()[ln.dip].active_conns =
-              c.active.fetch_add(1, std::memory_order_relaxed) + 1;
+    KLB_EFFECT_ESCAPE("mux.pick", {
+      util::MutexLock lk(pick_mutex_);
+      for (std::size_t i = 0; i < n; ++i) {
+        Lane& ln = lanes[i];
+        if (ln.st != kNeedPick) continue;
+        const net::Message& m = *msgs[i];
+        ln.dip = gen.policy().pick(m.tuple, gen.views(), rng_);
+        if (ln.dip == kNoBackend) {
+          no_backend_drops_.fetch_add(1, std::memory_order_relaxed);
+          ln.st = kDropped;  // connection refused; client times out
+          continue;
         }
-        ln.st = kPinned;
-      } else {
-        ln.st = kNeedPin;
+        ln.backend_id = gen.backends()[ln.dip].id;
+        if (gen.policy_uses_conns()) {
+          // LC-family: pin and account *inside* the pick critical section
+          // (pick mutex -> shard mutex is the legal order), so the next
+          // pick already sees this connection — releasing first would let
+          // concurrent opens herd onto the same least-loaded backend.
+          std::tie(ln.owner, ln.fresh) = flows_.try_insert(
+              m.tuple, ln.backend_id, now, gen.policy_caches_picks(),
+              gen.seq());
+          if (ln.fresh) {
+            auto& c = *gen.backends()[ln.dip].counters;
+            c.connections.fetch_add(1, std::memory_order_relaxed);
+            gen.views()[ln.dip].active_conns =
+                c.active.fetch_add(1, std::memory_order_relaxed) + 1;
+          }
+          ln.st = kPinned;
+        } else {
+          ln.st = kNeedPin;
+        }
       }
-    }
+    });
   }
 
   // --- stage E: pins outside the pick mutex + shared pin accounting --------
   for (std::size_t i = 0; i < n; ++i) {
     Lane& ln = lanes[i];
     if (ln.st == kNeedPin) {
-      std::tie(ln.owner, ln.fresh) = flows_.try_insert(
-          *&msgs[i]->tuple, ln.backend_id, now, gen.policy_caches_picks(),
-          gen.seq());
+      // One map-node allocation per new *connection* under the shard lock
+      // — the documented "flow.pin_insert" hole, not a per-packet cost.
+      KLB_EFFECT_ESCAPE("flow.pin_insert", {
+        std::tie(ln.owner, ln.fresh) = flows_.try_insert(
+            msgs[i]->tuple, ln.backend_id, now, gen.policy_caches_picks(),
+            gen.seq());
+      });
       if (ln.fresh) {
         auto& c = *gen.backends()[ln.dip].counters;
         // An adopted flow's connection was already counted at its
@@ -1044,7 +1060,8 @@ void Mux::process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
   }
 }
 
-void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
+void Mux::release_connection(const PoolGeneration& gen, std::size_t i)
+    KLB_NONALLOCATING {
   auto& active = gen.backends()[i].counters->active;
   auto cur = active.load(std::memory_order_relaxed);
   while (cur > 0 && !active.compare_exchange_weak(cur, cur - 1,
@@ -1053,13 +1070,16 @@ void Mux::release_connection(const PoolGeneration& gen, std::size_t i) {
   // Only the LC family reads active_conns from the views; for everyone
   // else skipping the patch keeps FINs off the pick mutex entirely.
   if (!gen.policy_uses_conns()) return;
-  util::MutexLock lk(pick_mutex_);
-  gen.views()[i].active_conns = active.load(std::memory_order_relaxed);
+  KLB_EFFECT_ESCAPE("mux.release_pick_refresh", {
+    util::MutexLock lk(pick_mutex_);
+    gen.views()[i].active_conns = active.load(std::memory_order_relaxed);
+  });
 }
 
 std::optional<std::size_t> Mux::resolve_fin(const PoolGeneration& gen,
                                             const FlowErase& r,
-                                            bool* drain_emptied) {
+                                            bool* drain_emptied)
+    KLB_NONALLOCATING {
   if (!r.found) {
     // No pin: in hybrid mode this is the normal close of a stateless flow
     // (nothing in the table was ever its state). The server still needs
@@ -1097,7 +1117,7 @@ std::optional<std::size_t> Mux::resolve_fin(const PoolGeneration& gen,
   return idx;
 }
 
-void Mux::handle_fin(const net::Message& msg) {
+void Mux::handle_fin(const net::Message& msg) KLB_NONALLOCATING {
   FlowErase r;
   r.tuple = &msg.tuple;
   r.hash = net::hash_tuple(msg.tuple);
@@ -1118,7 +1138,8 @@ void Mux::handle_fin(const net::Message& msg) {
   if (drain_emptied) note_drain_empty();
 }
 
-void Mux::handle_fin_chunk(const net::Message* const* msgs, std::size_t n) {
+void Mux::handle_fin_chunk(const net::Message* const* msgs, std::size_t n)
+    KLB_NONALLOCATING {
   if (n == 1) {
     handle_fin(*msgs[0]);
     return;

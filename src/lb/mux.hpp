@@ -354,7 +354,7 @@ class Mux : public net::Node, public PoolProgrammer {
   /// matches the scalar path exactly. Mixed types allowed: contiguous
   /// request runs are batched, FINs are handled per message.
   void handle_batch(const net::Message* const* msgs, std::size_t n)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
 
  private:
   /// A pinned read of the current generation: `gen` stays valid until
@@ -364,7 +364,7 @@ class Mux : public net::Node, public PoolProgrammer {
     EpochDomain::Guard guard;
     const PoolGeneration* gen = nullptr;
   };
-  GenRef read_gen() const {
+  GenRef read_gen() const KLB_NONALLOCATING {
     GenRef r;
     // Pin first, load second: a generation retired after this pin tags
     // above our published epoch, so whatever the load returns cannot be
@@ -376,48 +376,55 @@ class Mux : public net::Node, public PoolProgrammer {
 
   /// The scalar entry is the batch-of-1 case: one code path (ISSUE 9).
   void handle_request(const net::Message& msg)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_) {
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_) {
     const net::Message* p = &msg;
     handle_request_chunk(&p, 1);
   }
   /// One pinned, staged pass over up to kBatchChunk requests.
+  /// Nonallocating: the slow lanes it may cross are the documented
+  /// escapes — "mux.maybe_gc" (amortized sweep), "mux.pick" (stage D),
+  /// "flow.pin_insert" (stage E) and the FlowTable/fabric sites below.
   void handle_request_chunk(const net::Message* const* msgs, std::size_t n)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
   /// The staged body, running against an already-pinned generation.
   void process_chunk_pinned(const PoolGeneration& gen, util::SimTime now,
                             const net::Message* const* msgs, std::size_t n)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
   void handle_fin(const net::Message& msg)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
   /// Batched FIN run: one erase_batch over the flow shards, one epoch
   /// pin, forwards grouped per destination. Element-wise identical to
   /// handle_fin per message.
   void handle_fin_chunk(const net::Message* const* msgs, std::size_t n)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
   /// Post-unpin FIN resolution against a pinned generation: which backend
   /// index should see the FIN (nullopt = drop), releasing the connection
   /// and flagging `drain_emptied` when this FIN was a drainer's last.
   std::optional<std::size_t> resolve_fin(const PoolGeneration& gen,
                                          const FlowErase& r,
                                          bool* drain_emptied)
-      KLB_EXCLUDES(control_mutex_, pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(control_mutex_, pick_mutex_);
   /// Forward `k` messages to backend `i`: per-run counter updates, one
   /// fabric burst. The scalar forward is the k=1 case.
   void forward_run(const PoolGeneration& gen, std::size_t i,
-                   const net::Message* const* msgs, std::size_t k);
+                   const net::Message* const* msgs, std::size_t k)
+      KLB_NONALLOCATING;
   /// Stateless resolution: the backend index `hash` routes to through the
   /// generation's table, or nullopt when the table/pool had no usable
   /// answer (the caller falls back to the stateful path). On success the
   /// stateless counters are bumped (openers count their connection); the
-  /// caller forwards.
+  /// caller forwards. Fully lock-free: table read + relaxed counters.
   std::optional<std::size_t> resolve_stateless(const PoolGeneration& gen,
                                                const MaglevTable& table,
                                                std::uint64_t hash,
-                                               const net::Message& msg);
+                                               const net::Message& msg)
+      KLB_NONBLOCKING;
   /// Decrement backend `i`'s active count (never below zero) and, for
-  /// connection-count policies, refresh its view under the pick mutex.
+  /// connection-count policies, refresh its view under the pick mutex
+  /// (the "mux.release_pick_refresh" escape — skipped entirely for
+  /// policies that never read active_conns).
   void release_connection(const PoolGeneration& gen, std::size_t i)
-      KLB_EXCLUDES(pick_mutex_);
+      KLB_NONALLOCATING KLB_EXCLUDES(pick_mutex_);
 
   /// Build and publish the next generation from `backends`, cloning the
   /// current policy unless `policy_override` supplies one. Re-keys the
@@ -438,9 +445,10 @@ class Mux : public net::Node, public PoolProgrammer {
   /// that window to adopt exception pins or FIN before the backend goes.
   bool drain_ripe(const GenBackend& b) const;
   /// Flag "some drainer may have emptied" from the packet path and sweep
-  /// it opportunistically (try_lock; never blocks). Uncontended callers —
-  /// the single-threaded simulator always — complete the drain inline.
-  void note_drain_empty() KLB_EXCLUDES(control_mutex_);
+  /// it opportunistically (try-lock construction; never blocks).
+  /// Uncontended callers — the single-threaded simulator always —
+  /// complete the drain inline, inside the "mux.drain_sweep" escape.
+  void note_drain_empty() KLB_NONBLOCKING KLB_EXCLUDES(control_mutex_);
   /// Remove every empty drainer in one publication. Caller holds
   /// control_mutex_. No-op when the pending flag is clear.
   void sweep_drains_locked() KLB_REQUIRES(control_mutex_);

@@ -150,10 +150,14 @@ std::size_t PowerOfTwoCpu::pick(const net::FiveTuple&,
 
 std::size_t HashTuple::pick(const net::FiveTuple& tuple,
                             const std::vector<BackendView>& backends,
-                            util::Rng&) {
-  const auto& idx = usable(backends, /*need_weight=*/false);
-  if (idx.empty()) return kNoBackend;
-  return idx[net::hash_tuple(tuple) % idx.size()];
+                            util::Rng&) KLB_NONALLOCATING {
+  // usable() is allocation-free once cached, but only its rebuild branch
+  // can prove that — escape the call, keep the pick itself verified.
+  const std::vector<std::size_t>* idx = nullptr;
+  KLB_EFFECT_ESCAPE("policy.usable_rebuild",
+                    idx = &usable(backends, /*need_weight=*/false));
+  if (idx->empty()) return kNoBackend;
+  return (*idx)[net::hash_tuple(tuple) % idx->size()];
 }
 
 std::unique_ptr<Policy> make_policy(const std::string& name) {

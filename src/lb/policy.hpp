@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/five_tuple.hpp"
+#include "util/effects.hpp"
 #include "util/rng.hpp"
 
 namespace klb::server {
@@ -238,8 +239,12 @@ class HashTuple : public Policy {
   std::unique_ptr<Policy> clone() const override {
     return std::make_unique<HashTuple>(*this);
   }
+  /// Tuple-deterministic and, steady-state, allocation-free: hash + one
+  /// indexed read of the cached usable list. The post-invalidate() cache
+  /// rebuild is the "policy.usable_rebuild" escape.
   std::size_t pick(const net::FiveTuple& tuple,
-                   const std::vector<BackendView>&, util::Rng&) override;
+                   const std::vector<BackendView>&, util::Rng&)
+      KLB_NONALLOCATING override;
 };
 
 }  // namespace klb::lb

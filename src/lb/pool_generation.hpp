@@ -75,7 +75,7 @@ struct GenBackend {
   std::int64_t drain_since_us = 0;
   std::shared_ptr<BackendCounters> counters;
 
-  BackendView view() const {
+  BackendView view() const KLB_NONBLOCKING {
     return BackendView{addr, weight_units, enabled,
                        counters ? counters->active.load(
                                       std::memory_order_relaxed)
@@ -121,13 +121,20 @@ class PoolGeneration {
   PoolGeneration(const PoolGeneration&) = delete;
   PoolGeneration& operator=(const PoolGeneration&) = delete;
 
-  std::uint64_t seq() const { return seq_; }
-  std::uint64_t program_version() const { return program_version_; }
+  // Read accessors consulted by the packet path under a generation pin:
+  // all nonblocking (frozen fields, read-only map finds, no allocation).
+  std::uint64_t seq() const KLB_NONBLOCKING { return seq_; }
+  std::uint64_t program_version() const KLB_NONBLOCKING {
+    return program_version_;
+  }
 
-  const std::vector<GenBackend>& backends() const { return backends_; }
-  std::size_t size() const { return backends_.size(); }
+  const std::vector<GenBackend>& backends() const KLB_NONBLOCKING {
+    return backends_;
+  }
+  std::size_t size() const KLB_NONBLOCKING { return backends_.size(); }
 
-  std::optional<std::size_t> index_of(std::uint64_t id) const {
+  std::optional<std::size_t> index_of(std::uint64_t id) const
+      KLB_NONBLOCKING {
     const auto it = index_by_id_.find(id);
     if (it == index_by_id_.end()) return std::nullopt;
     return it->second;
@@ -135,7 +142,8 @@ class PoolGeneration {
 
   /// Index by DIP address value — the identity maglev tables resolve to
   /// (stable ids stay dataplane-internal; the table is shared pool-wide).
-  std::optional<std::size_t> index_of_addr(std::uint32_t addr) const {
+  std::optional<std::size_t> index_of_addr(std::uint32_t addr) const
+      KLB_NONBLOCKING {
     const auto it = index_by_addr_.find(addr);
     if (it == index_by_addr_.end()) return std::nullopt;
     return it->second;
@@ -143,29 +151,35 @@ class PoolGeneration {
 
   /// The maglev table this generation's policy serves, or nullptr. Frozen
   /// at publication; the packet path reads it lock-free under its pin.
-  const MaglevTable* maglev_table() const { return table_; }
+  const MaglevTable* maglev_table() const KLB_NONBLOCKING { return table_; }
 
   /// The generation's exception filter (lb/consistency.hpp), or nullptr
   /// when the stateless fast path is off/disengaged. Set by the Mux on
   /// the control thread before the generation is published (never after),
   /// and reclaimed with the generation.
-  const ExceptionFilter* exception_filter() const { return filter_.get(); }
+  const ExceptionFilter* exception_filter() const KLB_NONBLOCKING {
+    return filter_.get();
+  }
   void set_exception_filter(std::shared_ptr<const ExceptionFilter> f) {
     filter_ = std::move(f);
   }
 
   /// Policy-facing views, index-aligned with backends(). active_conns is
   /// patched in place — only under the owning Mux's pick mutex.
-  std::vector<BackendView>& views() const { return views_; }
+  std::vector<BackendView>& views() const KLB_NONBLOCKING { return views_; }
 
   /// The generation-owned policy. Stateful: every call must hold the
   /// owning Mux's pick mutex.
-  Policy& policy() const { return *policy_; }
+  Policy& policy() const KLB_NONBLOCKING { return *policy_; }
 
   // Policy traits cached at construction: no virtual dispatch per packet.
-  bool policy_uses_conns() const { return policy_uses_conns_; }
-  bool policy_caches_picks() const { return policy_caches_picks_; }
-  bool policy_weighted() const { return policy_weighted_; }
+  bool policy_uses_conns() const KLB_NONBLOCKING {
+    return policy_uses_conns_;
+  }
+  bool policy_caches_picks() const KLB_NONBLOCKING {
+    return policy_caches_picks_;
+  }
+  bool policy_weighted() const KLB_NONBLOCKING { return policy_weighted_; }
 
   /// Recompute the structural checksum and compare with the one stamped
   /// at construction — false means a torn/corrupt generation (never

@@ -4,15 +4,17 @@
 
 namespace klb::net {
 
-void Network::send(IpAddr to, const Message& msg) {
+void Network::send(IpAddr to, const Message& msg) KLB_NONALLOCATING {
   if (const Tap* tap = tap_live_.load(std::memory_order_acquire)) {
-    (*tap)(to, msg);
+    // Type-erased bench hook: what it does is the installer's business.
+    KLB_EFFECT_ESCAPE("fabric.tap", (*tap)(to, msg));
   }
   if (blackhole_.load(std::memory_order_relaxed)) {
     blackholed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  send_owned(to, Message(msg));
+  // Copy + schedule (or mailbox-park): the delivery slow lane.
+  KLB_EFFECT_ESCAPE("fabric.enqueue", send_owned(to, Message(msg)));
 }
 
 void Network::send(IpAddr to, Message&& msg) {
@@ -58,19 +60,26 @@ void Network::send_owned(IpAddr to, Message msg) {
 }
 
 void Network::send_burst(IpAddr to, const Message* const* msgs,
-                         std::size_t n) {
+                         std::size_t n) KLB_NONALLOCATING {
   if (n == 0) return;
   if (n == 1) {
     send(to, *msgs[0]);
     return;
   }
   if (const Tap* tap = tap_live_.load(std::memory_order_acquire)) {
-    for (std::size_t i = 0; i < n; ++i) (*tap)(to, *msgs[i]);
+    KLB_EFFECT_ESCAPE("fabric.tap", {
+      for (std::size_t i = 0; i < n; ++i) (*tap)(to, *msgs[i]);
+    });
   }
   if (blackhole_.load(std::memory_order_relaxed)) {
     blackholed_.fetch_add(n, std::memory_order_relaxed);
     return;
   }
+  KLB_EFFECT_ESCAPE("fabric.enqueue", enqueue_burst(to, msgs, n));
+}
+
+void Network::enqueue_burst(IpAddr to, const Message* const* msgs,
+                            std::size_t n) {
   sent_.fetch_add(n, std::memory_order_relaxed);
   std::vector<Message> burst;
   burst.reserve(n);

@@ -41,6 +41,7 @@
 #include "net/five_tuple.hpp"
 #include "sim/sharded_driver.hpp"
 #include "sim/simulation.hpp"
+#include "util/effects.hpp"
 #include "util/sync.hpp"
 
 namespace klb::net {
@@ -142,13 +143,20 @@ class Network {
   /// const-ref overload copies only once the message is actually headed
   /// for the event queue — taps and blackhole mode never pay for a copy
   /// (send() is the packet path's per-forward cost in the benches).
-  void send(IpAddr to, const Message& msg);
+  /// Nonallocating up to the staging split: classification (tap presence,
+  /// blackhole) is lock-free; the type-erased tap runs in the
+  /// "fabric.tap" escape and the copying enqueue tail (event queue or
+  /// cross-shard mailbox) in "fabric.enqueue". Blackhole-mode benches —
+  /// the packet-path rate measurements — never enter either.
+  void send(IpAddr to, const Message& msg) KLB_NONALLOCATING;
   void send(IpAddr to, Message&& msg);
 
   /// Deliver `n` messages to `to` as one fabric hop: one latency draw, one
   /// event, one on_batch() at the destination. The messages are copied out
-  /// of the pointed-to storage before this returns.
-  void send_burst(IpAddr to, const Message* const* msgs, std::size_t n);
+  /// of the pointed-to storage before this returns. Same effect split as
+  /// send(): staging is nonallocating, tap and enqueue are the escapes.
+  void send_burst(IpAddr to, const Message* const* msgs, std::size_t n)
+      KLB_NONALLOCATING;
 
   /// The Simulation the calling thread should schedule on: the executing
   /// shard's when a ShardedDriver is attached, the root Simulation
@@ -214,6 +222,9 @@ class Network {
   /// The post-tap, post-blackhole tail of send(): owns the message and
   /// routes it onto the right shard's event queue or mailbox.
   void send_owned(IpAddr to, Message msg);
+  /// The post-tap, post-blackhole tail of send_burst(): copies the burst
+  /// and routes it. Callers enter through the "fabric.enqueue" escape.
+  void enqueue_burst(IpAddr to, const Message* const* msgs, std::size_t n);
   void deliver(IpAddr to, const Message& msg);
   void deliver_burst(IpAddr to, const std::vector<Message>& msgs);
   void drain_mailboxes();

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "net/address.hpp"
+#include "util/effects.hpp"
 
 namespace klb::net {
 
@@ -35,7 +36,8 @@ struct FiveTuple {
 
 /// 64-bit mix of the 5-tuple. Stable across platforms (pure arithmetic);
 /// statistically uniform so an `hash % n` DIP pick emulates ECMP spreading.
-inline std::uint64_t hash_tuple(const FiveTuple& t) {
+/// Per-packet stage-A work: nonblocking by contract.
+inline std::uint64_t hash_tuple(const FiveTuple& t) KLB_NONBLOCKING {
   auto mix = [](std::uint64_t x) {
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdull;

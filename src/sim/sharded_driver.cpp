@@ -77,7 +77,7 @@ std::size_t ShardedDriver::owner_of(std::uint32_t key) const {
   return it->second;
 }
 
-int ShardedDriver::current_shard() const {
+int ShardedDriver::current_shard() const KLB_NONBLOCKING {
   return tls_driver == this ? tls_shard : -1;
 }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "sim/simulation.hpp"
+#include "util/effects.hpp"
 #include "util/sync.hpp"
 #include "util/time.hpp"
 
@@ -85,8 +86,9 @@ class ShardedDriver {
 
   /// Shard this thread is currently executing, or -1 when the calling
   /// thread is not inside a window slice (e.g. the main thread between
-  /// windows, or an unrelated bench thread).
-  int current_shard() const;
+  /// windows, or an unrelated bench thread). Two constant-initialized
+  /// thread_local reads — on the packet path via Network::sim().
+  int current_shard() const KLB_NONBLOCKING;
 
   /// Like current_shard() but maps "not an executor" to shard 0, which is
   /// where main-thread control-plane work belongs.

@@ -1,0 +1,62 @@
+// Escape-site registry for KLB_EFFECT_ESCAPE (see util/effects.hpp).
+//
+// The registry must itself satisfy the contracts it audits: note_escape()
+// runs inside annotated hot-path functions (debug builds), so it is a
+// fixed-capacity lock-free table of interned site names — no heap, no
+// locks, a bounded scan of <= kMaxSites atomic slots.
+#include "util/effects.hpp"
+
+#include <atomic>
+#include <cstring>
+
+namespace klb::util::effects {
+
+namespace {
+
+/// Fixed capacity: comfortably above kDocumentedEscapeCount so even a
+/// misbehaving build (many undocumented sites) is fully recorded for the
+/// test to report rather than silently truncated.
+constexpr std::size_t kMaxSites = 64;
+
+std::atomic<const char*> g_sites[kMaxSites];
+
+bool same_site(const char* a, const char* b) {
+  return a == b || std::strcmp(a, b) == 0;
+}
+
+}  // namespace
+
+bool site_documented(const char* site) {
+  for (std::size_t i = 0; i < kDocumentedEscapeCount; ++i)
+    if (same_site(kDocumentedEscapeSites[i], site)) return true;
+  return false;
+}
+
+void note_escape(const char* site) {
+  for (std::size_t i = 0; i < kMaxSites; ++i) {
+    const char* cur = g_sites[i].load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      if (g_sites[i].compare_exchange_strong(cur, site,
+                                             std::memory_order_acq_rel))
+        return;
+      // Lost the race: `cur` now holds the winner — fall through to the
+      // duplicate check against it.
+    }
+    if (same_site(cur, site)) return;
+  }
+  // Table full: drop. kMaxSites is sized so this means dozens of distinct
+  // undocumented sites — the documented-escapes test has long since failed.
+}
+
+std::size_t escape_sites(const char** out, std::size_t cap) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kMaxSites; ++i) {
+    const char* cur = g_sites[i].load(std::memory_order_acquire);
+    if (cur == nullptr) break;  // slots fill front-to-back
+    if (n < cap) out[n] = cur;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace klb::util::effects

@@ -34,6 +34,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/effects.hpp"
+
 // --- Clang Thread Safety Analysis attribute macros -----------------------------
 // Standard TSA spellings (see clang.llvm.org/docs/ThreadSafetyAnalysis).
 // They compile away on non-clang compilers.
@@ -118,19 +120,32 @@ class KLB_CAPABILITY("mutex") Mutex {
 #endif
   }
 
-  void unlock() KLB_RELEASE() {
+  /// Nonblocking by construction: pthread unlock hands the mutex off (it
+  /// may wake a waiter) but never sleeps. The effect analysis cannot see
+  /// through the libc call, so the body is a documented escape — which is
+  /// what lets RAII releases run inside KLB_NONBLOCKING lanes.
+  void unlock() KLB_NONBLOCKING KLB_RELEASE() {
+    KLB_EFFECT_ESCAPE("util.Mutex.unlock", {
 #if KLB_DEBUG_SYNC
-    sync_debug::on_unlock(*this);
+      sync_debug::on_unlock(*this);
 #endif
-    mu_.unlock();
+      mu_.unlock();
+    });
   }
 
-  bool try_lock() KLB_TRY_ACQUIRE(true) {
-    if (!mu_.try_lock()) return false;
+  /// Nonblocking by construction: a trylock can fail but can never wait,
+  /// so it is legal inside KLB_NONBLOCKING code (the opportunistic
+  /// note_drain_empty sweep rests on this). Same documented-escape body as
+  /// unlock() — the analysis cannot see through pthread_mutex_trylock.
+  bool try_lock() KLB_NONBLOCKING KLB_TRY_ACQUIRE(true) {
+    bool won = false;
+    KLB_EFFECT_ESCAPE("util.Mutex.try_lock", {
+      won = mu_.try_lock();
 #if KLB_DEBUG_SYNC
-    sync_debug::on_try_locked(*this);
+      if (won) sync_debug::on_try_locked(*this);
 #endif
-    return true;
+    });
+    return won;
   }
 
   const char* name() const { return name_; }
@@ -144,18 +159,43 @@ class KLB_CAPABILITY("mutex") Mutex {
   unsigned flags_;
 };
 
+/// Tag selecting MutexLock's try-lock constructor (std::try_to_lock
+/// without dragging in <mutex> lock machinery at call sites).
+struct TryToLock {};
+inline constexpr TryToLock kTryToLock{};
+
 /// RAII lock, annotated as a scoped capability (the drop-in replacement
 /// for std::lock_guard on a klb::util::Mutex).
+///
+/// Two construction paths with different effect contracts:
+///   - MutexLock lk(mu);            // blocking acquire — slow lanes only
+///   - MutexLock lk(mu, kTryToLock);  // KLB_NONBLOCKING-legal trylock
+/// The try path may not hold the lock: branch on the lock object
+/// (`if (lk) ...` — the thread-safety analysis understands the boolean
+/// conversion of a try-acquired scoped capability). The destructor
+/// releases only what was acquired and is nonblocking either way.
 class KLB_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) KLB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
-  ~MutexLock() KLB_RELEASE() { mu_.unlock(); }
+  explicit MutexLock(Mutex& mu) KLB_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  MutexLock(Mutex& mu, TryToLock) KLB_NONBLOCKING KLB_TRY_ACQUIRE(true, mu)
+      : mu_(mu), held_(mu.try_lock()) {}
+  ~MutexLock() KLB_NONBLOCKING KLB_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  /// Did the try-lock constructor acquire the mutex? (Always true for the
+  /// blocking constructor.)
+  explicit operator bool() const KLB_NONBLOCKING { return held_; }
+  bool held() const KLB_NONBLOCKING { return held_; }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
  private:
   Mutex& mu_;
+  bool held_;
 };
 
 /// Condition variable usable with Mutex. Deliberately no predicate

@@ -1,0 +1,19 @@
+// MUST FAIL under clang >= 20 -Wfunction-effects -Werror: a heap
+// allocation inside a KLB_NONALLOCATING function. This is the core
+// contract of the packet path — if this case ever compiles, the effect
+// analysis has silently stopped seeing through operator new and every
+// KLB_NONALLOCATING annotation in src/ is decorative.
+#include "util/effects.hpp"
+
+namespace {
+
+int* alloc_in_fast_lane() KLB_NONALLOCATING {
+  return new int(42);  // operator new: must be diagnosed
+}
+
+}  // namespace
+
+int main() {
+  delete alloc_in_fast_lane();
+  return 0;
+}

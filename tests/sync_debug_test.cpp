@@ -12,10 +12,12 @@
 // every test here skips (the CI debug-sync job is where they bite).
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
 #include <thread>
 
 #include "lb/epoch.hpp"
+#include "util/effects.hpp"
 #include "util/sync.hpp"
 
 namespace klb {
@@ -150,6 +152,54 @@ TEST(SyncDebugTest, TryLockRecordsNoOrderEdge) {
   // the canonical order must still be acquirable.
   util::MutexLock la(a);
   util::MutexLock lb(b);
+}
+
+// --- effect-escape registry (util/effects.hpp) -----------------------------
+// The registry records every KLB_EFFECT_ESCAPE site that *executes* in a
+// debug build. These tests are the enforcement arm of the documented-site
+// whitelist: an escape added without a kDocumentedEscapeSites entry (and
+// the README justification that goes with it) fails here the first time
+// it runs. Unlike the validator tests above, the registry is active in
+// any !NDEBUG build — no KLB_DEBUG_SYNC needed.
+
+TEST(EffectEscapeRegistryTest, ExecutedSitesAreAllDocumented) {
+  if (!util::effects::registry_enabled()) {
+    GTEST_SKIP() << "NDEBUG build: escape registry compiled out";
+  }
+  // Drive two known escapes so the registry is provably non-empty: a
+  // Mutex try_lock/unlock pair records "util.Mutex.try_lock" and
+  // "util.Mutex.unlock", and a pin records "epoch.pin_seed" on this
+  // thread's first pin.
+  util::Mutex m("klb.test.effects.reg");
+  ASSERT_TRUE(m.try_lock());
+  m.unlock();
+  lb::EpochDomain domain;
+  { auto g = domain.pin(); }
+
+  const char* sites[util::effects::kDocumentedEscapeCount + 8];
+  const std::size_t total = util::effects::escape_sites(
+      sites, util::effects::kDocumentedEscapeCount + 8);
+  ASSERT_GE(total, 2u);
+  ASSERT_LE(total, util::effects::kDocumentedEscapeCount)
+      << "more distinct escape sites executed than are documented";
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_TRUE(util::effects::site_documented(sites[i]))
+        << "undocumented KLB_EFFECT_ESCAPE site executed: " << sites[i]
+        << " (add it to kDocumentedEscapeSites + README or remove the "
+           "escape)";
+  }
+}
+
+TEST(EffectEscapeRegistryTest, WhitelistMatchesByContentNotPointer) {
+  // site_documented is the whitelist predicate itself: it must admit
+  // every documented name (even a TU-distinct copy of the literal) and
+  // reject everything else, independent of build flavour.
+  const char copy[] = "mux.pick";
+  EXPECT_TRUE(util::effects::site_documented(copy));
+  EXPECT_TRUE(util::effects::site_documented("flow.pin_insert"));
+  EXPECT_TRUE(util::effects::site_documented("fabric.enqueue"));
+  EXPECT_FALSE(util::effects::site_documented("klb.test.not_a_site"));
+  EXPECT_FALSE(util::effects::site_documented("mux.pick "));
 }
 
 TEST(SyncDebugTest, CanonicalOrderReacquirableAcrossThreads) {
